@@ -1,0 +1,89 @@
+// Ablation of the §IX fragment-repair post-processing: how many
+// disconnected-domain artefacts MC_TL produces on each mesh family, and
+// what cleaning them up buys (interfaces, cut, makespan) at what cost
+// (level balance).
+#include "bench_common.hpp"
+#include "graph/components.hpp"
+#include "partition/repair.hpp"
+#include "taskgraph/generate.hpp"
+
+using namespace tamp;
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_repair — §IX disconnected-domain cleanup");
+  bench::add_common_options(cli);
+  cli.option("domains", "64", "number of domains");
+  cli.option("processes", "16", "MPI processes");
+  cli.option("workers", "4", "cores per process");
+  cli.option("headroom", "0.15", "repair load headroom per constraint");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("§IX — post-processing repair of MC_TL fragmentation",
+                "multi-criteria partitions 'tend to create disconnected "
+                "subdomains that increase the number of domain borders'; "
+                "repair should remove most artefacts without breaking "
+                "level balance");
+
+  const auto ndomains = static_cast<part_t>(cli.get_int("domains"));
+  const auto nproc = static_cast<part_t>(cli.get_int("processes"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  TablePrinter t;
+  t.header({"mesh", "stage", "extra fragments", "mesh cut", "level imb.",
+            "makespan"});
+  for (const auto kind :
+       {mesh::TestMeshKind::cylinder, mesh::TestMeshKind::cube,
+        mesh::TestMeshKind::nozzle}) {
+    const auto m = bench::make_bench_mesh(kind, cli.get_double("scale"), seed);
+    partition::StrategyOptions sopts;
+    sopts.strategy = partition::Strategy::mc_tl;
+    sopts.ndomains = ndomains;
+    sopts.partitioner.seed = seed;
+    partition::DomainDecomposition dd = partition::decompose(m, sopts);
+    const auto g = partition::build_strategy_graph(m, partition::Strategy::mc_tl);
+    const auto d2p = partition::map_domains_to_processes(
+        ndomains, nproc, partition::DomainMapping::block);
+
+    auto evaluate = [&](const std::vector<part_t>& domains) {
+      const auto graph = taskgraph::generate_task_graph(m, domains, ndomains);
+      sim::SimOptions simopts;
+      simopts.cluster.num_processes = nproc;
+      simopts.cluster.workers_per_process =
+          static_cast<int>(cli.get_int("workers"));
+      return sim::simulate(graph, d2p, simopts).makespan;
+    };
+
+    const auto frags_before = graph::part_fragment_counts(
+        m.dual_graph(), dd.domain_of_cell, ndomains);
+    index_t extra_before = 0;
+    for (const index_t f : frags_before) extra_before += f - 1;
+    const double imb_before =
+        partition::max_imbalance(g, dd.domain_of_cell, ndomains);
+    const weight_t cut_before =
+        partition::edge_cut(m.dual_graph(), dd.domain_of_cell);
+    const simtime_t ms_before = evaluate(dd.domain_of_cell);
+
+    partition::RepairOptions ropts;
+    ropts.headroom = cli.get_double("headroom");
+    const partition::RepairReport rep =
+        partition::repair_fragments(g, dd.domain_of_cell, ndomains, ropts);
+    const double imb_after =
+        partition::max_imbalance(g, dd.domain_of_cell, ndomains);
+    const simtime_t ms_after = evaluate(dd.domain_of_cell);
+
+    t.row({mesh::paper_stats(kind).name, "MC_TL raw",
+           std::to_string(extra_before), fmt_count(cut_before),
+           fmt_double(imb_before, 2), fmt_double(ms_before, 0)});
+    t.row({"", "MC_TL + repair", std::to_string(rep.fragments_after),
+           fmt_count(rep.cut_after), fmt_double(imb_after, 2),
+           fmt_double(ms_after, 0)});
+    t.separator();
+  }
+  t.print(std::cout);
+  std::cout << "Shape check: repair removes every fragment that can move "
+               "without violating a level allowance (the remainder are "
+               "balance-locked — raise --headroom to trade); the cut never "
+               "grows, level imbalance stays bounded, and the makespan is "
+               "preserved: the artefacts cost interfaces, not balance.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the experiment binaries in bench/.
+//
+// Every binary reproduces one table or figure of the paper. Default mesh
+// scales are reduced from the paper's (laptop-class single-core box);
+// pass --scale 1.0 to generate the full-size meshes. The *shape* of each
+// result — who wins, by what factor, where crossovers fall — is the
+// reproduction target, not absolute numbers.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "mesh/generators.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace tamp::bench {
+
+/// Default bench-scale cell counts: ~1/32 of the paper's CYLINDER and
+/// ~1/64 of PPRIME_NOZZLE; CUBE is small enough to run at full size.
+inline index_t default_cells(mesh::TestMeshKind kind) {
+  switch (kind) {
+    case mesh::TestMeshKind::cylinder: return 200'000;
+    case mesh::TestMeshKind::cube: return 151'817;
+    case mesh::TestMeshKind::nozzle: return 200'000;
+  }
+  return 100'000;
+}
+
+/// Build a paper mesh at `scale` × the paper's full cell count, floored
+/// at the bench default when scale ≤ 0 (the default).
+inline mesh::Mesh make_bench_mesh(mesh::TestMeshKind kind, double scale,
+                                  std::uint64_t seed = 42) {
+  mesh::TestMeshSpec spec;
+  spec.seed = seed;
+  if (scale > 0) {
+    spec.target_cells = static_cast<index_t>(
+        static_cast<double>(mesh::paper_stats(kind).total_cells) * scale);
+    spec.target_cells = std::max<index_t>(spec.target_cells, 2000);
+  } else {
+    spec.target_cells = default_cells(kind);
+  }
+  return mesh::make_test_mesh(kind, spec);
+}
+
+/// Register the options every bench shares.
+inline void add_common_options(CliParser& cli) {
+  cli.option("scale", "0",
+             "mesh size as a fraction of the paper's full cell count; 0 = "
+             "bench default (~200k cells)");
+  cli.option("seed", "42", "deterministic seed for meshes and partitioner");
+  cli.option("artifacts", "bench_artifacts",
+             "directory for SVG traces and CSV series");
+}
+
+/// Ensure the artifact directory exists and return it.
+inline std::string artifact_dir(const CliParser& cli) {
+  const std::string dir = cli.get("artifacts");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Banner printed by every bench: ties the binary to the paper artefact.
+inline void banner(const std::string& what, const std::string& paper_claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << what << '\n'
+            << "Paper reference: " << paper_claim << '\n'
+            << "==============================================================="
+               "=\n";
+}
+
+}  // namespace tamp::bench

@@ -1,0 +1,78 @@
+// Reproduces Fig 6: even with an unbounded number of cores per process,
+// SC_OC-partitioned executions leave whole processes idle — proving the
+// task-graph structure, not the scheduler, causes the imbalance (§III-C).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "sim/analysis.hpp"
+#include "support/gantt.hpp"
+
+using namespace tamp;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig6_unbounded_cores — idleness persists with unlimited cores "
+      "(paper Fig 6)");
+  bench::add_common_options(cli);
+  cli.option("processes", "64", "MPI processes, one domain each");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Fig 6 — unbounded cores per process, 64 processes",
+                "64 MPI processes, 1 domain each, unlimited cores: the "
+                "eager schedule is optimal, yet processes still idle");
+
+  const auto m = bench::make_bench_mesh(
+      mesh::TestMeshKind::cylinder, cli.get_double("scale"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto nproc = static_cast<part_t>(cli.get_int("processes"));
+
+  core::RunConfig cfg;
+  cfg.strategy = partition::Strategy::sc_oc;
+  cfg.ndomains = nproc;
+  cfg.nprocesses = nproc;
+  cfg.workers_per_process = 0;  // unbounded (Fig 6's ideal configuration)
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const core::RunOutcome out = core::run_on_mesh(m, cfg);
+
+  // Idle statistics per process: the signature of Fig 6 is a large group
+  // of processes idle most of the iteration.
+  std::vector<double> idle(static_cast<std::size_t>(nproc));
+  for (part_t p = 0; p < nproc; ++p)
+    idle[static_cast<std::size_t>(p)] = out.sim.idle_fraction(p);
+  std::sort(idle.begin(), idle.end());
+
+  TablePrinter t;
+  t.header({"statistic", "value"});
+  t.row({"makespan (work units)", fmt_double(out.makespan(), 0)});
+  t.row({"critical path", fmt_double(out.graph.critical_path(), 0)});
+  t.row({"median process idle", fmt_percent(idle[static_cast<std::size_t>(nproc / 2)])});
+  t.row({"max process idle", fmt_percent(idle.back())});
+  t.row({"processes idle > 50%",
+         std::to_string(std::count_if(idle.begin(), idle.end(),
+                                      [](double f) { return f > 0.5; }))});
+  // The paper's phrase is "continuous blocks of inactivity": measure the
+  // longest contiguous idle block of any process relative to makespan.
+  simtime_t longest_block = 0;
+  index_t with_big_block = 0;
+  for (part_t p = 0; p < nproc; ++p) {
+    const sim::IdleBlocks blocks = sim::idle_blocks(out.sim, p);
+    longest_block = std::max(longest_block, blocks.longest);
+    if (blocks.longest > 0.25 * out.makespan()) ++with_big_block;
+  }
+  t.row({"longest contiguous idle block",
+         fmt_percent(longest_block / out.makespan()) + " of makespan"});
+  t.row({"processes with a >25% idle block", std::to_string(with_big_block)});
+  t.print(std::cout);
+
+  const std::string dir = bench::artifact_dir(cli);
+  const GanttTrace trace =
+      out.sim.gantt(out.graph, false, "Fig 6: 64 proc, unbounded cores, SC_OC");
+  write_gantt_svg(trace, dir + "/fig6_trace.svg");
+  std::cout << "\nAggregated per-process trace (columns = time, '.' = "
+               "idle, glyph = dominant subiteration):\n"
+            << render_gantt_ascii(trace, 96)
+            << "\nShape check: many rows show long idle stretches despite "
+               "unlimited cores — scheduling cannot be the root cause.\n"
+            << "Trace written to " << dir << "/fig6_trace.svg\n";
+  return 0;
+}

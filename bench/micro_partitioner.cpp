@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks of the partitioner building blocks:
+// coarsening, single bisection, recursive k-way, multi-constraint
+// overhead, and RB vs direct k-way quality/throughput.
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.hpp"
+#include "mesh/generators.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/partition.hpp"
+#include "partition/strategy.hpp"
+
+namespace {
+
+using namespace tamp;
+
+graph::Csr grid(index_t side) { return graph::make_grid_graph(side, side); }
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  const auto g = grid(static_cast<index_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto match = partition::heavy_edge_matching(g, rng);
+    benchmark::DoNotOptimize(match.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_HeavyEdgeMatching)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_CoarsenOnce(benchmark::State& state) {
+  const auto g = grid(static_cast<index_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto level = partition::coarsen_once(g, rng);
+    benchmark::DoNotOptimize(level.graph.num_vertices());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_CoarsenOnce)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Bisection(benchmark::State& state) {
+  const auto g = grid(static_cast<index_t>(state.range(0)));
+  partition::Options opts;
+  opts.nparts = 2;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto r = partition::partition_graph(g, opts);
+    benchmark::DoNotOptimize(r.edge_cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_Bisection)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_KwayRB(benchmark::State& state) {
+  const auto g = grid(256);
+  partition::Options opts;
+  opts.nparts = static_cast<part_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto r = partition::partition_graph(g, opts);
+    benchmark::DoNotOptimize(r.edge_cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_KwayRB)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KwayDirect(benchmark::State& state) {
+  const auto g = grid(256);
+  partition::Options opts;
+  opts.nparts = static_cast<part_t>(state.range(0));
+  opts.method = partition::Method::kway_direct;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto r = partition::partition_graph(g, opts);
+    benchmark::DoNotOptimize(r.edge_cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_KwayDirect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StrategyDecompose(benchmark::State& state) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 50'000;
+  const auto m = mesh::make_cylinder_mesh(spec);
+  partition::StrategyOptions opts;
+  opts.strategy = state.range(0) == 0 ? partition::Strategy::sc_oc
+                                      : partition::Strategy::mc_tl;
+  opts.ndomains = 64;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.partitioner.seed = ++seed;
+    auto dd = partition::decompose(m, opts);
+    benchmark::DoNotOptimize(dd.edge_cut);
+  }
+  state.SetLabel(state.range(0) == 0 ? "SC_OC(ncon=1)" : "MC_TL(ncon=4)");
+  state.SetItemsProcessed(state.iterations() * m.num_cells());
+}
+BENCHMARK(BM_StrategyDecompose)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks of the non-partitioner pipeline
+// stages: mesh generation, task-graph generation, discrete-event
+// simulation, and the solver kernels.
+#include <benchmark/benchmark.h>
+
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+#include "sim/simulate.hpp"
+#include "solver/euler.hpp"
+#include "taskgraph/generate.hpp"
+
+namespace {
+
+using namespace tamp;
+
+void BM_MeshGeneration(benchmark::State& state) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    auto m = mesh::make_cylinder_mesh(spec);
+    benchmark::DoNotOptimize(m.num_faces());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeshGeneration)->Arg(20000)->Arg(100000);
+
+struct PipelineFixture {
+  mesh::Mesh m;
+  partition::DomainDecomposition dd;
+  PipelineFixture()
+      : m([] {
+          mesh::TestMeshSpec spec;
+          spec.target_cells = 50'000;
+          return mesh::make_cylinder_mesh(spec);
+        }()),
+        dd([this] {
+          partition::StrategyOptions opts;
+          opts.strategy = partition::Strategy::mc_tl;
+          opts.ndomains = 64;
+          return partition::decompose(m, opts);
+        }()) {}
+  static const PipelineFixture& get() {
+    static PipelineFixture f;
+    return f;
+  }
+};
+
+void BM_TaskGeneration(benchmark::State& state) {
+  const auto& f = PipelineFixture::get();
+  for (auto _ : state) {
+    auto g = taskgraph::generate_task_graph(f.m, f.dd.domain_of_cell, 64);
+    benchmark::DoNotOptimize(g.num_tasks());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.num_cells());
+}
+BENCHMARK(BM_TaskGeneration);
+
+void BM_Simulation(benchmark::State& state) {
+  const auto& f = PipelineFixture::get();
+  const auto g = taskgraph::generate_task_graph(f.m, f.dd.domain_of_cell, 64);
+  const auto d2p = partition::map_domains_to_processes(
+      64, 16, partition::DomainMapping::block);
+  sim::SimOptions opts;
+  opts.cluster.num_processes = 16;
+  opts.cluster.workers_per_process = 32;
+  for (auto _ : state) {
+    auto r = sim::simulate(g, d2p, opts);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+}
+BENCHMARK(BM_Simulation);
+
+void BM_SolverIteration(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  mesh::Mesh m = mesh::make_graded_box_mesh(n, n, n, 1.08);
+  solver::EulerSolver s(m);
+  s.initialize_uniform(1.0, {0.05, 0, 0}, 1.0);
+  s.add_pulse({1.5, 1.5, 1.5}, 1.0, 0.1);
+  s.assign_temporal_levels();
+  for (auto _ : state) {
+    s.run_iteration();
+    benchmark::DoNotOptimize(s.time());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_cells());
+}
+BENCHMARK(BM_SolverIteration)->Arg(16)->Arg(24);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const auto& f = PipelineFixture::get();
+  const auto g = taskgraph::generate_task_graph(f.m, f.dd.domain_of_cell, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.critical_path());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_tasks());
+}
+BENCHMARK(BM_CriticalPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

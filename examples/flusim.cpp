@@ -1,0 +1,133 @@
+// flusim — a standalone clone of the paper's FLUSIM tool (§III-A).
+//
+// "As inputs, FLUSIM takes a cluster configuration, the mesh with the
+// temporal level of each cell, a domain decomposition, and a scheduling
+// strategy."  This executable takes exactly those four things:
+//
+//   ./flusim --mesh m.tmesh --partition p.tpart
+//            --processes 6 --workers 4 --policy eager
+//
+// (generate the input files with partition_explorer/save_mesh, or pass
+// --mesh cylinder to synthesise one and --partition-strategy mc_tl to
+// partition on the fly). Outputs the makespan, per-process statistics,
+// and optional SVG / chrome-trace files.
+#include <iostream>
+
+#include "mesh/generators.hpp"
+#include "mesh/io.hpp"
+#include "partition/io.hpp"
+#include "partition/strategy.hpp"
+#include "sim/analysis.hpp"
+#include "sim/messages.hpp"
+#include "sim/simulate.hpp"
+#include "sim/trace_json.hpp"
+#include "support/cli.hpp"
+#include "support/gantt.hpp"
+#include "support/table.hpp"
+#include "taskgraph/generate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tamp;
+  CliParser cli("flusim — emulate one solver iteration on a virtual cluster");
+  cli.option("mesh", "cylinder",
+             "mesh file (tamp-mesh) or generator name cylinder|cube|nozzle");
+  cli.option("cells", "50000", "generated mesh size (generators only)");
+  cli.option("partition", "",
+             "partition file (tamp-partition); empty = partition on the fly");
+  cli.option("partition-strategy", "mc_tl",
+             "strategy when partitioning on the fly");
+  cli.option("domains", "16", "domains when partitioning on the fly");
+  cli.option("processes", "4", "emulated MPI processes");
+  cli.option("workers", "4", "workers per process; 0 = unbounded");
+  cli.option("policy", "eager", "eager | lifo | cp | random");
+  cli.option("comm-latency", "0", "latency per crossing edge (work units)");
+  cli.option("iterations", "1", "iterations to emulate");
+  cli.option("svg", "", "write a Gantt SVG here");
+  cli.option("chrome-trace", "", "write a chrome://tracing JSON here");
+  cli.flag("per-worker", "Gantt rows per worker instead of per process");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    // --- inputs -------------------------------------------------------------
+    mesh::Mesh m = [&] {
+      const std::string name = cli.get("mesh");
+      try {
+        mesh::TestMeshSpec spec;
+        spec.target_cells = static_cast<index_t>(cli.get_int("cells"));
+        return mesh::make_test_mesh(mesh::parse_test_mesh_kind(name), spec);
+      } catch (const precondition_error&) {
+        return mesh::load_mesh(name);
+      }
+    }();
+
+    part_t ndomains = 0;
+    std::vector<part_t> domain_of_cell;
+    if (!cli.get("partition").empty()) {
+      domain_of_cell = partition::load_partition(cli.get("partition"), ndomains);
+      if (domain_of_cell.size() != static_cast<std::size_t>(m.num_cells()))
+        throw runtime_failure("partition file does not match the mesh");
+    } else {
+      partition::StrategyOptions sopts;
+      sopts.strategy =
+          partition::parse_strategy(cli.get("partition-strategy"));
+      sopts.ndomains = static_cast<part_t>(cli.get_int("domains"));
+      const auto dd = partition::decompose(m, sopts);
+      ndomains = dd.ndomains;
+      domain_of_cell = dd.domain_of_cell;
+    }
+
+    const auto nproc = static_cast<part_t>(cli.get_int("processes"));
+    const auto d2p = partition::map_domains_to_processes(
+        ndomains, nproc, partition::DomainMapping::block);
+
+    // --- task graph + simulation ----------------------------------------------
+    taskgraph::GenerateOptions gopts;
+    gopts.num_iterations = static_cast<int>(cli.get_int("iterations"));
+    const auto graph =
+        taskgraph::generate_task_graph(m, domain_of_cell, ndomains, gopts);
+
+    sim::SimOptions simopts;
+    simopts.cluster.num_processes = nproc;
+    simopts.cluster.workers_per_process =
+        static_cast<int>(cli.get_int("workers"));
+    simopts.policy = sim::parse_policy(cli.get("policy"));
+    simopts.comm.latency = cli.get_double("comm-latency");
+    const sim::SimResult result = sim::simulate(graph, d2p, simopts);
+
+    // --- report ----------------------------------------------------------------
+    const auto msgs = sim::message_statistics(graph, d2p);
+    std::cout << "mesh: " << m.num_cells() << " cells, "
+              << static_cast<int>(m.max_level()) + 1 << " levels;  "
+              << ndomains << " domains on " << nproc << " processes\n"
+              << "tasks: " << graph.num_tasks()
+              << "  dependencies: " << graph.num_dependencies()
+              << "  critical path: " << fmt_double(graph.critical_path(), 0)
+              << "\nmakespan: " << fmt_double(result.makespan, 0)
+              << " work units   occupancy: " << fmt_percent(result.occupancy())
+              << "\nmessages: " << fmt_count(msgs.messages)
+              << " (volume " << fmt_count(msgs.volume) << " objects over "
+              << msgs.process_pairs << " process pairs)\n";
+
+    TablePrinter t("per-process");
+    t.header({"process", "busy", "idle", "idle blocks", "longest block"});
+    for (part_t p = 0; p < nproc; ++p) {
+      const auto blocks = sim::idle_blocks(result, p);
+      t.row({std::to_string(p),
+             fmt_double(result.busy_per_process[static_cast<std::size_t>(p)], 0),
+             fmt_percent(result.idle_fraction(p)),
+             std::to_string(blocks.count), fmt_double(blocks.longest, 0)});
+    }
+    t.print(std::cout);
+
+    if (!cli.get("svg").empty())
+      write_gantt_svg(result.gantt(graph, cli.get_flag("per-worker"), "flusim"),
+                      cli.get("svg"));
+    if (!cli.get("chrome-trace").empty())
+      sim::save_chrome_trace(sim::to_chrome_trace(graph, result),
+                             cli.get("chrome-trace"));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "flusim: " << e.what() << '\n';
+    return 1;
+  }
+}

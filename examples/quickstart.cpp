@@ -1,0 +1,53 @@
+// Quickstart: the five-step TAMP pipeline in ~60 lines.
+//
+//   1. build (or load) a finite-volume mesh with temporal levels,
+//   2. decompose it into domains with a partitioning strategy,
+//   3. generate the solver's task graph (Algorithm 1),
+//   4. simulate its schedule on a cluster configuration,
+//   5. compare strategies.
+//
+// Run:  ./quickstart
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "support/gantt.hpp"
+
+int main() {
+  using namespace tamp;
+
+  // 1. A reduced CYLINDER mesh (the paper's 6.4M-cell test case, scaled
+  //    down): graded cylindrical shells with 4 temporal levels whose
+  //    populations match the paper's Table I.
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 30'000;
+  const mesh::Mesh m = mesh::make_cylinder_mesh(spec);
+  std::cout << "mesh: " << m.num_cells() << " cells, " << m.num_faces()
+            << " faces, " << static_cast<int>(m.max_level()) + 1
+            << " temporal levels\n\n";
+
+  // 2-4. One call runs decomposition, task generation and the FLUSIM-like
+  //      schedule simulation. Try the paper's two strategies.
+  for (const auto strategy :
+       {partition::Strategy::sc_oc, partition::Strategy::mc_tl}) {
+    core::RunConfig cfg;
+    cfg.strategy = strategy;          // SC_OC: balance operating cost
+    cfg.ndomains = 16;                // MC_TL: balance every level class
+    cfg.nprocesses = 4;               // emulated MPI processes
+    cfg.workers_per_process = 4;      // cores per process
+    const core::RunOutcome out = core::run_on_mesh(m, cfg);
+
+    std::cout << partition::to_string(strategy) << ": "
+              << core::summarize(out) << '\n';
+
+    // 5. Inspect the schedule as an ASCII Gantt chart: rows = processes,
+    //    glyph = dominant subiteration, '.' = idle.
+    std::cout << render_gantt_ascii(
+                     out.sim.gantt(out.graph, false,
+                                   partition::to_string(strategy)),
+                     72)
+              << '\n';
+  }
+  std::cout << "MC_TL's rows stay busy across all subiterations — that is "
+               "the paper's contribution.\n";
+  return 0;
+}

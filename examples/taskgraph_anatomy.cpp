@@ -1,0 +1,64 @@
+// Task-graph anatomy: the paper's Fig 8 as a runnable example.
+//
+// Builds a tiny 3-level mesh, splits it into two domains with each
+// strategy, and prints the first subiteration's phases and tasks so the
+// structural difference is visible by eye:
+//   * SC_OC  — domains specialise in one level, so most phases emit tasks
+//     from a single domain;
+//   * MC_TL  — every domain holds every level, so every phase emits tasks
+//     from both domains (finer granularity, better occupancy).
+// Also writes Graphviz DOT files of both graphs.
+#include <fstream>
+#include <iostream>
+
+#include "mesh/generators.hpp"
+#include "mesh/levels.hpp"
+#include "partition/strategy.hpp"
+#include "taskgraph/generate.hpp"
+
+int main() {
+  using namespace tamp;
+
+  // A 8×4×1 lattice with a refinement gradient along x: levels 0,1,2.
+  mesh::Mesh m = mesh::make_lattice_mesh(8, 4, 1);
+  std::vector<double> field(static_cast<std::size_t>(m.num_cells()));
+  for (index_t c = 0; c < m.num_cells(); ++c)
+    field[static_cast<std::size_t>(c)] = m.cell_centroid(c).x;
+  mesh::assign_levels_by_quantiles(m, field, {0.25, 0.375, 0.375});
+
+  for (const auto strategy :
+       {partition::Strategy::sc_oc, partition::Strategy::mc_tl}) {
+    partition::StrategyOptions sopts;
+    sopts.strategy = strategy;
+    sopts.ndomains = 2;
+    const auto dd = partition::decompose(m, sopts);
+
+    std::cout << "=== " << partition::to_string(strategy) << " ===\n";
+    for (part_t d = 0; d < 2; ++d) {
+      std::cout << "domain " << d << " cells per level:";
+      for (level_t l = 0; l < dd.num_levels; ++l)
+        std::cout << "  t" << static_cast<int>(l) << "=" << dd.cells_in(d, l);
+      std::cout << '\n';
+    }
+
+    const auto g = taskgraph::generate_task_graph(m, dd.domain_of_cell, 2);
+    std::cout << g.num_tasks() << " tasks, " << g.num_dependencies()
+              << " dependencies; first subiteration:\n";
+    for (index_t t = 0; t < g.num_tasks(); ++t) {
+      const auto& task = g.task(t);
+      if (task.subiteration != 0) break;
+      std::cout << "  task " << t << ": " << task.label() << "  <-";
+      for (const index_t p : g.predecessors(t)) std::cout << ' ' << p;
+      std::cout << '\n';
+    }
+
+    const std::string path =
+        std::string("taskgraph_") + partition::to_string(strategy) + ".dot";
+    std::ofstream(path) << g.to_dot();
+    std::cout << "full graph written to " << path
+              << "  (render: dot -Tsvg -O " << path << ")\n\n";
+  }
+  std::cout << "Note how MC_TL emits face+cell tasks from BOTH domains in "
+               "every phase — Fig 8's 8-vs-2 task comparison.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+
+#include "partition/repair.hpp"
+
+namespace tamp::core {
+
+weight_t RunOutcome::comm_volume() const {
+  // The paper's estimate (§VI, Fig 11b): "a communication is considered
+  // to be an edge of the task graph connecting two nodes whose domains
+  // are distributed across two different processes".
+  weight_t edges = 0;
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const part_t pt =
+        domain_to_process[static_cast<std::size_t>(graph.task(t).domain)];
+    for (const index_t s : graph.successors(t)) {
+      const part_t ps =
+          domain_to_process[static_cast<std::size_t>(graph.task(s).domain)];
+      if (ps != pt) ++edges;
+    }
+  }
+  return edges;
+}
+
+RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config) {
+  TAMP_EXPECTS(config.ndomains >= config.nprocesses,
+               "need at least one domain per process");
+  RunOutcome out;
+
+  partition::StrategyOptions sopts;
+  sopts.strategy = config.strategy;
+  sopts.ndomains = config.ndomains;
+  sopts.nprocesses = config.nprocesses;
+  sopts.partitioner.tolerance = config.partition_tolerance;
+  sopts.partitioner.seed = config.seed;
+  out.decomposition = partition::decompose(mesh, sopts);
+  if (config.repair_fragments) {
+    const auto g = partition::build_strategy_graph(
+        mesh, config.strategy == partition::Strategy::hybrid
+                  ? partition::Strategy::mc_tl
+                  : config.strategy);
+    partition::repair_fragments(g, out.decomposition.domain_of_cell,
+                                config.ndomains);
+    partition::update_census(mesh, out.decomposition);
+  }
+
+  taskgraph::GenerateOptions gopts;
+  gopts.cost = config.cost;
+  gopts.num_iterations = config.num_iterations;
+  out.graph = taskgraph::generate_task_graph(
+      mesh, out.decomposition.domain_of_cell, config.ndomains, gopts);
+
+  out.domain_to_process = partition::map_domains_to_processes(
+      config.ndomains, config.nprocesses, config.mapping);
+
+  sim::SimOptions simopts;
+  simopts.cluster.num_processes = config.nprocesses;
+  simopts.cluster.workers_per_process = config.workers_per_process;
+  simopts.policy = config.policy;
+  simopts.comm = config.comm;
+  simopts.task_overhead = config.task_overhead;
+  simopts.seed = config.seed;
+  out.sim = sim::simulate(out.graph, out.domain_to_process, simopts);
+  return out;
+}
+
+std::string summarize(const RunOutcome& outcome) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "makespan=" << outcome.makespan()
+     << " occupancy=" << outcome.occupancy() * 100.0 << "%"
+     << " tasks=" << outcome.graph.num_tasks()
+     << " deps=" << outcome.graph.num_dependencies()
+     << " cut=" << outcome.decomposition.edge_cut
+     << " cost_imb=" << outcome.decomposition.cost_imbalance()
+     << " level_imb=" << outcome.decomposition.level_imbalance();
+  return os.str();
+}
+
+}  // namespace tamp::core

@@ -1,0 +1,58 @@
+// High-level experiment pipeline: mesh → partition → task graph → schedule.
+//
+// This is the library's main entry point for users reproducing the
+// paper's experiments (and the API all examples/benches are written
+// against): configure a RunConfig, call run_on_mesh(), read the outcome.
+#pragma once
+
+#include <string>
+
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+#include "sim/simulate.hpp"
+#include "taskgraph/generate.hpp"
+
+namespace tamp::core {
+
+/// Everything needed to turn a mesh into a simulated execution.
+struct RunConfig {
+  partition::Strategy strategy = partition::Strategy::sc_oc;
+  part_t ndomains = 16;
+  part_t nprocesses = 4;
+  /// Workers per process; 0 = unbounded (Fig 6 mode).
+  int workers_per_process = 4;
+  partition::DomainMapping mapping = partition::DomainMapping::block;
+  sim::Policy policy = sim::Policy::eager_fifo;
+  taskgraph::CostModel cost;
+  sim::CommModel comm;  ///< zero by default (idealised FLUSIM)
+  simtime_t task_overhead = 0;  ///< per-task runtime cost (see SimOptions)
+  /// Run the §IX fragment-repair post-processing on the decomposition
+  /// before generating the task graph.
+  bool repair_fragments = false;
+  int num_iterations = 1;
+  double partition_tolerance = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Full outcome of one pipeline run.
+struct RunOutcome {
+  partition::DomainDecomposition decomposition;
+  taskgraph::TaskGraph graph;
+  std::vector<part_t> domain_to_process;
+  sim::SimResult sim;
+
+  [[nodiscard]] simtime_t makespan() const { return sim.makespan; }
+  [[nodiscard]] double occupancy() const { return sim.occupancy(); }
+  /// Cross-process communication estimate (paper Fig 11b): the number of
+  /// task dependency edges whose endpoints run on different processes.
+  [[nodiscard]] weight_t comm_volume() const;
+};
+
+/// Run the pipeline on an existing mesh (reuse the mesh across strategies
+/// to compare them on identical input, as all paper figures do).
+RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config);
+
+/// One-line human summary ("SC_OC: makespan=…, occupancy=…%").
+std::string summarize(const RunOutcome& outcome);
+
+}  // namespace tamp::core

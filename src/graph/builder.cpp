@@ -1,0 +1,104 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tamp::graph {
+
+Builder::Builder(index_t nvtx, int ncon) : nvtx_(nvtx), ncon_(ncon) {
+  TAMP_EXPECTS(nvtx >= 0, "negative vertex count");
+  TAMP_EXPECTS(ncon >= 1, "at least one constraint required");
+  vwgt_.assign(static_cast<std::size_t>(nvtx) * static_cast<std::size_t>(ncon),
+               1);
+}
+
+void Builder::add_edge(index_t u, index_t v, weight_t weight) {
+  TAMP_EXPECTS(u >= 0 && u < nvtx_ && v >= 0 && v < nvtx_,
+               "edge endpoint out of range");
+  TAMP_EXPECTS(u != v, "self-loops are not allowed");
+  TAMP_EXPECTS(weight > 0, "edge weight must be positive");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  edge_weights_.push_back(weight);
+}
+
+void Builder::set_vertex_weights(index_t v, std::span<const weight_t> weights) {
+  TAMP_EXPECTS(v >= 0 && v < nvtx_, "vertex out of range");
+  TAMP_EXPECTS(weights.size() == static_cast<std::size_t>(ncon_),
+               "weight vector length must equal ncon");
+  std::copy(weights.begin(), weights.end(),
+            vwgt_.begin() + static_cast<std::size_t>(v) * ncon_);
+}
+
+void Builder::set_vertex_weight(index_t v, int constraint, weight_t weight) {
+  TAMP_EXPECTS(v >= 0 && v < nvtx_, "vertex out of range");
+  TAMP_EXPECTS(constraint >= 0 && constraint < ncon_,
+               "constraint index out of range");
+  vwgt_[static_cast<std::size_t>(v) * ncon_ +
+        static_cast<std::size_t>(constraint)] = weight;
+}
+
+Csr Builder::build() {
+  // Sort (u,v) pairs to merge duplicates, carrying weights along.
+  std::vector<std::size_t> order(edges_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges_[a] < edges_[b];
+  });
+
+  std::vector<std::pair<index_t, index_t>> uniq;
+  std::vector<weight_t> uniq_w;
+  uniq.reserve(edges_.size());
+  for (const std::size_t i : order) {
+    if (!uniq.empty() && uniq.back() == edges_[i]) {
+      uniq_w.back() += edge_weights_[i];
+    } else {
+      uniq.push_back(edges_[i]);
+      uniq_w.push_back(edge_weights_[i]);
+    }
+  }
+
+  std::vector<eindex_t> xadj(static_cast<std::size_t>(nvtx_) + 1, 0);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    ++xadj[static_cast<std::size_t>(uniq[i].first) + 1];
+    ++xadj[static_cast<std::size_t>(uniq[i].second) + 1];
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(nvtx_); ++v)
+    xadj[v + 1] += xadj[v];
+
+  std::vector<index_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<weight_t> adjwgt(adjncy.size());
+  std::vector<eindex_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    const auto [u, v] = uniq[i];
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] = v;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] =
+        uniq_w[i];
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)])] = u;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+        uniq_w[i];
+  }
+
+  Csr g(nvtx_, ncon_, std::move(xadj), std::move(adjncy), std::move(adjwgt),
+        std::move(vwgt_));
+  edges_.clear();
+  edge_weights_.clear();
+  vwgt_.assign(static_cast<std::size_t>(nvtx_) * static_cast<std::size_t>(ncon_),
+               1);
+  return g;
+}
+
+Csr make_grid_graph(index_t nx, index_t ny, int ncon) {
+  TAMP_EXPECTS(nx > 0 && ny > 0, "grid dimensions must be positive");
+  Builder b(nx * ny, ncon);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace tamp::graph

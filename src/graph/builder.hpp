@@ -1,0 +1,47 @@
+// Incremental construction of CSR graphs from edge lists.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace tamp::graph {
+
+/// Accumulates undirected edges and per-vertex weight vectors, then
+/// compiles them into a validated Csr. Duplicate edges are merged by
+/// summing their weights.
+class Builder {
+public:
+  /// @param nvtx  number of vertices
+  /// @param ncon  constraints per vertex (weights default to 1 each)
+  Builder(index_t nvtx, int ncon = 1);
+
+  /// Add an undirected edge {u, v} with the given weight. Self-loops are
+  /// rejected. Duplicates are merged at build() time.
+  void add_edge(index_t u, index_t v, weight_t weight = 1);
+
+  /// Set the full weight vector of a vertex.
+  void set_vertex_weights(index_t v, std::span<const weight_t> weights);
+
+  /// Set one component of a vertex's weight vector.
+  void set_vertex_weight(index_t v, int constraint, weight_t weight);
+
+  /// Compile into CSR form. The builder is left empty afterwards.
+  Csr build();
+
+  [[nodiscard]] index_t num_vertices() const { return nvtx_; }
+
+private:
+  index_t nvtx_;
+  int ncon_;
+  std::vector<std::pair<index_t, index_t>> edges_;
+  std::vector<weight_t> edge_weights_;
+  std::vector<weight_t> vwgt_;
+};
+
+/// Convenience: build a 2D grid graph (nx × ny vertices, 4-neighbour),
+/// unit weights — used by tests and partitioner microbenches.
+Csr make_grid_graph(index_t nx, index_t ny, int ncon = 1);
+
+}  // namespace tamp::graph

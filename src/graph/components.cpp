@@ -1,0 +1,67 @@
+#include "graph/components.hpp"
+
+#include <vector>
+
+namespace tamp::graph {
+
+index_t connected_components(const Csr& g, std::vector<index_t>& component) {
+  const index_t n = g.num_vertices();
+  component.assign(static_cast<std::size_t>(n), invalid_index);
+  index_t ncomp = 0;
+  std::vector<index_t> stack;
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (component[static_cast<std::size_t>(seed)] != invalid_index) continue;
+    component[static_cast<std::size_t>(seed)] = ncomp;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (const index_t u : g.neighbors(v)) {
+        if (component[static_cast<std::size_t>(u)] == invalid_index) {
+          component[static_cast<std::size_t>(u)] = ncomp;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+bool is_connected(const Csr& g) {
+  std::vector<index_t> component;
+  return connected_components(g, component) <= 1;
+}
+
+std::vector<index_t> part_fragment_counts(const Csr& g,
+                                          const std::vector<part_t>& part,
+                                          part_t nparts) {
+  const index_t n = g.num_vertices();
+  TAMP_EXPECTS(part.size() == static_cast<std::size_t>(n),
+               "partition vector size must equal vertex count");
+  std::vector<index_t> fragments(static_cast<std::size_t>(nparts), 0);
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> stack;
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    const part_t p = part[static_cast<std::size_t>(seed)];
+    TAMP_EXPECTS(p >= 0 && p < nparts, "part id out of range");
+    ++fragments[static_cast<std::size_t>(p)];
+    visited[static_cast<std::size_t>(seed)] = 1;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (const index_t u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)] &&
+            part[static_cast<std::size_t>(u)] == p) {
+          visited[static_cast<std::size_t>(u)] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return fragments;
+}
+
+}  // namespace tamp::graph

@@ -1,0 +1,28 @@
+// Connected-component analysis.
+//
+// Used to (a) verify synthetic meshes are connected, (b) quantify the
+// domain-fragmentation artefact the paper's §IX mentions: MC_TL tends to
+// produce disconnected domains, which inflates interfaces.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tamp::graph {
+
+/// Label each vertex with its connected-component id (0-based, dense).
+/// Returns the number of components.
+index_t connected_components(const Csr& g, std::vector<index_t>& component);
+
+/// True if the whole graph is a single connected component (or empty).
+bool is_connected(const Csr& g);
+
+/// Number of connected fragments inside each part of a partition:
+/// result[p] = number of components of the subgraph induced by part p.
+/// A perfectly contiguous partition has every entry equal to 1.
+std::vector<index_t> part_fragment_counts(const Csr& g,
+                                          const std::vector<part_t>& part,
+                                          part_t nparts);
+
+}  // namespace tamp::graph

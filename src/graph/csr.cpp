@@ -1,0 +1,122 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tamp::graph {
+
+Csr::Csr(index_t nvtx, int ncon, std::vector<eindex_t> xadj,
+         std::vector<index_t> adjncy, std::vector<weight_t> adjwgt,
+         std::vector<weight_t> vwgt)
+    : nvtx_(nvtx),
+      ncon_(ncon),
+      xadj_(std::move(xadj)),
+      adjncy_(std::move(adjncy)),
+      adjwgt_(std::move(adjwgt)),
+      vwgt_(std::move(vwgt)) {
+  TAMP_EXPECTS(nvtx_ >= 0, "negative vertex count");
+  TAMP_EXPECTS(ncon_ >= 1, "at least one constraint required");
+  TAMP_EXPECTS(xadj_.size() == static_cast<std::size_t>(nvtx_) + 1,
+               "xadj must have nvtx+1 entries");
+  TAMP_EXPECTS(adjwgt_.size() == adjncy_.size(),
+               "adjwgt must align with adjncy");
+  TAMP_EXPECTS(vwgt_.size() ==
+                   static_cast<std::size_t>(nvtx_) * static_cast<std::size_t>(ncon_),
+               "vwgt must have nvtx*ncon entries");
+  TAMP_EXPECTS(xadj_.front() == 0 &&
+                   xadj_.back() == static_cast<eindex_t>(adjncy_.size()),
+               "xadj bounds inconsistent with adjncy");
+}
+
+std::vector<weight_t> Csr::total_weights() const {
+  std::vector<weight_t> total(static_cast<std::size_t>(ncon_), 0);
+  for (index_t v = 0; v < nvtx_; ++v) {
+    const auto w = vertex_weights(v);
+    for (int c = 0; c < ncon_; ++c) total[static_cast<std::size_t>(c)] += w[static_cast<std::size_t>(c)];
+  }
+  return total;
+}
+
+weight_t Csr::total_edge_weight() const {
+  return std::accumulate(adjwgt_.begin(), adjwgt_.end(), weight_t{0}) / 2;
+}
+
+void Csr::validate() const {
+  for (index_t v = 0; v < nvtx_; ++v) {
+    TAMP_ENSURE(xadj_[static_cast<std::size_t>(v)] <=
+                    xadj_[static_cast<std::size_t>(v) + 1],
+                "xadj not monotone");
+  }
+  // Symmetry check: count (u,v) and (v,u) occurrences with weights.
+  for (index_t u = 0; u < nvtx_; ++u) {
+    const auto nbrs = neighbors(u);
+    const auto wgts = edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t v = nbrs[i];
+      TAMP_ENSURE(v >= 0 && v < nvtx_, "neighbour index out of range");
+      TAMP_ENSURE(v != u, "self-loop present");
+      TAMP_ENSURE(wgts[i] > 0, "non-positive edge weight");
+      // Find the reverse edge.
+      const auto rn = neighbors(v);
+      const auto rw = edge_weights(v);
+      bool found = false;
+      for (std::size_t j = 0; j < rn.size(); ++j) {
+        if (rn[j] == u && rw[j] == wgts[i]) {
+          found = true;
+          break;
+        }
+      }
+      TAMP_ENSURE(found, "missing or weight-mismatched reverse edge");
+    }
+  }
+  for (index_t v = 0; v < nvtx_; ++v) {
+    for (const weight_t w : vertex_weights(v))
+      TAMP_ENSURE(w >= 0, "negative vertex weight");
+  }
+}
+
+Csr induced_subgraph(const Csr& g, const std::vector<char>& mask,
+                     std::vector<index_t>& old_to_new,
+                     std::vector<index_t>& new_to_old) {
+  const index_t n = g.num_vertices();
+  TAMP_EXPECTS(mask.size() == static_cast<std::size_t>(n),
+               "mask size must equal vertex count");
+  old_to_new.assign(static_cast<std::size_t>(n), invalid_index);
+  new_to_old.clear();
+  for (index_t v = 0; v < n; ++v) {
+    if (mask[static_cast<std::size_t>(v)]) {
+      old_to_new[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+  const auto nsub = static_cast<index_t>(new_to_old.size());
+  const int ncon = g.num_constraints();
+
+  std::vector<eindex_t> xadj(static_cast<std::size_t>(nsub) + 1, 0);
+  std::vector<index_t> adjncy;
+  std::vector<weight_t> adjwgt;
+  std::vector<weight_t> vwgt;
+  vwgt.reserve(static_cast<std::size_t>(nsub) * static_cast<std::size_t>(ncon));
+
+  for (index_t nv = 0; nv < nsub; ++nv) {
+    const index_t ov = new_to_old[static_cast<std::size_t>(nv)];
+    const auto nbrs = g.neighbors(ov);
+    const auto wgts = g.edge_weights(ov);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t mapped = old_to_new[static_cast<std::size_t>(nbrs[i])];
+      if (mapped != invalid_index) {
+        adjncy.push_back(mapped);
+        adjwgt.push_back(wgts[i]);
+      }
+    }
+    xadj[static_cast<std::size_t>(nv) + 1] =
+        static_cast<eindex_t>(adjncy.size());
+    const auto w = g.vertex_weights(ov);
+    vwgt.insert(vwgt.end(), w.begin(), w.end());
+  }
+  return Csr(nsub, ncon, std::move(xadj), std::move(adjncy), std::move(adjwgt),
+             std::move(vwgt));
+}
+
+}  // namespace tamp::graph

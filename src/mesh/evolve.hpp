@@ -1,0 +1,28 @@
+// Temporal-level evolution between iterations.
+//
+// Paper §III-A: "the temporal levels of the cells experience minimal
+// evolution across iterations" — the justification for optimising a
+// single iteration. evolve_levels() provides the other side of that
+// statement for experiments: a controlled, physically-shaped drift in
+// which cells on level boundaries slide one level towards a neighbour's
+// (the phenomenon's regions of interest creeping through the mesh).
+// Used by the incremental-repartitioning experiments.
+#pragma once
+
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::mesh {
+
+struct EvolveStats {
+  index_t cells_changed = 0;
+  index_t eligible_cells = 0;  ///< cells adjacent to a level boundary
+};
+
+/// Drift the mesh's temporal levels: every cell with a neighbour on a
+/// different level moves one step towards a uniformly chosen such
+/// neighbour's level with probability `drift`. Deterministic under `rng`.
+/// Returns how much changed. Levels stay within [0, old max level].
+EvolveStats evolve_levels(Mesh& mesh, double drift, Rng& rng);
+
+}  // namespace tamp::mesh

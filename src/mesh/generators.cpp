@@ -1,0 +1,369 @@
+#include "mesh/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "mesh/levels.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::mesh {
+
+namespace {
+
+/// Normalised cell-centre coordinate in [0,1] for lattice index i of n.
+double centre(index_t i, index_t n) {
+  return (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+}
+
+/// Pick lattice dimensions with the given aspect ratio whose product is
+/// close to `target`.
+void pick_dims(index_t target, double ax, double ay, double az, index_t& nx,
+               index_t& ny, index_t& nz) {
+  TAMP_EXPECTS(target >= 8, "target cell count too small");
+  const double s =
+      std::cbrt(static_cast<double>(target) / (ax * ay * az));
+  nx = std::max<index_t>(2, static_cast<index_t>(std::llround(ax * s)));
+  ny = std::max<index_t>(2, static_cast<index_t>(std::llround(ay * s)));
+  nz = std::max<index_t>(2, static_cast<index_t>(std::llround(az * s)));
+}
+
+/// Shared builder for the three paper-like families.
+///
+/// Topology: an (n0 × n1 × n2) lattice, with optional wrap-around in axis
+/// 1 (cylindrical θ). Levels come from a refinement field via quantiles
+/// (paper_fractions) or a linear field → level map. Volumes are set to
+/// 8^τ so a CFL re-derivation reproduces τ.
+class FamilyBuilder {
+public:
+  FamilyBuilder(index_t n0, index_t n1, index_t n2, bool wrap1)
+      : n0_(n0), n1_(n1), n2_(n2), wrap1_(wrap1) {}
+
+  [[nodiscard]] index_t num_cells() const { return n0_ * n1_ * n2_; }
+  [[nodiscard]] index_t cell_id(index_t i0, index_t i1, index_t i2) const {
+    return (i2 * n1_ + i1) * n0_ + i0;
+  }
+
+  template <typename FieldFn, typename PosFn>
+  Mesh build(FieldFn&& field_fn, PosFn&& pos_fn,
+             const std::vector<double>& fractions, bool paper_fractions,
+             std::uint64_t seed) {
+    const index_t n = num_cells();
+    std::vector<double> field(static_cast<std::size_t>(n));
+    for (index_t i2 = 0; i2 < n2_; ++i2)
+      for (index_t i1 = 0; i1 < n1_; ++i1)
+        for (index_t i0 = 0; i0 < n0_; ++i0)
+          field[static_cast<std::size_t>(cell_id(i0, i1, i2))] = field_fn(
+              centre(i0, n0_), centre(i1, n1_), centre(i2, n2_));
+
+    std::vector<level_t> levels;
+    if (paper_fractions) {
+      levels = quantile_levels(field, fractions);
+    } else {
+      // Linear field → level mapping over the field's range.
+      const auto [lo_it, hi_it] = std::minmax_element(field.begin(), field.end());
+      const double lo = *lo_it;
+      const double span = std::max(*hi_it - lo, 1e-300);
+      const auto nlev = static_cast<int>(fractions.size());
+      levels.resize(static_cast<std::size_t>(n));
+      for (index_t c = 0; c < n; ++c) {
+        const double t = (field[static_cast<std::size_t>(c)] - lo) / span;
+        levels[static_cast<std::size_t>(c)] = static_cast<level_t>(
+            std::clamp(static_cast<int>(t * nlev), 0, nlev - 1));
+      }
+    }
+
+    Rng rng(seed);
+    MeshBuilder mb(n);
+    for (index_t i2 = 0; i2 < n2_; ++i2) {
+      for (index_t i1 = 0; i1 < n1_; ++i1) {
+        for (index_t i0 = 0; i0 < n0_; ++i0) {
+          const index_t c = cell_id(i0, i1, i2);
+          const level_t tau = levels[static_cast<std::size_t>(c)];
+          const double h = std::exp2(static_cast<double>(tau));
+          Vec3 pos = pos_fn(centre(i0, n0_), centre(i1, n1_), centre(i2, n2_));
+          // Tiny jitter breaks exact lattice symmetry so partitioners see
+          // "unstructured-like" input; it never moves a centroid past a
+          // neighbour's.
+          pos += Vec3{0.1 * (rng.uniform() - 0.5), 0.1 * (rng.uniform() - 0.5),
+                      0.1 * (rng.uniform() - 0.5)};
+          mb.set_cell(c, h * h * h, pos);
+        }
+      }
+    }
+
+    auto face_between = [&](index_t a, index_t b, Vec3 axis) {
+      const double ha =
+          std::exp2(static_cast<double>(levels[static_cast<std::size_t>(a)]));
+      const double hb =
+          std::exp2(static_cast<double>(levels[static_cast<std::size_t>(b)]));
+      const double h = 0.5 * (ha + hb);
+      mb.add_interior_face(a, b, h * h, axis);
+    };
+    auto boundary_face = [&](index_t a, Vec3 axis) {
+      const double h =
+          std::exp2(static_cast<double>(levels[static_cast<std::size_t>(a)]));
+      mb.add_boundary_face(a, h * h, axis);
+    };
+
+    for (index_t i2 = 0; i2 < n2_; ++i2) {
+      for (index_t i1 = 0; i1 < n1_; ++i1) {
+        for (index_t i0 = 0; i0 < n0_; ++i0) {
+          const index_t c = cell_id(i0, i1, i2);
+          // +axis0
+          if (i0 + 1 < n0_)
+            face_between(c, cell_id(i0 + 1, i1, i2), {1, 0, 0});
+          else
+            boundary_face(c, {1, 0, 0});
+          if (i0 == 0) boundary_face(c, {-1, 0, 0});
+          // +axis1 (optionally periodic)
+          if (i1 + 1 < n1_) {
+            face_between(c, cell_id(i0, i1 + 1, i2), {0, 1, 0});
+          } else if (wrap1_ && n1_ > 2) {
+            face_between(c, cell_id(i0, 0, i2), {0, 1, 0});
+          } else {
+            boundary_face(c, {0, 1, 0});
+          }
+          if (i1 == 0 && !(wrap1_ && n1_ > 2)) boundary_face(c, {0, -1, 0});
+          // +axis2
+          if (i2 + 1 < n2_)
+            face_between(c, cell_id(i0, i1, i2 + 1), {0, 0, 1});
+          else
+            boundary_face(c, {0, 0, 1});
+          if (i2 == 0) boundary_face(c, {0, 0, -1});
+        }
+      }
+    }
+
+    Mesh mesh = mb.build();
+    mesh.set_cell_levels(levels);
+    return mesh;
+  }
+
+private:
+  index_t n0_, n1_, n2_;
+  bool wrap1_;
+};
+
+}  // namespace
+
+const char* to_string(TestMeshKind kind) {
+  switch (kind) {
+    case TestMeshKind::cylinder: return "cylinder";
+    case TestMeshKind::cube: return "cube";
+    case TestMeshKind::nozzle: return "nozzle";
+  }
+  return "?";
+}
+
+TestMeshKind parse_test_mesh_kind(const std::string& name) {
+  if (name == "cylinder") return TestMeshKind::cylinder;
+  if (name == "cube") return TestMeshKind::cube;
+  if (name == "nozzle" || name == "pprime" || name == "pprime_nozzle")
+    return TestMeshKind::nozzle;
+  throw precondition_error("unknown mesh kind: " + name +
+                           " (expected cylinder|cube|nozzle)");
+}
+
+const PaperMeshStats& paper_stats(TestMeshKind kind) {
+  // Table I of the paper, %Cells row (fractions re-derived from the raw
+  // per-level cell counts so they sum to exactly 1).
+  static const PaperMeshStats cylinder{
+      "CYLINDER",
+      6'400'505,
+      {52697.0 / 6400505.0, 273525.0 / 6400505.0, 2088538.0 / 6400505.0,
+       3985745.0 / 6400505.0}};
+  static const PaperMeshStats cube{
+      "CUBE",
+      151'817,
+      {2953.0 / 151817.0, 23489.0 / 151817.0, 514.0 / 151817.0,
+       124861.0 / 151817.0}};
+  static const PaperMeshStats nozzle{
+      "PPRIME_NOZZLE",
+      12'594'374,
+      {1500741.0 / 12594374.0, 4052551.0 / 12594374.0,
+       7041082.0 / 12594374.0}};
+  switch (kind) {
+    case TestMeshKind::cylinder: return cylinder;
+    case TestMeshKind::cube: return cube;
+    case TestMeshKind::nozzle: return nozzle;
+  }
+  throw precondition_error("invalid mesh kind");
+}
+
+Mesh make_test_mesh(TestMeshKind kind, const TestMeshSpec& spec) {
+  switch (kind) {
+    case TestMeshKind::cylinder: return make_cylinder_mesh(spec);
+    case TestMeshKind::cube: return make_cube_mesh(spec);
+    case TestMeshKind::nozzle: return make_nozzle_mesh(spec);
+  }
+  throw precondition_error("invalid mesh kind");
+}
+
+Mesh make_cylinder_mesh(const TestMeshSpec& spec) {
+  // Axes: 0 = radial, 1 = azimuthal (periodic), 2 = axial.
+  index_t nr = 0, ntheta = 0, nz = 0;
+  pick_dims(spec.target_cells, 0.8, 1.6, 1.0, nr, ntheta, nz);
+  FamilyBuilder fb(nr, ntheta, nz, /*wrap1=*/true);
+
+  // The machinery piece sits on the inner radius over the central third
+  // of the axis (paper Fig 3: τ=0 cells hug the central piece; levels
+  // grow towards the far field).
+  auto field = [](double r, double /*theta*/, double z) {
+    const double axial_excess = std::max(0.0, std::abs(z - 0.5) - 0.18);
+    return std::hypot(r, 0.7 * axial_excess);
+  };
+  const double r_inner = 1.0, r_outer = 12.0, height = 16.0;
+  auto pos = [=](double r, double theta, double z) {
+    const double rad = r_inner + (r_outer - r_inner) * r * r;  // graded
+    const double ang = 2.0 * std::numbers::pi * theta;
+    return Vec3{rad * std::cos(ang), rad * std::sin(ang), height * z};
+  };
+  return fb.build(field, pos, paper_stats(TestMeshKind::cylinder).level_fractions,
+                  spec.paper_fractions, spec.seed);
+}
+
+Mesh make_cube_mesh(const TestMeshSpec& spec) {
+  index_t nx = 0, ny = 0, nz = 0;
+  pick_dims(spec.target_cells, 1.0, 1.0, 1.0, nx, ny, nz);
+  FamilyBuilder fb(nx, ny, nz, /*wrap1=*/false);
+
+  // Three non-contiguous hotspots (paper §III-B: worst case, complex to
+  // divide).
+  const Vec3 hotspots[3] = {{0.22, 0.25, 0.24}, {0.74, 0.42, 0.65},
+                            {0.40, 0.78, 0.30}};
+  auto field = [&](double x, double y, double z) {
+    double d = std::numeric_limits<double>::max();
+    for (const Vec3& h : hotspots) d = std::min(d, distance({x, y, z}, h));
+    return d;
+  };
+  const double side = 10.0;
+  auto pos = [=](double x, double y, double z) {
+    return Vec3{side * x, side * y, side * z};
+  };
+  return fb.build(field, pos, paper_stats(TestMeshKind::cube).level_fractions,
+                  spec.paper_fractions, spec.seed);
+}
+
+Mesh make_nozzle_mesh(const TestMeshSpec& spec) {
+  // Elongated along x (jet axis), nozzle exit at x = 0.25.
+  index_t nx = 0, ny = 0, nz = 0;
+  pick_dims(spec.target_cells, 3.2, 1.0, 1.0, nx, ny, nz);
+  FamilyBuilder fb(nx, ny, nz, /*wrap1=*/false);
+
+  constexpr double x_exit = 0.25;
+  auto field = [](double x, double y, double z) {
+    const double r_axis = std::hypot(y - 0.5, z - 0.5);
+    if (x >= x_exit) {
+      // Downstream: refinement follows the spreading jet cone.
+      const double cone = 0.06 + 0.35 * (x - x_exit);
+      return std::max(0.0, r_axis - cone) + 0.15 * (x - x_exit);
+    }
+    // Upstream / inside the nozzle: refined close to the exit plane.
+    return r_axis + 0.8 * (x_exit - x);
+  };
+  const double length = 40.0, width = 12.0;
+  auto pos = [=](double x, double y, double z) {
+    return Vec3{length * x, width * y, width * z};
+  };
+  return fb.build(field, pos, paper_stats(TestMeshKind::nozzle).level_fractions,
+                  spec.paper_fractions, spec.seed);
+}
+
+Mesh make_lattice_mesh(index_t nx, index_t ny, index_t nz, double h) {
+  TAMP_EXPECTS(nx > 0 && ny > 0 && nz > 0, "lattice dims must be positive");
+  TAMP_EXPECTS(h > 0, "spacing must be positive");
+  MeshBuilder mb(nx * ny * nz);
+  auto id = [=](index_t i, index_t j, index_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  for (index_t k = 0; k < nz; ++k)
+    for (index_t j = 0; j < ny; ++j)
+      for (index_t i = 0; i < nx; ++i)
+        mb.set_cell(id(i, j, k), h * h * h,
+                    {h * (i + 0.5), h * (j + 0.5), h * (k + 0.5)});
+  const double area = h * h;
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t c = id(i, j, k);
+        if (i + 1 < nx) mb.add_interior_face(c, id(i + 1, j, k), area, {1, 0, 0});
+        else mb.add_boundary_face(c, area, {1, 0, 0});
+        if (i == 0) mb.add_boundary_face(c, area, {-1, 0, 0});
+        if (j + 1 < ny) mb.add_interior_face(c, id(i, j + 1, k), area, {0, 1, 0});
+        else mb.add_boundary_face(c, area, {0, 1, 0});
+        if (j == 0) mb.add_boundary_face(c, area, {0, -1, 0});
+        if (k + 1 < nz) mb.add_interior_face(c, id(i, j, k + 1), area, {0, 0, 1});
+        else mb.add_boundary_face(c, area, {0, 0, 1});
+        if (k == 0) mb.add_boundary_face(c, area, {0, 0, -1});
+      }
+    }
+  }
+  return mb.build();
+}
+
+Mesh make_graded_box_mesh(index_t nx, index_t ny, index_t nz,
+                          double grading_ratio, double h0) {
+  TAMP_EXPECTS(nx > 0 && ny > 0 && nz > 0, "lattice dims must be positive");
+  TAMP_EXPECTS(grading_ratio >= 1.0, "grading ratio must be >= 1");
+  TAMP_EXPECTS(h0 > 0, "base spacing must be positive");
+
+  auto spacings = [&](index_t n) {
+    std::vector<double> dx(static_cast<std::size_t>(n));
+    double h = h0;
+    for (index_t i = 0; i < n; ++i) {
+      dx[static_cast<std::size_t>(i)] = h;
+      h *= grading_ratio;
+    }
+    return dx;
+  };
+  auto edges = [](const std::vector<double>& dx) {
+    std::vector<double> x(dx.size() + 1, 0.0);
+    for (std::size_t i = 0; i < dx.size(); ++i) x[i + 1] = x[i] + dx[i];
+    return x;
+  };
+  const auto dxs = spacings(nx), dys = spacings(ny), dzs = spacings(nz);
+  const auto xs = edges(dxs), ys = edges(dys), zs = edges(dzs);
+
+  MeshBuilder mb(nx * ny * nz);
+  auto id = [=](index_t i, index_t j, index_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        const auto sj = static_cast<std::size_t>(j);
+        const auto sk = static_cast<std::size_t>(k);
+        mb.set_cell(id(i, j, k), dxs[si] * dys[sj] * dzs[sk],
+                    {0.5 * (xs[si] + xs[si + 1]), 0.5 * (ys[sj] + ys[sj + 1]),
+                     0.5 * (zs[sk] + zs[sk + 1])});
+      }
+    }
+  }
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        const auto sj = static_cast<std::size_t>(j);
+        const auto sk = static_cast<std::size_t>(k);
+        const index_t c = id(i, j, k);
+        const double ayz = dys[sj] * dzs[sk];
+        const double axz = dxs[si] * dzs[sk];
+        const double axy = dxs[si] * dys[sj];
+        if (i + 1 < nx) mb.add_interior_face(c, id(i + 1, j, k), ayz, {1, 0, 0});
+        else mb.add_boundary_face(c, ayz, {1, 0, 0});
+        if (i == 0) mb.add_boundary_face(c, ayz, {-1, 0, 0});
+        if (j + 1 < ny) mb.add_interior_face(c, id(i, j + 1, k), axz, {0, 1, 0});
+        else mb.add_boundary_face(c, axz, {0, 1, 0});
+        if (j == 0) mb.add_boundary_face(c, axz, {0, -1, 0});
+        if (k + 1 < nz) mb.add_interior_face(c, id(i, j, k + 1), axy, {0, 0, 1});
+        else mb.add_boundary_face(c, axy, {0, 0, 1});
+        if (k == 0) mb.add_boundary_face(c, axy, {0, 0, -1});
+      }
+    }
+  }
+  return mb.build();
+}
+
+}  // namespace tamp::mesh

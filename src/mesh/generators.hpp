@@ -1,0 +1,80 @@
+// Synthetic mesh generators standing in for the Airbus production meshes.
+//
+// The paper's meshes (CYLINDER 6.4M cells, CUBE 152k, PPRIME_NOZZLE
+// 12.6M) are proprietary. The experiments depend on two properties only:
+// the dual-graph *topology* of a graded unstructured FV mesh, and the
+// *population of temporal levels* (Table I). Each generator reproduces the
+// described geometry family (cylindrical shells around a central piece of
+// machinery; a cube with three non-contiguous hotspots; an axisymmetric
+// nozzle-and-jet), computes a smooth refinement field from that geometry,
+// and assigns temporal levels either by quantiles matched to the paper's
+// Table I fractions (default) or by the CFL rule.
+//
+// Cell volumes are set to v0·8^τ so that the solver's CFL quantisation
+// (Δt ∝ volume^(1/3)) reproduces the same level assignment: one level up
+// ⇒ 2× the characteristic length ⇒ 2× the allowed time step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+
+namespace tamp::mesh {
+
+/// The paper's three test meshes.
+enum class TestMeshKind { cylinder, cube, nozzle };
+
+[[nodiscard]] const char* to_string(TestMeshKind kind);
+/// Parse "cylinder" | "cube" | "nozzle" (throws precondition_error).
+TestMeshKind parse_test_mesh_kind(const std::string& name);
+
+/// Table I reference data for one mesh family.
+struct PaperMeshStats {
+  const char* name;
+  index_t total_cells;                 ///< paper's full-scale cell count
+  std::vector<double> level_fractions; ///< %Cells row, one entry per τ
+};
+[[nodiscard]] const PaperMeshStats& paper_stats(TestMeshKind kind);
+
+/// Generation parameters common to the three families.
+struct TestMeshSpec {
+  /// Approximate number of cells to generate. Defaults to a laptop-scale
+  /// reduction; pass paper_stats(kind).total_cells for full scale.
+  index_t target_cells = 200'000;
+  /// Use Table I level fractions (true) or CFL quantisation of the
+  /// synthetic refinement field (false).
+  bool paper_fractions = true;
+  /// Deterministic seed for the small centroid jitter that breaks lattice
+  /// symmetry (partitioners behave more realistically on jittered input).
+  std::uint64_t seed = 42;
+};
+
+/// Build one of the three paper-like meshes.
+Mesh make_test_mesh(TestMeshKind kind, const TestMeshSpec& spec = {});
+
+/// CYLINDER: cylindrical shells around a central machinery piece; all
+/// τ=0 cells hug the piece, levels grow towards the outer boundary.
+Mesh make_cylinder_mesh(const TestMeshSpec& spec = {});
+
+/// CUBE: uniform box lattice with three non-contiguous refinement
+/// hotspots — the paper's worst case for partitioning.
+Mesh make_cube_mesh(const TestMeshSpec& spec = {});
+
+/// PPRIME_NOZZLE: elongated domain; refinement hugs the nozzle exit and
+/// the downstream jet cone; three temporal levels.
+Mesh make_nozzle_mesh(const TestMeshSpec& spec = {});
+
+/// Plain uniform box lattice (nx × ny × nz cells, unit spacing h).
+/// Geometrically exact (closed cells); used by solver tests.
+Mesh make_lattice_mesh(index_t nx, index_t ny, index_t nz, double h = 1.0);
+
+/// Tensor-product graded box: spacing grows geometrically away from the
+/// refined corner with the given ratio per cell. Geometry is exactly
+/// consistent (Σ area·normal = 0 per cell), so the full FV solver can run
+/// on it with adaptive time stepping arising from real cell sizes.
+Mesh make_graded_box_mesh(index_t nx, index_t ny, index_t nz,
+                          double grading_ratio = 1.08, double h0 = 1.0);
+
+}  // namespace tamp::mesh

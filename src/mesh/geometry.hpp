@@ -1,0 +1,39 @@
+// Small geometric vocabulary types for the finite-volume mesh.
+#pragma once
+
+#include <cmath>
+
+namespace tamp::mesh {
+
+/// 3-component geometric vector.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(double s, Vec3 a) { return {s * a.x, s * a.y, s * a.z}; }
+  friend Vec3 operator*(Vec3 a, double s) { return s * a; }
+  friend Vec3 operator/(Vec3 a, double s) { return {a.x / s, a.y / s, a.z / s}; }
+  Vec3& operator+=(Vec3 b) {
+    x += b.x;
+    y += b.y;
+    z += b.z;
+    return *this;
+  }
+};
+
+inline double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline double norm(Vec3 a) { return std::sqrt(dot(a, a)); }
+inline Vec3 normalized(Vec3 a) {
+  const double n = norm(a);
+  return n > 0 ? a / n : Vec3{1.0, 0.0, 0.0};
+}
+inline double distance(Vec3 a, Vec3 b) { return norm(a - b); }
+
+}  // namespace tamp::mesh

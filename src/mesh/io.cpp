@@ -1,0 +1,86 @@
+#include "mesh/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tamp::mesh {
+
+void write_mesh(const Mesh& mesh, std::ostream& os) {
+  os << "tamp-mesh 1\n";
+  os << "cells " << mesh.num_cells() << '\n';
+  os.precision(17);
+  for (index_t c = 0; c < mesh.num_cells(); ++c) {
+    const Vec3 p = mesh.cell_centroid(c);
+    os << mesh.cell_volume(c) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' '
+       << static_cast<int>(mesh.cell_level(c)) << '\n';
+  }
+  os << "faces " << mesh.num_faces() << '\n';
+  for (index_t f = 0; f < mesh.num_faces(); ++f) {
+    const Vec3 n = mesh.face_normal(f);
+    os << mesh.face_cell(f, 0) << ' ' << mesh.face_cell(f, 1) << ' '
+       << mesh.face_area(f) << ' ' << n.x << ' ' << n.y << ' ' << n.z << '\n';
+  }
+}
+
+void save_mesh(const Mesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw runtime_failure("cannot open mesh output: " + path);
+  write_mesh(mesh, out);
+  if (!out.good()) throw runtime_failure("error writing mesh to: " + path);
+}
+
+Mesh read_mesh(std::istream& is) {
+  auto fail = [](const std::string& what) -> Mesh {
+    throw runtime_failure("malformed tamp-mesh input: " + what);
+  };
+
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "tamp-mesh" || version != 1)
+    return fail("bad header");
+
+  std::string token;
+  index_t ncells = 0;
+  if (!(is >> token >> ncells) || token != "cells" || ncells <= 0)
+    return fail("bad cell count");
+
+  MeshBuilder mb(ncells);
+  std::vector<level_t> levels(static_cast<std::size_t>(ncells));
+  for (index_t c = 0; c < ncells; ++c) {
+    double vol = 0;
+    Vec3 p;
+    int level = 0;
+    if (!(is >> vol >> p.x >> p.y >> p.z >> level)) return fail("cell record");
+    if (level < 0 || level > 127) return fail("level out of range");
+    mb.set_cell(c, vol, p);
+    levels[static_cast<std::size_t>(c)] = static_cast<level_t>(level);
+  }
+
+  index_t nfaces = 0;
+  if (!(is >> token >> nfaces) || token != "faces" || nfaces < 0)
+    return fail("bad face count");
+  for (index_t f = 0; f < nfaces; ++f) {
+    index_t a = 0, b = 0;
+    double area = 0;
+    Vec3 n;
+    if (!(is >> a >> b >> area >> n.x >> n.y >> n.z)) return fail("face record");
+    if (b == invalid_index)
+      mb.add_boundary_face(a, area, n);
+    else
+      mb.add_interior_face(a, b, area, n);
+  }
+
+  Mesh mesh = mb.build();
+  mesh.set_cell_levels(std::move(levels));
+  return mesh;
+}
+
+Mesh load_mesh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw runtime_failure("cannot open mesh input: " + path);
+  return read_mesh(in);
+}
+
+}  // namespace tamp::mesh

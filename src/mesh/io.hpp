@@ -1,0 +1,28 @@
+// Mesh serialisation in a simple line-oriented text format.
+//
+// Lets expensive generated meshes be cached on disk and exchanged with
+// external tools. Format (whitespace separated):
+//
+//   tamp-mesh 1
+//   cells <N>
+//   <volume> <cx> <cy> <cz> <level>      × N
+//   faces <M>
+//   <cell0> <cell1|-1> <area> <nx> <ny> <nz>   × M
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace tamp::mesh {
+
+/// Serialise a mesh (throws runtime_failure on I/O error).
+void save_mesh(const Mesh& mesh, const std::string& path);
+void write_mesh(const Mesh& mesh, std::ostream& os);
+
+/// Parse a mesh (throws runtime_failure on malformed input).
+Mesh load_mesh(const std::string& path);
+Mesh read_mesh(std::istream& is);
+
+}  // namespace tamp::mesh

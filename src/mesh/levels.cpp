@@ -1,0 +1,145 @@
+#include "mesh/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tamp::mesh {
+
+double LevelCensus::cell_fraction(level_t l) const {
+  if (total_cells == 0) return 0.0;
+  return static_cast<double>(cells_per_level[static_cast<std::size_t>(l)]) /
+         static_cast<double>(total_cells);
+}
+
+weight_t LevelCensus::total_computation() const {
+  const auto max_level = static_cast<level_t>(num_levels() - 1);
+  weight_t total = 0;
+  for (level_t l = 0; l < num_levels(); ++l)
+    total += static_cast<weight_t>(cells_per_level[static_cast<std::size_t>(l)]) *
+             operating_cost(l, max_level);
+  return total;
+}
+
+double LevelCensus::computation_fraction(level_t l) const {
+  const weight_t total = total_computation();
+  if (total == 0) return 0.0;
+  const auto max_level = static_cast<level_t>(num_levels() - 1);
+  const weight_t mine =
+      static_cast<weight_t>(cells_per_level[static_cast<std::size_t>(l)]) *
+      operating_cost(l, max_level);
+  return static_cast<double>(mine) / static_cast<double>(total);
+}
+
+LevelCensus level_census(const Mesh& mesh) {
+  LevelCensus census;
+  census.cells_per_level.assign(static_cast<std::size_t>(mesh.max_level()) + 1,
+                                0);
+  census.total_cells = mesh.num_cells();
+  for (index_t c = 0; c < mesh.num_cells(); ++c)
+    ++census.cells_per_level[static_cast<std::size_t>(mesh.cell_level(c))];
+  return census;
+}
+
+std::vector<level_t> assign_levels_by_cfl(Mesh& mesh, level_t num_levels) {
+  TAMP_EXPECTS(num_levels >= 1, "need at least one level");
+  const index_t n = mesh.num_cells();
+  double h_min = std::numeric_limits<double>::max();
+  std::vector<double> h(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    h[static_cast<std::size_t>(c)] = std::cbrt(mesh.cell_volume(c));
+    h_min = std::min(h_min, h[static_cast<std::size_t>(c)]);
+  }
+  std::vector<level_t> levels(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    const double ratio = h[static_cast<std::size_t>(c)] / h_min;
+    const auto raw = static_cast<int>(std::floor(std::log2(ratio)));
+    levels[static_cast<std::size_t>(c)] = static_cast<level_t>(
+        std::clamp(raw, 0, static_cast<int>(num_levels) - 1));
+  }
+  mesh.set_cell_levels(levels);
+  return levels;
+}
+
+index_t smooth_level_jumps(Mesh& mesh, level_t max_jump) {
+  TAMP_EXPECTS(max_jump >= 0, "max_jump must be non-negative");
+  std::vector<level_t> levels = mesh.cell_levels();
+  std::vector<char> changed_any(static_cast<std::size_t>(mesh.num_cells()), 0);
+  // Worklist fixpoint: lowering a cell can only oblige its neighbours to
+  // lower too, and levels are bounded below by 0, so this terminates.
+  std::vector<index_t> work(static_cast<std::size_t>(mesh.num_cells()));
+  for (index_t c = 0; c < mesh.num_cells(); ++c)
+    work[static_cast<std::size_t>(c)] = c;
+  while (!work.empty()) {
+    std::vector<index_t> next;
+    for (const index_t c : work) {
+      level_t limit = 127;
+      for (const index_t f : mesh.cell_faces(c)) {
+        const index_t nb = mesh.face_other_cell(f, c);
+        if (nb == invalid_index) continue;
+        limit = std::min<level_t>(
+            limit, static_cast<level_t>(levels[static_cast<std::size_t>(nb)] +
+                                        max_jump));
+      }
+      if (levels[static_cast<std::size_t>(c)] > limit) {
+        levels[static_cast<std::size_t>(c)] = limit;
+        changed_any[static_cast<std::size_t>(c)] = 1;
+        for (const index_t f : mesh.cell_faces(c)) {
+          const index_t nb = mesh.face_other_cell(f, c);
+          if (nb != invalid_index) next.push_back(nb);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    work = std::move(next);
+  }
+  mesh.set_cell_levels(std::move(levels));
+  index_t lowered = 0;
+  for (const char c : changed_any) lowered += c;
+  return lowered;
+}
+
+std::vector<level_t> quantile_levels(const std::vector<double>& field,
+                                     const std::vector<double>& fractions) {
+  const auto n = static_cast<index_t>(field.size());
+  TAMP_EXPECTS(!fractions.empty(), "need at least one level fraction");
+  const double sum = std::accumulate(fractions.begin(), fractions.end(), 0.0);
+  TAMP_EXPECTS(std::abs(sum - 1.0) < 1e-6, "level fractions must sum to 1");
+
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    const double fa = field[static_cast<std::size_t>(a)];
+    const double fb = field[static_cast<std::size_t>(b)];
+    return fa != fb ? fa < fb : a < b;  // deterministic tie-break
+  });
+
+  std::vector<level_t> levels(static_cast<std::size_t>(n));
+  std::size_t pos = 0;
+  double cumulative = 0.0;
+  for (std::size_t l = 0; l < fractions.size(); ++l) {
+    cumulative += fractions[l];
+    const auto end =
+        l + 1 == fractions.size()
+            ? static_cast<std::size_t>(n)
+            : std::min(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(
+                           std::llround(cumulative * static_cast<double>(n))));
+    for (; pos < end; ++pos)
+      levels[static_cast<std::size_t>(order[pos])] = static_cast<level_t>(l);
+  }
+  return levels;
+}
+
+std::vector<level_t> assign_levels_by_quantiles(
+    Mesh& mesh, const std::vector<double>& field,
+    const std::vector<double>& fractions) {
+  TAMP_EXPECTS(field.size() == static_cast<std::size_t>(mesh.num_cells()),
+               "field size must equal cell count");
+  std::vector<level_t> levels = quantile_levels(field, fractions);
+  mesh.set_cell_levels(levels);
+  return levels;
+}
+
+}  // namespace tamp::mesh

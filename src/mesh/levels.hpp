@@ -1,0 +1,70 @@
+// Temporal-level assignment policies and level census (paper Table I).
+//
+// In FLUSEPA the maximum allowed time step of a cell follows from a CFL
+// condition on its size; levels quantise that on a ×2 ladder (paper
+// §II-A). Two policies are provided:
+//   * by_cfl        — physical: τ = floor(log2(Δt_cell / Δt_min)), the
+//                     solver's own rule;
+//   * by_quantiles  — calibrated: rank cells by a refinement field and cut
+//                     at prescribed level fractions — used to reproduce
+//                     Table I's exact per-level populations.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+
+namespace tamp::mesh {
+
+/// Per-iteration operating cost of a cell: 2^(τmax − τ) updates (paper
+/// §II-A: each level halves the update frequency).
+inline weight_t operating_cost(level_t level, level_t max_level) {
+  TAMP_DBG_ASSERT(level >= 0 && level <= max_level, "level out of range");
+  return weight_t{1} << (max_level - level);
+}
+
+/// Population census of temporal levels: the content of paper Table I.
+struct LevelCensus {
+  std::vector<index_t> cells_per_level;   ///< #Cells row
+  index_t total_cells = 0;
+
+  [[nodiscard]] level_t num_levels() const {
+    return static_cast<level_t>(cells_per_level.size());
+  }
+  /// %Cells row of Table I.
+  [[nodiscard]] double cell_fraction(level_t l) const;
+  /// %Computation row of Table I (weighted by operating cost).
+  [[nodiscard]] double computation_fraction(level_t l) const;
+  /// Total work units of one iteration (Σ cells · 2^(τmax−τ)).
+  [[nodiscard]] weight_t total_computation() const;
+};
+
+/// Count cells per temporal level.
+LevelCensus level_census(const Mesh& mesh);
+
+/// Assign levels by CFL quantisation of the cell characteristic length
+/// h = volume^(1/3): τ = clamp(floor(log2(h / h_min)), 0, num_levels-1).
+/// Returns the assigned level vector (also applied to the mesh).
+std::vector<level_t> assign_levels_by_cfl(Mesh& mesh, level_t num_levels);
+
+/// Enforce the graded-mesh constraint τ(a) ≤ τ(b) + max_jump across every
+/// interior face by *lowering* offending cells (never raising — lowering
+/// a level is always admissible, it just updates the cell more often).
+/// Iterates to the unique fixpoint. Returns the number of cells lowered.
+index_t smooth_level_jumps(Mesh& mesh, level_t max_jump = 1);
+
+/// Rank entries of `field` ascending (smallest → level 0) and cut at
+/// cumulative `fractions` (one entry per level, summing to ~1; the last
+/// level absorbs rounding). Deterministic tie-break on index.
+std::vector<level_t> quantile_levels(const std::vector<double>& field,
+                                     const std::vector<double>& fractions);
+
+/// Apply quantile_levels() to a mesh's cells. Produces spatially coherent
+/// level bands when the field is smooth, while hitting the target
+/// populations exactly (used to match Table I).
+std::vector<level_t> assign_levels_by_quantiles(
+    Mesh& mesh, const std::vector<double>& field,
+    const std::vector<double>& fractions);
+
+}  // namespace tamp::mesh

@@ -1,0 +1,66 @@
+#include "mesh/vtk.hpp"
+
+#include <fstream>
+#include <set>
+
+namespace tamp::mesh {
+
+void write_vtk_points(const Mesh& mesh, const std::string& path,
+                      const std::vector<VtkField>& fields) {
+  std::set<std::string> names;
+  for (const VtkField& f : fields) {
+    TAMP_EXPECTS(!f.name.empty(), "VTK field name must not be empty");
+    TAMP_EXPECTS(f.name.find(' ') == std::string::npos,
+                 "VTK field names cannot contain spaces: " + f.name);
+    TAMP_EXPECTS(names.insert(f.name).second,
+                 "duplicate VTK field name: " + f.name);
+    TAMP_EXPECTS(f.values.size() == static_cast<std::size_t>(mesh.num_cells()),
+                 "VTK field '" + f.name + "' size must equal cell count");
+  }
+
+  std::ofstream out(path);
+  if (!out.good()) throw runtime_failure("cannot open VTK output: " + path);
+  out.precision(9);
+  const index_t n = mesh.num_cells();
+  out << "# vtk DataFile Version 3.0\n"
+      << "tamp mesh cell centroids\nASCII\nDATASET POLYDATA\n"
+      << "POINTS " << n << " double\n";
+  for (index_t c = 0; c < n; ++c) {
+    const Vec3 p = mesh.cell_centroid(c);
+    out << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  out << "VERTICES " << n << ' ' << 2 * static_cast<long long>(n) << '\n';
+  for (index_t c = 0; c < n; ++c) out << "1 " << c << '\n';
+
+  out << "POINT_DATA " << n << '\n';
+  // Always-present intrinsic fields.
+  out << "SCALARS temporal_level int 1\nLOOKUP_TABLE default\n";
+  for (index_t c = 0; c < n; ++c)
+    out << static_cast<int>(mesh.cell_level(c)) << '\n';
+  out << "SCALARS volume double 1\nLOOKUP_TABLE default\n";
+  for (index_t c = 0; c < n; ++c) out << mesh.cell_volume(c) << '\n';
+  for (const VtkField& f : fields) {
+    out << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+    for (const double v : f.values) out << v << '\n';
+  }
+  if (!out.good()) throw runtime_failure("error writing VTK to: " + path);
+}
+
+void write_vtk_partition(const Mesh& mesh, const std::string& path,
+                         const std::vector<part_t>& domain_of_cell) {
+  std::vector<VtkField> fields;
+  if (!domain_of_cell.empty()) {
+    TAMP_EXPECTS(domain_of_cell.size() ==
+                     static_cast<std::size_t>(mesh.num_cells()),
+                 "domain vector size must equal cell count");
+    VtkField domains;
+    domains.name = "domain";
+    domains.values.reserve(domain_of_cell.size());
+    for (const part_t d : domain_of_cell)
+      domains.values.push_back(static_cast<double>(d));
+    fields.push_back(std::move(domains));
+  }
+  write_vtk_points(mesh, path, fields);
+}
+
+}  // namespace tamp::mesh

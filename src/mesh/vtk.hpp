@@ -1,0 +1,33 @@
+// Legacy-VTK export for visual inspection in ParaView/VisIt.
+//
+// The mesh stores cell centroids rather than nodal coordinates (all the
+// algorithms here are cell-centred), so the natural export is a point
+// cloud: one vertex per cell carrying scalar fields — temporal level,
+// domain id, volume, solver state. ParaView's point Gaussian / glyph
+// representations make partition and level structure directly visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace tamp::mesh {
+
+/// One named per-cell scalar field.
+struct VtkField {
+  std::string name;
+  std::vector<double> values;  ///< one per cell
+};
+
+/// Write the cell-centroid cloud with the given fields as legacy VTK
+/// POLYDATA. Throws runtime_failure on I/O error, precondition_error on
+/// size mismatches or empty/duplicate field names.
+void write_vtk_points(const Mesh& mesh, const std::string& path,
+                      const std::vector<VtkField>& fields = {});
+
+/// Convenience: export mesh + temporal level + optional domain ids.
+void write_vtk_partition(const Mesh& mesh, const std::string& path,
+                         const std::vector<part_t>& domain_of_cell = {});
+
+}  // namespace tamp::mesh

@@ -1,0 +1,77 @@
+#include "partition/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamp::partition {
+
+BalanceSpec::BalanceSpec(const graph::Csr& g, double fraction0,
+                         double tolerance) {
+  TAMP_EXPECTS(fraction0 > 0.0 && fraction0 < 1.0,
+               "side-0 fraction must be in (0,1)");
+  TAMP_EXPECTS(tolerance >= 0.0, "tolerance must be non-negative");
+  total_ = g.total_weights();
+  const int nc = ncon();
+
+  // One max vertex weight of absolute slack per constraint.
+  std::vector<weight_t> slack(static_cast<std::size_t>(nc), 0);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const auto w = g.vertex_weights(v);
+    for (int c = 0; c < nc; ++c)
+      slack[static_cast<std::size_t>(c)] =
+          std::max(slack[static_cast<std::size_t>(c)], w[static_cast<std::size_t>(c)]);
+  }
+
+  target0_.resize(static_cast<std::size_t>(nc));
+  allowed_.resize(2 * static_cast<std::size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    target0_[sc] = static_cast<weight_t>(
+        std::llround(static_cast<double>(total_[sc]) * fraction0));
+    const weight_t target1 = total_[sc] - target0_[sc];
+    allowed_[sc] = static_cast<weight_t>(std::llround(
+                       static_cast<double>(target0_[sc]) * (1.0 + tolerance))) +
+                   slack[sc];
+    allowed_[static_cast<std::size_t>(nc) + sc] =
+        static_cast<weight_t>(std::llround(static_cast<double>(target1) *
+                                           (1.0 + tolerance))) +
+        slack[sc];
+  }
+}
+
+bool BalanceSpec::feasible(const std::vector<weight_t>& loads0) const {
+  for (int c = 0; c < ncon(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    if (loads0[sc] > allowed(0, c)) return false;
+    if (total_[sc] - loads0[sc] > allowed(1, c)) return false;
+  }
+  return true;
+}
+
+bool BalanceSpec::move_keeps_feasible(const std::vector<weight_t>& loads0,
+                                      std::span<const weight_t> w,
+                                      int to_side) const {
+  for (int c = 0; c < ncon(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const weight_t new_load = to_side == 0
+                                  ? loads0[sc] + w[sc]
+                                  : total_[sc] - loads0[sc] + w[sc];
+    if (new_load > allowed(to_side, c)) return false;
+  }
+  return true;
+}
+
+double BalanceSpec::violation(const std::vector<weight_t>& loads0) const {
+  double v = 0.0;
+  for (int c = 0; c < ncon(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const double denom = std::max<double>(1.0, static_cast<double>(total_[sc]));
+    const weight_t over0 = loads0[sc] - allowed(0, c);
+    const weight_t over1 = (total_[sc] - loads0[sc]) - allowed(1, c);
+    if (over0 > 0) v += static_cast<double>(over0) / denom;
+    if (over1 > 0) v += static_cast<double>(over1) / denom;
+  }
+  return v;
+}
+
+}  // namespace tamp::partition

@@ -1,0 +1,64 @@
+// Multi-constraint balance bookkeeping shared by the initial-partitioning
+// and refinement stages.
+//
+// A bisection splits a graph into side 0 (which must receive `fraction0`
+// of every constraint's total weight) and side 1. A side is *feasible*
+// when, for every constraint c,
+//
+//   load_side[c] ≤ target_side[c] · (1 + tolerance) + slack[c]
+//
+// where slack[c] is one maximum vertex weight — without it, constraints
+// whose total weight is a handful of units (e.g. the paper's CUBE mesh,
+// where τ=2 holds 0.3 % of cells) would make every bisection infeasible.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace tamp::partition {
+
+/// Balance targets for one 2-way split.
+class BalanceSpec {
+public:
+  /// Derive targets from a graph's totals and the side-0 fraction.
+  BalanceSpec(const graph::Csr& g, double fraction0, double tolerance);
+
+  [[nodiscard]] int ncon() const { return static_cast<int>(total_.size()); }
+  [[nodiscard]] weight_t total(int c) const {
+    return total_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] weight_t target(int side, int c) const {
+    return side == 0 ? target0_[static_cast<std::size_t>(c)]
+                     : total_[static_cast<std::size_t>(c)] -
+                           target0_[static_cast<std::size_t>(c)];
+  }
+  /// Maximum admissible load of `side` for constraint c.
+  [[nodiscard]] weight_t allowed(int side, int c) const {
+    return allowed_[static_cast<std::size_t>(side) *
+                        static_cast<std::size_t>(ncon()) +
+                    static_cast<std::size_t>(c)];
+  }
+
+  /// True when both sides are within their allowances.
+  /// loads0 holds side-0 loads; side 1 is total − side 0.
+  [[nodiscard]] bool feasible(const std::vector<weight_t>& loads0) const;
+
+  /// True if moving a vertex with weights `w` into `to_side` keeps that
+  /// side within its allowance on every constraint.
+  [[nodiscard]] bool move_keeps_feasible(const std::vector<weight_t>& loads0,
+                                         std::span<const weight_t> w,
+                                         int to_side) const;
+
+  /// Scalar measure of how far the split is from feasible (0 = feasible);
+  /// the sum over sides and constraints of the relative overshoot.
+  [[nodiscard]] double violation(const std::vector<weight_t>& loads0) const;
+
+private:
+  std::vector<weight_t> total_;
+  std::vector<weight_t> target0_;
+  std::vector<weight_t> allowed_;  // [side][c]
+};
+
+}  // namespace tamp::partition

@@ -1,0 +1,16 @@
+// Multilevel 2-way partitioning (one V-cycle).
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace tamp::partition {
+
+/// Bisect g, assigning `fraction0` of every constraint's weight to side 0.
+/// Returns the 0/1 part vector; `cut_out` receives the final edge cut.
+std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
+                                      const Options& opts, Rng& rng,
+                                      weight_t& cut_out);
+
+}  // namespace tamp::partition

@@ -1,0 +1,132 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+
+namespace tamp::partition {
+
+std::vector<index_t> heavy_edge_matching(const graph::Csr& g, Rng& rng) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> match(static_cast<std::size_t>(n), invalid_index);
+  const std::vector<index_t> order = random_permutation(n, rng);
+
+  for (const index_t v : order) {
+    if (match[static_cast<std::size_t>(v)] != invalid_index) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    index_t best = invalid_index;
+    weight_t best_w = -1;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t u = nbrs[i];
+      if (match[static_cast<std::size_t>(u)] != invalid_index) continue;
+      if (wgts[i] > best_w) {
+        best_w = wgts[i];
+        best = u;
+      }
+    }
+    if (best != invalid_index) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+  return match;
+}
+
+CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match) {
+  const index_t n = g.num_vertices();
+  TAMP_EXPECTS(match.size() == static_cast<std::size_t>(n),
+               "matching size mismatch");
+  const int ncon = g.num_constraints();
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), invalid_index);
+  index_t ncoarse = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != invalid_index)
+      continue;
+    const index_t u = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = ncoarse;
+    if (u != v) level.fine_to_coarse[static_cast<std::size_t>(u)] = ncoarse;
+    ++ncoarse;
+  }
+
+  // Sum vertex weight vectors into coarse vertices.
+  std::vector<weight_t> vwgt(
+      static_cast<std::size_t>(ncoarse) * static_cast<std::size_t>(ncon), 0);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    const auto w = g.vertex_weights(v);
+    for (int c = 0; c < ncon; ++c)
+      vwgt[static_cast<std::size_t>(cv) * ncon + static_cast<std::size_t>(c)] +=
+          w[static_cast<std::size_t>(c)];
+  }
+
+  // Build coarse adjacency, merging parallel edges with a timestamped
+  // scratch table (classic METIS technique; avoids per-vertex hashing).
+  std::vector<eindex_t> xadj;
+  std::vector<index_t> adjncy;
+  std::vector<weight_t> adjwgt;
+  xadj.reserve(static_cast<std::size_t>(ncoarse) + 1);
+  xadj.push_back(0);
+
+  std::vector<index_t> slot_of(static_cast<std::size_t>(ncoarse),
+                               invalid_index);
+  // Fine vertices grouped by coarse id.
+  std::vector<index_t> members(static_cast<std::size_t>(n));
+  std::vector<eindex_t> member_xadj(static_cast<std::size_t>(ncoarse) + 1, 0);
+  for (index_t v = 0; v < n; ++v)
+    ++member_xadj[static_cast<std::size_t>(
+                      level.fine_to_coarse[static_cast<std::size_t>(v)]) +
+                  1];
+  for (index_t cv = 0; cv < ncoarse; ++cv)
+    member_xadj[static_cast<std::size_t>(cv) + 1] +=
+        member_xadj[static_cast<std::size_t>(cv)];
+  {
+    std::vector<eindex_t> cursor(member_xadj.begin(), member_xadj.end() - 1);
+    for (index_t v = 0; v < n; ++v) {
+      const index_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+      members[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cv)]++)] =
+          v;
+    }
+  }
+
+  std::vector<index_t> touched;
+  for (index_t cv = 0; cv < ncoarse; ++cv) {
+    touched.clear();
+    const auto row_begin = static_cast<eindex_t>(adjncy.size());
+    for (eindex_t m = member_xadj[static_cast<std::size_t>(cv)];
+         m < member_xadj[static_cast<std::size_t>(cv) + 1]; ++m) {
+      const index_t v = members[static_cast<std::size_t>(m)];
+      const auto nbrs = g.neighbors(v);
+      const auto wgts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const index_t cu =
+            level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+        if (cu == cv) continue;  // internal edge disappears
+        index_t& slot = slot_of[static_cast<std::size_t>(cu)];
+        if (slot == invalid_index) {
+          slot = static_cast<index_t>(adjncy.size() - row_begin);
+          adjncy.push_back(cu);
+          adjwgt.push_back(wgts[i]);
+          touched.push_back(cu);
+        } else {
+          adjwgt[static_cast<std::size_t>(row_begin + slot)] += wgts[i];
+        }
+      }
+    }
+    for (const index_t cu : touched)
+      slot_of[static_cast<std::size_t>(cu)] = invalid_index;
+    xadj.push_back(static_cast<eindex_t>(adjncy.size()));
+  }
+
+  level.graph = graph::Csr(ncoarse, ncon, std::move(xadj), std::move(adjncy),
+                           std::move(adjwgt), std::move(vwgt));
+  return level;
+}
+
+CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng) {
+  return contract(g, heavy_edge_matching(g, rng));
+}
+
+}  // namespace tamp::partition

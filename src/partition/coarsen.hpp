@@ -1,0 +1,34 @@
+// Coarsening stage of the multilevel partitioner.
+//
+// Heavy-edge matching (HEM): visit vertices in random order; an unmatched
+// vertex matches its unmatched neighbour connected by the heaviest edge.
+// Matched pairs are contracted into coarse vertices whose weight vectors
+// are the component-wise sums and whose parallel edges merge by adding
+// weights — so a bisection of the coarse graph has the same cut and the
+// same constraint loads as its projection to the fine graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::partition {
+
+/// One coarsening level: the coarse graph plus the fine→coarse map.
+struct CoarseLevel {
+  graph::Csr graph;
+  std::vector<index_t> fine_to_coarse;
+};
+
+/// Compute a heavy-edge matching. Returns match[v] = partner vertex, or v
+/// itself when unmatched.
+std::vector<index_t> heavy_edge_matching(const graph::Csr& g, Rng& rng);
+
+/// Contract a matching into a coarse graph.
+CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match);
+
+/// Convenience: one HEM + contraction step.
+CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng);
+
+}  // namespace tamp::partition

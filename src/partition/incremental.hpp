@@ -1,0 +1,43 @@
+// Incremental repartitioning after the vertex weights drift.
+//
+// Production context: FLUSEPA's temporal levels evolve slowly between
+// iterations (§III-A). Repartitioning from scratch every time would move
+// most of the mesh between processes; incremental repartitioning starts
+// from the previous assignment, restores per-constraint balance with
+// targeted moves, then locally improves the cut — touching only a small
+// fraction of cells (the *migration volume*, which in a distributed run
+// is data physically shipped between nodes).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace tamp::partition {
+
+struct IncrementalOptions {
+  double tolerance = 0.05;  ///< per-constraint balance tolerance
+  int refine_passes = 4;
+  std::uint64_t seed = 1;
+};
+
+struct IncrementalReport {
+  index_t migrated_vertices = 0;  ///< vertices whose part changed
+  weight_t cut_before = 0;
+  weight_t cut_after = 0;
+  double imbalance_before = 0;    ///< worst constraint, on the new weights
+  double imbalance_after = 0;
+};
+
+/// Repartition `g` (whose weights have changed) starting from `part`.
+/// `part` is updated in place; the report quantifies migration and
+/// quality. The graph topology must match the old assignment (same
+/// vertex ids).
+IncrementalReport incremental_repartition(const graph::Csr& g,
+                                          std::vector<part_t>& part,
+                                          part_t nparts,
+                                          const IncrementalOptions& opts = {});
+
+}  // namespace tamp::partition

@@ -1,0 +1,190 @@
+#include "partition/initial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "partition/partition.hpp"
+
+namespace tamp::partition {
+
+namespace {
+
+/// One growing trial. Returns the bisection and its cut; `feasible_out`
+/// reports whether the final split satisfied the spec.
+std::vector<part_t> grow_once(const graph::Csr& g, const BalanceSpec& spec,
+                              Rng& rng, weight_t& cut_out, bool& feasible_out) {
+  const index_t n = g.num_vertices();
+  const int nc = spec.ncon();
+  std::vector<part_t> part(static_cast<std::size_t>(n), 1);
+  std::vector<weight_t> loads0(static_cast<std::size_t>(nc), 0);
+
+  // gain[v]: cut delta of moving v into side 0 (positive = cut shrinks),
+  // valid only while v is in side 1 and in the frontier.
+  std::vector<weight_t> gain(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_frontier(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> frontier;
+
+  auto all_targets_met = [&] {
+    for (int c = 0; c < nc; ++c)
+      if (loads0[static_cast<std::size_t>(c)] < spec.target(0, c)) return false;
+    return true;
+  };
+
+  auto admit = [&](index_t v) {
+    part[static_cast<std::size_t>(v)] = 0;
+    const auto w = g.vertex_weights(v);
+    for (int c = 0; c < nc; ++c)
+      loads0[static_cast<std::size_t>(c)] += w[static_cast<std::size_t>(c)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t u = nbrs[i];
+      if (part[static_cast<std::size_t>(u)] != 1) continue;
+      // Edge u–v flips from "would be cut" to "internal" for u.
+      gain[static_cast<std::size_t>(u)] += 2 * wgts[i];
+      if (!in_frontier[static_cast<std::size_t>(u)]) {
+        in_frontier[static_cast<std::size_t>(u)] = 1;
+        frontier.push_back(u);
+      }
+    }
+  };
+
+  auto seed_gain = [&](index_t v) {
+    // Baseline gain of a fresh frontier vertex: −(weight of edges to side
+    // 1) + (weight of edges to side 0); computed incrementally by admit(),
+    // so initialise with −total degree weight when first seen.
+    weight_t w = 0;
+    const auto wgts = g.edge_weights(v);
+    for (const weight_t ew : wgts) w += ew;
+    return -w;
+  };
+  for (index_t v = 0; v < n; ++v) gain[static_cast<std::size_t>(v)] = seed_gain(v);
+
+  std::vector<index_t> perm = random_permutation(n, rng);
+  std::size_t next_seed = 0;
+
+  while (!all_targets_met()) {
+    // Re-seed if the frontier dried up (disconnected graphs).
+    if (frontier.empty()) {
+      while (next_seed < perm.size() &&
+             part[static_cast<std::size_t>(perm[next_seed])] == 0)
+        ++next_seed;
+      if (next_seed >= perm.size()) break;
+      const index_t s = perm[next_seed++];
+      if (!spec.move_keeps_feasible(loads0, g.vertex_weights(s), 0)) continue;
+      admit(s);
+      continue;
+    }
+    // Pick the best admissible frontier vertex: highest
+    // gain + deficit-contribution score.
+    double best_score = -std::numeric_limits<double>::max();
+    std::size_t best_slot = frontier.size();
+    for (std::size_t slot = 0; slot < frontier.size(); ++slot) {
+      const index_t v = frontier[slot];
+      if (part[static_cast<std::size_t>(v)] == 0) continue;  // stale
+      if (!spec.move_keeps_feasible(loads0, g.vertex_weights(v), 0)) continue;
+      const auto w = g.vertex_weights(v);
+      double help = 0.0;
+      for (int c = 0; c < nc; ++c) {
+        const auto sc = static_cast<std::size_t>(c);
+        const weight_t deficit = spec.target(0, c) - loads0[sc];
+        if (deficit > 0 && w[sc] > 0) {
+          help += static_cast<double>(std::min<weight_t>(w[sc], deficit)) /
+                  std::max<double>(1.0, static_cast<double>(spec.target(0, c)));
+        }
+      }
+      // Cut gain is primary; the deficit term breaks ties towards
+      // vertices the lagging constraints still need.
+      const double score =
+          static_cast<double>(gain[static_cast<std::size_t>(v)]) +
+          1000.0 * help;
+      if (score > best_score) {
+        best_score = score;
+        best_slot = slot;
+      }
+    }
+    if (best_slot == frontier.size()) {
+      // Nothing admissible in the frontier; force a reseed.
+      std::vector<index_t>().swap(frontier);
+      std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      bool reseeded = false;
+      while (next_seed < perm.size()) {
+        const index_t s = perm[next_seed++];
+        if (part[static_cast<std::size_t>(s)] == 1 &&
+            spec.move_keeps_feasible(loads0, g.vertex_weights(s), 0)) {
+          admit(s);
+          reseeded = true;
+          break;
+        }
+      }
+      if (!reseeded) break;
+      continue;
+    }
+    const index_t v = frontier[best_slot];
+    frontier[best_slot] = frontier.back();
+    frontier.pop_back();
+    in_frontier[static_cast<std::size_t>(v)] = 0;
+    admit(v);
+    // Compact stale entries occasionally to keep the scan cheap.
+    if (frontier.size() > 64 && frontier.size() > 4 * static_cast<std::size_t>(n) / 8) {
+      std::erase_if(frontier, [&](index_t u) {
+        const bool stale = part[static_cast<std::size_t>(u)] == 0;
+        if (stale) in_frontier[static_cast<std::size_t>(u)] = 0;
+        return stale;
+      });
+    }
+  }
+
+  cut_out = edge_cut(g, part);
+  feasible_out = spec.feasible(loads0);
+  return part;
+}
+
+}  // namespace
+
+std::vector<part_t> greedy_growing_bisection(const graph::Csr& g,
+                                             const BalanceSpec& spec, Rng& rng,
+                                             int trials) {
+  TAMP_EXPECTS(trials >= 1, "need at least one trial");
+  TAMP_EXPECTS(g.num_vertices() >= 2, "cannot bisect fewer than 2 vertices");
+
+  std::vector<part_t> best;
+  weight_t best_cut = 0;
+  bool best_feasible = false;
+  double best_violation = std::numeric_limits<double>::max();
+
+  for (int t = 0; t < trials; ++t) {
+    weight_t cut = 0;
+    bool feasible = false;
+    std::vector<part_t> candidate = grow_once(g, spec, rng, cut, feasible);
+    double viol = 0.0;
+    if (!feasible) {
+      std::vector<weight_t> loads0(static_cast<std::size_t>(spec.ncon()), 0);
+      for (index_t v = 0; v < g.num_vertices(); ++v) {
+        if (candidate[static_cast<std::size_t>(v)] == 0) {
+          const auto w = g.vertex_weights(v);
+          for (int c = 0; c < spec.ncon(); ++c)
+            loads0[static_cast<std::size_t>(c)] += w[static_cast<std::size_t>(c)];
+        }
+      }
+      viol = spec.violation(loads0);
+    }
+    const bool better = best.empty() ||
+                        (feasible && !best_feasible) ||
+                        (feasible == best_feasible &&
+                         (feasible ? cut < best_cut
+                                   : viol < best_violation ||
+                                         (viol == best_violation &&
+                                          cut < best_cut)));
+    if (better) {
+      best = std::move(candidate);
+      best_cut = cut;
+      best_feasible = feasible;
+      best_violation = viol;
+    }
+  }
+  return best;
+}
+
+}  // namespace tamp::partition

@@ -1,0 +1,24 @@
+// Initial bisection by greedy graph growing (GGGP) with multi-constraint
+// awareness.
+//
+// Several randomised trials grow a region from a random seed vertex,
+// always absorbing the frontier vertex with the best combination of
+// (a) cut gain and (b) contribution to the constraints still below their
+// side-0 target, while never exceeding any constraint's allowance. The
+// best trial — feasible first, then lowest cut — wins.
+#pragma once
+
+#include <vector>
+
+#include "partition/balance.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::partition {
+
+/// Compute an initial 0/1 bisection of g. Returns the part vector; the
+/// caller refines it with fm_refine_bisection().
+std::vector<part_t> greedy_growing_bisection(const graph::Csr& g,
+                                             const BalanceSpec& spec, Rng& rng,
+                                             int trials);
+
+}  // namespace tamp::partition

@@ -1,0 +1,56 @@
+#include "partition/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace tamp::partition {
+
+void write_partition(const std::vector<part_t>& domain_of_cell,
+                     part_t ndomains, std::ostream& os) {
+  TAMP_EXPECTS(ndomains >= 1, "need at least one domain");
+  os << "tamp-partition " << domain_of_cell.size() << ' ' << ndomains << '\n';
+  for (const part_t d : domain_of_cell) {
+    TAMP_EXPECTS(d >= 0 && d < ndomains, "domain id out of declared range");
+    os << d << '\n';
+  }
+}
+
+void save_partition(const std::vector<part_t>& domain_of_cell,
+                    part_t ndomains, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good())
+    throw runtime_failure("cannot open partition output: " + path);
+  write_partition(domain_of_cell, ndomains, out);
+  if (!out.good()) throw runtime_failure("error writing partition: " + path);
+}
+
+std::vector<part_t> read_partition(std::istream& is, part_t& ndomains_out) {
+  std::string magic;
+  long long ncells = 0;
+  long long ndomains = 0;
+  if (!(is >> magic >> ncells >> ndomains) || magic != "tamp-partition" ||
+      ncells < 0 || ndomains < 1)
+    throw runtime_failure("malformed tamp-partition header");
+  std::vector<part_t> part(static_cast<std::size_t>(ncells));
+  for (long long c = 0; c < ncells; ++c) {
+    long long d = -1;
+    if (!(is >> d) || d < 0 || d >= ndomains)
+      throw runtime_failure("malformed tamp-partition record at cell " +
+                            std::to_string(c));
+    part[static_cast<std::size_t>(c)] = static_cast<part_t>(d);
+  }
+  ndomains_out = static_cast<part_t>(ndomains);
+  return part;
+}
+
+std::vector<part_t> load_partition(const std::string& path,
+                                   part_t& ndomains_out) {
+  std::ifstream in(path);
+  if (!in.good()) throw runtime_failure("cannot open partition input: " + path);
+  return read_partition(in, ndomains_out);
+}
+
+}  // namespace tamp::partition

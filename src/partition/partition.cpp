@@ -1,0 +1,125 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/balance.hpp"
+#include "partition/bisect.hpp"
+#include "partition/refine.hpp"
+
+namespace tamp::partition {
+
+namespace {
+
+/// Recursive-bisection driver. Assigns parts [part_base, part_base+k) to
+/// the vertices of `sub`, writing through `to_global` into `out`.
+void rb_recurse(const graph::Csr& sub, const std::vector<index_t>& to_global,
+                part_t k, part_t part_base, const Options& opts, Rng& rng,
+                std::vector<part_t>& out) {
+  if (k == 1) {
+    for (const index_t gv : to_global)
+      out[static_cast<std::size_t>(gv)] = part_base;
+    return;
+  }
+  const part_t k0 = k / 2;
+  const part_t k1 = k - k0;
+  const double fraction0 = static_cast<double>(k0) / static_cast<double>(k);
+
+  weight_t cut = 0;
+  std::vector<part_t> side = multilevel_bisect(sub, fraction0, opts, rng, cut);
+
+  for (int s = 0; s < 2; ++s) {
+    const part_t ks = s == 0 ? k0 : k1;
+    std::vector<char> mask(static_cast<std::size_t>(sub.num_vertices()), 0);
+    index_t count = 0;
+    for (index_t v = 0; v < sub.num_vertices(); ++v) {
+      if (side[static_cast<std::size_t>(v)] == s) {
+        mask[static_cast<std::size_t>(v)] = 1;
+        ++count;
+      }
+    }
+    const part_t base = s == 0 ? part_base : part_base + k0;
+    if (count == 0) continue;  // degenerate: that side's parts stay empty
+    if (ks == 1) {
+      for (index_t v = 0; v < sub.num_vertices(); ++v)
+        if (mask[static_cast<std::size_t>(v)])
+          out[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+              base;
+      continue;
+    }
+    std::vector<index_t> old_to_new, new_to_old;
+    graph::Csr child = graph::induced_subgraph(sub, mask, old_to_new, new_to_old);
+    std::vector<index_t> child_to_global(new_to_old.size());
+    for (std::size_t i = 0; i < new_to_old.size(); ++i)
+      child_to_global[i] =
+          to_global[static_cast<std::size_t>(new_to_old[i])];
+    if (child.num_vertices() < 2 * ks) {
+      // Too few vertices to keep splitting sensibly: deal them round-robin.
+      for (std::size_t i = 0; i < child_to_global.size(); ++i)
+        out[static_cast<std::size_t>(child_to_global[i])] =
+            base + static_cast<part_t>(i % static_cast<std::size_t>(ks));
+      continue;
+    }
+    rb_recurse(child, child_to_global, ks, base, opts, rng, out);
+  }
+}
+
+}  // namespace
+
+Result partition_graph(const graph::Csr& g, const Options& opts) {
+  TAMP_EXPECTS(opts.nparts >= 1, "nparts must be positive");
+  TAMP_EXPECTS(g.num_vertices() >= opts.nparts,
+               "more parts requested than vertices");
+
+  Result result;
+  result.nparts = opts.nparts;
+  result.ncon = g.num_constraints();
+  result.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+
+  if (opts.nparts > 1) {
+    Rng rng(opts.seed);
+    std::vector<index_t> identity(static_cast<std::size_t>(g.num_vertices()));
+    for (index_t v = 0; v < g.num_vertices(); ++v)
+      identity[static_cast<std::size_t>(v)] = v;
+    // Per-bisection tolerance is the global budget divided across the
+    // recursion depth, so imbalances do not compound to (1+tol)^log2(k).
+    Options bisect_opts = opts;
+    int depth = 0;
+    for (part_t k = 1; k < opts.nparts; k *= 2) ++depth;
+    bisect_opts.tolerance =
+        std::max(opts.tolerance / std::max(depth, 1), 0.005);
+    rb_recurse(g, identity, opts.nparts, 0, bisect_opts, rng, result.part);
+
+    if (opts.method == Method::kway_direct) {
+      // RB seeds a direct k-way refinement over the whole graph.
+      const int nc = g.num_constraints();
+      const auto totals = g.total_weights();
+      std::vector<weight_t> max_vwgt(static_cast<std::size_t>(nc), 0);
+      for (index_t v = 0; v < g.num_vertices(); ++v) {
+        const auto w = g.vertex_weights(v);
+        for (int c = 0; c < nc; ++c)
+          max_vwgt[static_cast<std::size_t>(c)] = std::max(
+              max_vwgt[static_cast<std::size_t>(c)], w[static_cast<std::size_t>(c)]);
+      }
+      std::vector<weight_t> allowed(
+          static_cast<std::size_t>(opts.nparts) * static_cast<std::size_t>(nc));
+      for (part_t p = 0; p < opts.nparts; ++p) {
+        for (int c = 0; c < nc; ++c) {
+          const double target = static_cast<double>(totals[static_cast<std::size_t>(c)]) /
+                                static_cast<double>(opts.nparts);
+          allowed[static_cast<std::size_t>(p) * nc + static_cast<std::size_t>(c)] =
+              static_cast<weight_t>(std::llround(target * (1.0 + opts.tolerance))) +
+              max_vwgt[static_cast<std::size_t>(c)];
+        }
+      }
+      kway_refine(g, result.part, opts.nparts, allowed, rng,
+                  opts.refine_passes);
+    }
+  }
+
+  result.edge_cut = edge_cut(g, result.part);
+  result.loads = part_loads(g, result.part, opts.nparts);
+  return result;
+}
+
+}  // namespace tamp::partition

@@ -1,0 +1,30 @@
+// Fiduccia–Mattheyses boundary refinement.
+//
+// 2-way variant (used at every uncoarsening level): hill-climbing with
+// per-move balance guard, move locking, and rollback to the best prefix;
+// when the split is infeasible the pass prioritises restoring balance
+// (moves out of overloaded sides) over cut improvement — this is what
+// lets multi-constraint MC_TL partitions converge to feasibility.
+//
+// k-way variant (used by Method::kway_direct): greedy positive-gain moves
+// of boundary vertices to adjacent parts under the same balance guard.
+#pragma once
+
+#include <vector>
+
+#include "partition/balance.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::partition {
+
+/// Refine a 0/1 bisection in place. Returns the final cut.
+weight_t fm_refine_bisection(const graph::Csr& g, std::vector<part_t>& part,
+                             const BalanceSpec& spec, Rng& rng, int passes);
+
+/// Greedy k-way boundary refinement under per-part allowances
+/// allowed[p*ncon+c]. Returns the final cut.
+weight_t kway_refine(const graph::Csr& g, std::vector<part_t>& part,
+                     part_t nparts, const std::vector<weight_t>& allowed,
+                     Rng& rng, int passes);
+
+}  // namespace tamp::partition

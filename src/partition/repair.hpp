@@ -1,0 +1,46 @@
+// Post-processing repair of partitioner artefacts — the paper's §IX
+// perspective: "develop post-processing techniques to minimize the
+// artifacts produced by partitioners when constrained by many criteria.
+// Indeed, they tend to create disconnected subdomains that increase the
+// number of domain borders and, thus, the number of communications and
+// tasks."
+//
+// repair_fragments() finds every connected fragment of every part, keeps
+// each part's largest fragment, and migrates the small satellites into
+// the neighbouring part they touch most — but only when the receiving
+// part stays within a load allowance on every constraint, so MC_TL's
+// level balance survives the cleanup.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace tamp::partition {
+
+struct RepairOptions {
+  /// A fragment may move into a part only if, for every constraint, the
+  /// receiving part's load stays ≤ ideal·(1 + headroom) + max vertex
+  /// weight.
+  double headroom = 0.10;
+  /// Only fragments holding at most this fraction of their part's
+  /// vertices are candidates (the main body never moves).
+  double max_fragment_fraction = 0.5;
+  /// Repeat passes until stable, at most this many times.
+  int max_passes = 3;
+};
+
+struct RepairReport {
+  index_t fragments_before = 0;  ///< Σ over parts of (components − 1)
+  index_t fragments_after = 0;
+  index_t vertices_moved = 0;
+  weight_t cut_before = 0;
+  weight_t cut_after = 0;
+};
+
+/// Repair `part` in place. Returns what changed.
+RepairReport repair_fragments(const graph::Csr& g, std::vector<part_t>& part,
+                              part_t nparts, const RepairOptions& opts = {});
+
+}  // namespace tamp::partition

@@ -1,0 +1,137 @@
+#include "partition/sfc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mesh/levels.hpp"
+
+namespace tamp::partition {
+
+namespace {
+
+/// Skilling's transpose-to-Hilbert conversion for 3 dimensions:
+/// `coords` holds one quantised coordinate per axis; on return it holds
+/// the transposed Hilbert index (bit b of axis a is bit 3·b+a of the
+/// final index).
+void axes_to_transpose(std::uint32_t coords[3], int bits) {
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (coords[i] & q) {
+        coords[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i) coords[i] ^= coords[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (coords[2] & q) t ^= q - 1;
+  for (int i = 0; i < 3; ++i) coords[i] ^= t;
+}
+
+}  // namespace
+
+std::uint64_t hilbert_index_3d(double x, double y, double z, int bits) {
+  TAMP_EXPECTS(bits >= 1 && bits <= 21, "bits per axis must be in [1,21]");
+  auto quantise = [&](double v) {
+    v = std::clamp(v, 0.0, 1.0);
+    const double scaled = v * static_cast<double>((1u << bits) - 1);
+    return static_cast<std::uint32_t>(std::llround(scaled));
+  };
+  std::uint32_t coords[3] = {quantise(x), quantise(y), quantise(z)};
+  axes_to_transpose(coords, bits);
+  // Interleave the transposed bits, axis 0 most significant.
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int i = 0; i < 3; ++i)
+      index = index << 1 | ((coords[i] >> b) & 1u);
+  return index;
+}
+
+std::vector<part_t> sfc_partition(const mesh::Mesh& mesh,
+                                  const std::vector<weight_t>& weights,
+                                  part_t nparts) {
+  const index_t n = mesh.num_cells();
+  TAMP_EXPECTS(weights.size() == static_cast<std::size_t>(n),
+               "weight vector size must equal cell count");
+  TAMP_EXPECTS(nparts >= 1 && nparts <= n, "invalid part count");
+
+  // Normalise centroids into the unit cube.
+  mesh::Vec3 lo{std::numeric_limits<double>::max(),
+                std::numeric_limits<double>::max(),
+                std::numeric_limits<double>::max()};
+  mesh::Vec3 hi{-lo.x, -lo.y, -lo.z};
+  for (index_t c = 0; c < n; ++c) {
+    const mesh::Vec3 p = mesh.cell_centroid(c);
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+  const mesh::Vec3 span{std::max(hi.x - lo.x, 1e-300),
+                        std::max(hi.y - lo.y, 1e-300),
+                        std::max(hi.z - lo.z, 1e-300)};
+
+  std::vector<std::pair<std::uint64_t, index_t>> order(
+      static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    const mesh::Vec3 p = mesh.cell_centroid(c);
+    order[static_cast<std::size_t>(c)] = {
+        hilbert_index_3d((p.x - lo.x) / span.x, (p.y - lo.y) / span.y,
+                         (p.z - lo.z) / span.z),
+        c};
+  }
+  std::sort(order.begin(), order.end());
+
+  const weight_t total =
+      std::accumulate(weights.begin(), weights.end(), weight_t{0});
+  std::vector<part_t> part(static_cast<std::size_t>(n), 0);
+  weight_t running = 0;
+  part_t current = 0;
+  for (const auto& [key, c] : order) {
+    // Advance to the next part when the running prefix passes the
+    // proportional boundary; guarantees every part non-empty by also
+    // bounding by remaining cells.
+    const weight_t boundary = static_cast<weight_t>(
+        (static_cast<__int128>(total) * (current + 1) + nparts - 1) / nparts);
+    if (running >= boundary && current + 1 < nparts) ++current;
+    part[static_cast<std::size_t>(c)] = current;
+    running += weights[static_cast<std::size_t>(c)];
+  }
+  // Non-emptiness backstop for degenerate weight layouts: sweep from the
+  // back, stealing one cell into any empty trailing part.
+  std::vector<index_t> count(static_cast<std::size_t>(nparts), 0);
+  for (const part_t p : part) ++count[static_cast<std::size_t>(p)];
+  for (part_t p = nparts - 1; p > 0; --p) {
+    if (count[static_cast<std::size_t>(p)] == 0) {
+      // take the last cell (in SFC order) currently in some earlier part
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        part_t& q = part[static_cast<std::size_t>(it->second)];
+        if (q < p && count[static_cast<std::size_t>(q)] > 1) {
+          --count[static_cast<std::size_t>(q)];
+          q = p;
+          ++count[static_cast<std::size_t>(p)];
+          break;
+        }
+      }
+    }
+  }
+  return part;
+}
+
+std::vector<part_t> sfc_partition_operating_cost(const mesh::Mesh& mesh,
+                                                 part_t nparts) {
+  std::vector<weight_t> weights(static_cast<std::size_t>(mesh.num_cells()));
+  for (index_t c = 0; c < mesh.num_cells(); ++c)
+    weights[static_cast<std::size_t>(c)] =
+        mesh::operating_cost(mesh.cell_level(c), mesh.max_level());
+  return sfc_partition(mesh, weights, nparts);
+}
+
+}  // namespace tamp::partition

@@ -1,0 +1,38 @@
+// Space-filling-curve geometric partitioning — the baseline family the
+// paper's related work discusses (Zoltan's geometric methods, and the
+// Cartesian-CFD SFC tradition of reference [1]).
+//
+// Cells are ordered along a 3-D Hilbert curve through their centroids and
+// the ordered sequence is cut into k contiguous chunks of equal weight.
+// Geometric methods ignore mesh connectivity: they are extremely fast and
+// well balanced on their single weight, but cut more edges than the
+// multilevel partitioner and — like SC_OC — know nothing about temporal
+// levels. Included as a baseline for the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+
+namespace tamp::partition {
+
+/// Hilbert index of a point quantised to `bits` per axis (≤ 21).
+/// Exposed for tests: adjacent indices are geometrically adjacent.
+std::uint64_t hilbert_index_3d(double x, double y, double z,
+                               int bits = 16);
+
+/// Partition `mesh` into k parts by cutting the Hilbert ordering of the
+/// cell centroids into contiguous runs of equal total `weight`
+/// (weights.size() == num_cells; pass operating costs for an SC_OC-like
+/// balance, or all-ones for cell-count balance).
+std::vector<part_t> sfc_partition(const mesh::Mesh& mesh,
+                                  const std::vector<weight_t>& weights,
+                                  part_t nparts);
+
+/// Convenience: SFC with operating-cost weights (geometric SC_OC).
+std::vector<part_t> sfc_partition_operating_cost(const mesh::Mesh& mesh,
+                                                 part_t nparts);
+
+}  // namespace tamp::partition

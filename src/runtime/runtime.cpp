@@ -1,0 +1,193 @@
+#include "runtime/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/stopwatch.hpp"
+
+namespace tamp::runtime {
+
+double ExecutionReport::total_busy_seconds() const {
+  double busy = 0;
+  for (const Span& s : spans) busy += s.end - s.start;
+  return busy;
+}
+
+double ExecutionReport::occupancy() const {
+  const double capacity = wall_seconds *
+                          static_cast<double>(num_processes) *
+                          static_cast<double>(workers_per_process);
+  return capacity > 0 ? total_busy_seconds() / capacity : 0.0;
+}
+
+GanttTrace ExecutionReport::gantt(const taskgraph::TaskGraph& graph,
+                                  const std::string& title) const {
+  GanttTrace trace;
+  trace.title = title;
+  trace.makespan = wall_seconds;
+  trace.resource_names.resize(static_cast<std::size_t>(num_processes) *
+                              static_cast<std::size_t>(workers_per_process));
+  for (part_t p = 0; p < num_processes; ++p)
+    for (int w = 0; w < workers_per_process; ++w)
+      trace.resource_names[static_cast<std::size_t>(p) *
+                               static_cast<std::size_t>(workers_per_process) +
+                           static_cast<std::size_t>(w)] =
+          "p" + std::to_string(p) + ".w" + std::to_string(w);
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const Span& s = spans[static_cast<std::size_t>(t)];
+    trace.spans.push_back(
+        {static_cast<int>(s.process) * workers_per_process + s.worker, s.start,
+         s.end, static_cast<int>(graph.task(t).subiteration),
+         graph.task(t).label()});
+  }
+  return trace;
+}
+
+namespace {
+
+/// Shared ready queue of one emulated process.
+struct ProcessQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<index_t> ready;
+};
+
+}  // namespace
+
+ExecutionReport execute(const taskgraph::TaskGraph& graph,
+                        const std::vector<part_t>& domain_to_process,
+                        const RuntimeConfig& config, const TaskBody& body) {
+  TAMP_EXPECTS(config.num_processes >= 1, "need at least one process");
+  TAMP_EXPECTS(config.workers_per_process >= 1, "need at least one worker");
+  const index_t n = graph.num_tasks();
+
+  std::vector<part_t> process_of(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    const part_t d = graph.task(t).domain;
+    TAMP_EXPECTS(static_cast<std::size_t>(d) < domain_to_process.size(),
+                 "task domain outside process map");
+    const part_t p = domain_to_process[static_cast<std::size_t>(d)];
+    TAMP_EXPECTS(p >= 0 && p < config.num_processes,
+                 "process id out of range");
+    process_of[static_cast<std::size_t>(t)] = p;
+  }
+
+  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t)
+    pending[static_cast<std::size_t>(t)].store(
+        static_cast<index_t>(graph.predecessors(t).size()),
+        std::memory_order_relaxed);
+
+  std::vector<ProcessQueue> queues(
+      static_cast<std::size_t>(config.num_processes));
+  std::atomic<index_t> remaining{n};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  ExecutionReport report;
+  report.num_processes = config.num_processes;
+  report.workers_per_process = config.workers_per_process;
+  report.spans.assign(static_cast<std::size_t>(n), ExecutionReport::Span{});
+
+  const Stopwatch clock;
+
+  auto push_ready = [&](index_t t) {
+    ProcessQueue& q = queues[static_cast<std::size_t>(
+        process_of[static_cast<std::size_t>(t)])];
+    {
+      const std::lock_guard<std::mutex> lock(q.mutex);
+      q.ready.push_back(t);
+    }
+    q.cv.notify_one();
+  };
+
+  for (index_t t = 0; t < n; ++t)
+    if (pending[static_cast<std::size_t>(t)].load(std::memory_order_relaxed) ==
+        0)
+      push_ready(t);
+
+  auto worker_main = [&](part_t p, int w) {
+    ProcessQueue& q = queues[static_cast<std::size_t>(p)];
+    while (true) {
+      index_t t = invalid_index;
+      {
+        std::unique_lock<std::mutex> lock(q.mutex);
+        q.cv.wait(lock, [&] {
+          return !q.ready.empty() ||
+                 remaining.load(std::memory_order_acquire) == 0 ||
+                 failed.load(std::memory_order_acquire);
+        });
+        if (failed.load(std::memory_order_acquire)) return;
+        if (q.ready.empty()) return;  // done
+        t = q.ready.front();
+        q.ready.pop_front();
+      }
+
+      ExecutionReport::Span& span = report.spans[static_cast<std::size_t>(t)];
+      span.process = p;
+      span.worker = w;
+      span.start = clock.seconds();
+      try {
+        body(t);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+        // Unblock everyone; the graph will not complete.
+        for (auto& pq : queues) pq.cv.notify_all();
+        return;
+      }
+      span.end = clock.seconds();
+
+      for (const index_t s : graph.successors(t)) {
+        if (pending[static_cast<std::size_t>(s)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+          push_ready(s);
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        for (auto& pq : queues) pq.cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.num_processes) *
+                  static_cast<std::size_t>(config.workers_per_process));
+  for (part_t p = 0; p < config.num_processes; ++p)
+    for (int w = 0; w < config.workers_per_process; ++w)
+      threads.emplace_back(worker_main, p, w);
+  for (auto& th : threads) th.join();
+
+  if (failed.load()) std::rethrow_exception(first_error);
+  TAMP_ENSURE(remaining.load() == 0, "runtime finished with pending tasks");
+  report.wall_seconds = clock.seconds();
+  return report;
+}
+
+TaskBody make_synthetic_body(const taskgraph::TaskGraph& graph,
+                             double seconds_per_unit) {
+  TAMP_EXPECTS(seconds_per_unit >= 0, "negative spin factor");
+  return [&graph, seconds_per_unit](index_t t) {
+    const double budget = graph.task(t).cost * seconds_per_unit;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(budget));
+    // Busy spin: emulates a compute kernel without memory traffic.
+    volatile double sink = 0.0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 64; ++i) sink = sink + 1e-9;
+    }
+  };
+}
+
+}  // namespace tamp::runtime

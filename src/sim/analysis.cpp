@@ -1,0 +1,124 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+
+namespace tamp::sim {
+
+std::vector<SubiterationActivity> subiteration_activity(
+    const taskgraph::TaskGraph& graph, const SimResult& result) {
+  index_t nsub = 0;
+  for (const taskgraph::Task& t : graph.tasks())
+    nsub = std::max(nsub, t.subiteration + 1);
+  std::vector<SubiterationActivity> activity(
+      static_cast<std::size_t>(result.num_processes) *
+      static_cast<std::size_t>(nsub));
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+    SubiterationActivity& a =
+        activity[static_cast<std::size_t>(tt.process) * nsub +
+                 static_cast<std::size_t>(graph.task(t).subiteration)];
+    if (a.tasks == 0) {
+      a.first_start = tt.start;
+      a.last_end = tt.end;
+    } else {
+      a.first_start = std::min(a.first_start, tt.start);
+      a.last_end = std::max(a.last_end, tt.end);
+    }
+    a.busy += tt.end - tt.start;
+    ++a.tasks;
+  }
+  return activity;
+}
+
+double ConcurrencyProfile::average(simtime_t makespan) const {
+  if (makespan <= 0 || breaks.empty()) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 0; i < breaks.size(); ++i) {
+    const simtime_t end = i + 1 < breaks.size() ? breaks[i + 1] : makespan;
+    area += static_cast<double>(values[i]) * (end - breaks[i]);
+  }
+  return area / makespan;
+}
+
+index_t ConcurrencyProfile::peak() const {
+  index_t p = 0;
+  for (const index_t v : values) p = std::max(p, v);
+  return p;
+}
+
+double ConcurrencyProfile::fraction_below(index_t threshold,
+                                          simtime_t makespan) const {
+  if (makespan <= 0 || breaks.empty()) return 0.0;
+  simtime_t below = 0;
+  for (std::size_t i = 0; i < breaks.size(); ++i) {
+    const simtime_t end = i + 1 < breaks.size() ? breaks[i + 1] : makespan;
+    if (values[i] < threshold) below += end - breaks[i];
+  }
+  return below / makespan;
+}
+
+ConcurrencyProfile concurrency_profile(const SimResult& result) {
+  // Sweep-line over start (+1) / end (−1) events.
+  std::vector<std::pair<simtime_t, int>> events;
+  events.reserve(2 * result.timing.size());
+  for (const TaskTiming& tt : result.timing) {
+    events.emplace_back(tt.start, +1);
+    events.emplace_back(tt.end, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              // Ends before starts at equal times, so touching tasks do
+              // not double-count.
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  ConcurrencyProfile profile;
+  index_t current = 0;
+  for (std::size_t i = 0; i < events.size();) {
+    const simtime_t t = events[i].first;
+    while (i < events.size() && events[i].first == t) {
+      current += events[i].second;
+      ++i;
+    }
+    if (!profile.breaks.empty() && profile.breaks.back() == t) {
+      profile.values.back() = current;
+    } else {
+      profile.breaks.push_back(t);
+      profile.values.push_back(current);
+    }
+  }
+  if (profile.breaks.empty() || profile.breaks.front() > 0) {
+    profile.breaks.insert(profile.breaks.begin(), 0);
+    profile.values.insert(profile.values.begin(), 0);
+  }
+  return profile;
+}
+
+IdleBlocks idle_blocks(const SimResult& result, part_t process) {
+  TAMP_EXPECTS(process >= 0 && process < result.num_processes,
+               "process index out of range");
+  // Merge the process's busy intervals, then measure the gaps.
+  std::vector<std::pair<simtime_t, simtime_t>> spans;
+  for (const TaskTiming& tt : result.timing)
+    if (tt.process == process) spans.emplace_back(tt.start, tt.end);
+  std::sort(spans.begin(), spans.end());
+
+  IdleBlocks blocks;
+  simtime_t cursor = 0;
+  for (const auto& [start, end] : spans) {
+    if (start > cursor) {
+      ++blocks.count;
+      blocks.total += start - cursor;
+      blocks.longest = std::max(blocks.longest, start - cursor);
+    }
+    cursor = std::max(cursor, end);
+  }
+  if (cursor < result.makespan) {
+    ++blocks.count;
+    blocks.total += result.makespan - cursor;
+    blocks.longest = std::max(blocks.longest, result.makespan - cursor);
+  }
+  return blocks;
+}
+
+}  // namespace tamp::sim

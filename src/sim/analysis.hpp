@@ -1,0 +1,58 @@
+// Schedule analysis: quantifying *where* a schedule loses time.
+//
+// The paper reads its conclusions off Gantt charts — "continuous blocks
+// of inactivity", "processes only work during the first and third
+// subiteration", "the identifiable pattern is clearly apparent". These
+// helpers turn those visual observations into numbers that benches and
+// tests can assert on:
+//   * per-(process, subiteration) activity spans and idle shares,
+//   * the concurrency profile (how many workers are busy at each instant),
+//   * contiguous idle blocks per process (count, total, longest).
+#pragma once
+
+#include <vector>
+
+#include "sim/simulate.hpp"
+
+namespace tamp::sim {
+
+/// Activity of one process during one subiteration.
+struct SubiterationActivity {
+  simtime_t busy = 0;        ///< Σ task durations
+  simtime_t first_start = 0; ///< earliest task start (0 if none)
+  simtime_t last_end = 0;    ///< latest task end (0 if none)
+  index_t tasks = 0;
+};
+
+/// activity[p * nsub + s] for every process and subiteration.
+std::vector<SubiterationActivity> subiteration_activity(
+    const taskgraph::TaskGraph& graph, const SimResult& result);
+
+/// Piecewise-constant concurrency profile: at time breaks_[i] the number
+/// of busy workers becomes values_[i].
+struct ConcurrencyProfile {
+  std::vector<simtime_t> breaks;
+  std::vector<index_t> values;
+
+  /// Time-weighted average concurrency.
+  [[nodiscard]] double average(simtime_t makespan) const;
+  /// Peak concurrency.
+  [[nodiscard]] index_t peak() const;
+  /// Fraction of the makespan with concurrency below `threshold`.
+  [[nodiscard]] double fraction_below(index_t threshold,
+                                      simtime_t makespan) const;
+};
+
+ConcurrencyProfile concurrency_profile(const SimResult& result);
+
+/// Contiguous idle blocks of one process (intervals where none of its
+/// workers runs anything, within [0, makespan]).
+struct IdleBlocks {
+  index_t count = 0;
+  simtime_t total = 0;
+  simtime_t longest = 0;
+};
+
+IdleBlocks idle_blocks(const SimResult& result, part_t process);
+
+}  // namespace tamp::sim

@@ -1,0 +1,43 @@
+#include "sim/messages.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tamp::sim {
+
+MessageStats message_statistics(
+    const taskgraph::TaskGraph& graph,
+    const std::vector<part_t>& domain_to_process) {
+  MessageStats stats;
+  std::vector<std::uint64_t> triples;   // (src, dst, subiteration)
+  std::vector<std::uint64_t> pairs;     // (src, dst)
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const auto& task = graph.task(t);
+    TAMP_EXPECTS(static_cast<std::size_t>(task.domain) <
+                     domain_to_process.size(),
+                 "task domain outside process map");
+    const part_t src = domain_to_process[static_cast<std::size_t>(task.domain)];
+    for (const index_t s : graph.successors(t)) {
+      const part_t dst =
+          domain_to_process[static_cast<std::size_t>(graph.task(s).domain)];
+      if (dst == src) continue;
+      ++stats.crossing_edges;
+      stats.volume += task.num_objects;
+      // The message is sent in the producer's subiteration.
+      triples.push_back(static_cast<std::uint64_t>(src) << 40 |
+                        static_cast<std::uint64_t>(dst) << 16 |
+                        static_cast<std::uint64_t>(task.subiteration));
+      pairs.push_back(static_cast<std::uint64_t>(src) << 32 |
+                      static_cast<std::uint64_t>(dst));
+    }
+  }
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  stats.messages = static_cast<index_t>(triples.size());
+  stats.process_pairs = static_cast<index_t>(pairs.size());
+  return stats;
+}
+
+}  // namespace tamp::sim

@@ -1,0 +1,70 @@
+#include "sim/trace_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tamp::sim {
+
+namespace {
+
+void append_event(std::ostringstream& os, bool& first, const std::string& name,
+                  int pid, int tid, double start_us, double duration_us,
+                  const taskgraph::Task& task) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name":")" << name << R"(","ph":"X","pid":)" << pid
+     << R"(,"tid":)" << tid << R"(,"ts":)" << start_us << R"(,"dur":)"
+     << duration_us << R"(,"args":{"subiteration":)" << task.subiteration
+     << R"(,"level":)" << static_cast<int>(task.level) << R"(,"type":")"
+     << taskgraph::to_string(task.type) << R"(","locality":")"
+     << taskgraph::to_string(task.locality) << R"(","domain":)" << task.domain
+     << R"(,"objects":)" << task.num_objects << "}}";
+}
+
+std::string finish(std::ostringstream& body) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n" << body.str() << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
+                            const SimResult& result) {
+  TAMP_EXPECTS(result.timing.size() ==
+                   static_cast<std::size_t>(graph.num_tasks()),
+               "result does not match graph");
+  std::ostringstream body;
+  bool first = true;
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+    append_event(body, first, graph.task(t).label(), tt.process, tt.worker,
+                 tt.start, tt.end - tt.start, graph.task(t));
+  }
+  return finish(body);
+}
+
+std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
+                            const runtime::ExecutionReport& report) {
+  TAMP_EXPECTS(report.spans.size() ==
+                   static_cast<std::size_t>(graph.num_tasks()),
+               "report does not match graph");
+  std::ostringstream body;
+  bool first = true;
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const auto& span = report.spans[static_cast<std::size_t>(t)];
+    append_event(body, first, graph.task(t).label(), span.process,
+                 span.worker, span.start * 1e6, (span.end - span.start) * 1e6,
+                 graph.task(t));
+  }
+  return finish(body);
+}
+
+void save_chrome_trace(const std::string& json, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw runtime_failure("cannot open trace output: " + path);
+  out << json;
+  if (!out.good()) throw runtime_failure("error writing trace to: " + path);
+}
+
+}  // namespace tamp::sim

@@ -1,0 +1,31 @@
+// Chrome trace-event export (chrome://tracing, Perfetto, Speedscope).
+//
+// Serialises a simulated schedule or a real runtime execution into the
+// Trace Event JSON format: one "complete" (ph:"X") event per task, with
+// processes mapped to trace pids and workers to tids, coloured/filterable
+// by subiteration and phase through event args. This is the practical way
+// to eyeball large schedules that SVG Gantt charts cannot hold.
+#pragma once
+
+#include <string>
+
+#include "runtime/runtime.hpp"
+#include "sim/simulate.hpp"
+
+namespace tamp::sim {
+
+/// Serialise a simulation result (times in abstract work units mapped to
+/// microseconds).
+std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
+                            const SimResult& result);
+
+/// Serialise a real runtime execution (times in seconds mapped to
+/// microseconds).
+std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
+                            const runtime::ExecutionReport& report);
+
+/// Write either serialisation to a file; throws runtime_failure on I/O
+/// error.
+void save_chrome_trace(const std::string& json, const std::string& path);
+
+}  // namespace tamp::sim

@@ -1,0 +1,362 @@
+#include "solver/euler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stopwatch.hpp"
+#include "taskgraph/scheme.hpp"
+
+namespace tamp::solver {
+
+using mesh::Vec3;
+
+namespace {
+
+double kinetic(const State& u) {
+  const double rho = u[0];
+  return 0.5 * (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+}
+
+}  // namespace
+
+EulerSolver::EulerSolver(mesh::Mesh& mesh, SolverConfig config)
+    : mesh_(mesh), config_(config) {
+  TAMP_EXPECTS(config.gamma > 1.0, "gamma must exceed 1");
+  TAMP_EXPECTS(config.cfl > 0.0 && config.cfl <= 1.0, "CFL must be in (0,1]");
+  TAMP_EXPECTS(config.max_levels >= 1, "need at least one temporal level");
+  const auto n = static_cast<std::size_t>(mesh.num_cells());
+  const auto m = static_cast<std::size_t>(mesh.num_faces());
+  for (int v = 0; v < kNumVars; ++v) {
+    u_[static_cast<std::size_t>(v)].assign(n, 0.0);
+    acc_[0][static_cast<std::size_t>(v)].assign(m, 0.0);
+    acc_[1][static_cast<std::size_t>(v)].assign(m, 0.0);
+  }
+}
+
+void EulerSolver::initialize_uniform(double rho, Vec3 velocity,
+                                     double pressure) {
+  TAMP_EXPECTS(rho > 0 && pressure > 0, "density and pressure must be positive");
+  const double energy =
+      pressure / (config_.gamma - 1.0) +
+      0.5 * rho * dot(velocity, velocity);
+  for (index_t c = 0; c < mesh_.num_cells(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    u_[0][sc] = rho;
+    u_[1][sc] = rho * velocity.x;
+    u_[2][sc] = rho * velocity.y;
+    u_[3][sc] = rho * velocity.z;
+    u_[4][sc] = energy;
+  }
+  for (int side = 0; side < 2; ++side)
+    for (int v = 0; v < kNumVars; ++v)
+      std::fill(acc_[static_cast<std::size_t>(side)][static_cast<std::size_t>(v)].begin(),
+                acc_[static_cast<std::size_t>(side)][static_cast<std::size_t>(v)].end(),
+                0.0);
+  time_ = 0.0;
+}
+
+void EulerSolver::add_pulse(Vec3 center, double radius,
+                            double relative_amplitude) {
+  TAMP_EXPECTS(radius > 0, "pulse radius must be positive");
+  for (index_t c = 0; c < mesh_.num_cells(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const double d = distance(mesh_.cell_centroid(c), center);
+    const double bump =
+        relative_amplitude * std::exp(-(d * d) / (radius * radius));
+    if (bump == 0.0) continue;
+    // Scale density and energy together (roughly isentropic perturbation).
+    const double factor = 1.0 + bump;
+    u_[0][sc] *= factor;
+    u_[4][sc] *= factor;
+  }
+}
+
+double EulerSolver::wave_speed(const State& u) const {
+  const double rho = std::max(u[0], 1e-12);
+  const double p =
+      std::max((config_.gamma - 1.0) * (u[4] - kinetic(u)), 1e-12);
+  const double c = std::sqrt(config_.gamma * p / rho);
+  const double speed =
+      std::sqrt(u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+  return speed + c;
+}
+
+std::vector<level_t> EulerSolver::assign_temporal_levels() {
+  const index_t n = mesh_.num_cells();
+  std::vector<double> dt_cell(static_cast<std::size_t>(n));
+  double dt_min = std::numeric_limits<double>::max();
+  for (index_t c = 0; c < n; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    State u{u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
+    const double h = std::cbrt(mesh_.cell_volume(c));
+    dt_cell[sc] = config_.cfl * h / wave_speed(u);
+    dt_min = std::min(dt_min, dt_cell[sc]);
+  }
+  TAMP_ENSURE(dt_min > 0 && std::isfinite(dt_min), "invalid CFL time step");
+  dt0_ = dt_min;
+  std::vector<level_t> levels(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    const auto raw = static_cast<int>(
+        std::floor(std::log2(dt_cell[static_cast<std::size_t>(c)] / dt_min)));
+    levels[static_cast<std::size_t>(c)] = static_cast<level_t>(
+        std::clamp(raw, 0, static_cast<int>(config_.max_levels) - 1));
+  }
+  mesh_.set_cell_levels(levels);
+  return levels;
+}
+
+State EulerSolver::interior_flux(const State& left, const State& right,
+                                 Vec3 n) const {
+  auto physical = [&](const State& u, double& un_out) {
+    const double rho = std::max(u[0], 1e-12);
+    const Vec3 vel{u[1] / rho, u[2] / rho, u[3] / rho};
+    const double p =
+        std::max((config_.gamma - 1.0) * (u[4] - kinetic(u)), 1e-12);
+    const double un = dot(vel, n);
+    un_out = un;
+    return State{rho * un, u[1] * un + p * n.x, u[2] * un + p * n.y,
+                 u[3] * un + p * n.z, (u[4] + p) * un};
+  };
+  double unl = 0, unr = 0;
+  const State fl = physical(left, unl);
+  const State fr = physical(right, unr);
+  const double smax = std::max(wave_speed(left), wave_speed(right));
+  State f;
+  for (int v = 0; v < kNumVars; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    f[sv] = 0.5 * (fl[sv] + fr[sv]) - 0.5 * smax * (right[sv] - left[sv]);
+  }
+  return f;
+}
+
+State EulerSolver::wall_flux(const State& inside, Vec3 n) const {
+  // Slip wall: no mass or energy crosses; momentum feels wall pressure.
+  const double p =
+      std::max((config_.gamma - 1.0) * (inside[4] - kinetic(inside)), 1e-12);
+  return State{0.0, p * n.x, p * n.y, p * n.z, 0.0};
+}
+
+void EulerSolver::flux_face(index_t f, double dtf) {
+  const auto sf = static_cast<std::size_t>(f);
+  const index_t a = mesh_.face_cell(f, 0);
+  const auto sa = static_cast<std::size_t>(a);
+  const State ua{u_[0][sa], u_[1][sa], u_[2][sa], u_[3][sa], u_[4][sa]};
+  const Vec3 n = mesh_.face_normal(f);
+  State flux;
+  if (mesh_.is_boundary_face(f)) {
+    flux = wall_flux(ua, n);
+  } else {
+    const auto sb = static_cast<std::size_t>(mesh_.face_cell(f, 1));
+    const State ub{u_[0][sb], u_[1][sb], u_[2][sb], u_[3][sb], u_[4][sb]};
+    flux = interior_flux(ua, ub, n);
+  }
+  const double scale = mesh_.face_area(f) * dtf;
+  for (int v = 0; v < kNumVars; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const double amount = flux[sv] * scale;
+    acc_[0][sv][sf] += amount;
+    acc_[1][sv][sf] += amount;
+  }
+}
+
+void EulerSolver::update_cell(index_t c, double /*dtc*/) {
+  const auto scell = static_cast<std::size_t>(c);
+  const double inv_v = 1.0 / mesh_.cell_volume(c);
+  for (const index_t f : mesh_.cell_faces(c)) {
+    const auto sf = static_cast<std::size_t>(f);
+    const int side = mesh_.face_cell(f, 0) == c ? 0 : 1;
+    const double sign = side == 0 ? -1.0 : 1.0;
+    auto& acc = acc_[static_cast<std::size_t>(side)];
+    for (int v = 0; v < kNumVars; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      u_[sv][scell] += sign * acc[sv][sf] * inv_v;
+      acc[sv][sf] = 0.0;
+    }
+  }
+}
+
+void EulerSolver::run_iteration() {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  const taskgraph::TemporalScheme scheme(
+      static_cast<level_t>(mesh_.max_level() + 1));
+  for (index_t s = 0; s < scheme.num_subiterations(); ++s) {
+    for (level_t tau = scheme.top_level(s);; --tau) {
+      const double dt_tau = dt0_ * std::exp2(static_cast<double>(tau));
+      for (index_t f = 0; f < mesh_.num_faces(); ++f)
+        if (mesh_.face_level(f) == tau) flux_face(f, dt_tau);
+      for (index_t c = 0; c < mesh_.num_cells(); ++c)
+        if (mesh_.cell_level(c) == tau) update_cell(c, dt_tau);
+      if (tau == 0) break;
+    }
+    time_ += dt0_;
+  }
+}
+
+runtime::ExecutionReport EulerSolver::run_iteration_tasks(
+    const std::vector<part_t>& domain_of_cell, part_t ndomains,
+    const std::vector<part_t>& domain_to_process,
+    const runtime::RuntimeConfig& runtime_config) {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  taskgraph::ClassMap class_map;
+  const taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
+      mesh_, domain_of_cell, ndomains, {}, &class_map);
+
+  auto body = [&](index_t t) {
+    const taskgraph::Task& task = graph.task(t);
+    const index_t cid = class_map.task_class[static_cast<std::size_t>(t)];
+    const double dt_tau = dt0_ * std::exp2(static_cast<double>(task.level));
+    if (task.type == taskgraph::ObjectType::face) {
+      for (const index_t f :
+           class_map.class_faces[static_cast<std::size_t>(cid)])
+        flux_face(f, dt_tau);
+    } else {
+      for (const index_t c :
+           class_map.class_cells[static_cast<std::size_t>(cid)])
+        update_cell(c, dt_tau);
+    }
+  };
+  runtime::ExecutionReport report =
+      runtime::execute(graph, domain_to_process, runtime_config, body);
+  const taskgraph::TemporalScheme scheme(
+      static_cast<level_t>(mesh_.max_level() + 1));
+  time_ += dt0_ * static_cast<double>(scheme.num_subiterations());
+  return report;
+}
+
+void EulerSolver::run_iteration_heun() {
+  TAMP_EXPECTS(mesh_.max_level() == 0,
+               "Heun integrator requires a single-level mesh");
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  const index_t n = mesh_.num_cells();
+
+  // L(U): net flux divergence divided by volume; synchronous evaluation.
+  auto rhs = [&](const std::array<std::vector<double>, kNumVars>& state,
+                 std::array<std::vector<double>, kNumVars>& out) {
+    for (int v = 0; v < kNumVars; ++v)
+      out[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(n), 0.0);
+    for (index_t f = 0; f < mesh_.num_faces(); ++f) {
+      const index_t a = mesh_.face_cell(f, 0);
+      const auto sa = static_cast<std::size_t>(a);
+      const State ua{state[0][sa], state[1][sa], state[2][sa], state[3][sa],
+                     state[4][sa]};
+      const Vec3 nrm = mesh_.face_normal(f);
+      State flux;
+      std::size_t sb = 0;
+      const bool interior = !mesh_.is_boundary_face(f);
+      if (interior) {
+        sb = static_cast<std::size_t>(mesh_.face_cell(f, 1));
+        const State ub{state[0][sb], state[1][sb], state[2][sb], state[3][sb],
+                       state[4][sb]};
+        flux = interior_flux(ua, ub, nrm);
+      } else {
+        flux = wall_flux(ua, nrm);
+      }
+      const double area = mesh_.face_area(f);
+      for (int v = 0; v < kNumVars; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        out[sv][sa] -= flux[sv] * area;
+        if (interior) out[sv][sb] += flux[sv] * area;
+      }
+    }
+    for (index_t c = 0; c < n; ++c) {
+      const double inv_v = 1.0 / mesh_.cell_volume(c);
+      for (int v = 0; v < kNumVars; ++v)
+        out[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] *= inv_v;
+    }
+  };
+
+  std::array<std::vector<double>, kNumVars> k1, k2, predictor;
+  rhs(u_, k1);
+  for (int v = 0; v < kNumVars; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    predictor[sv].resize(static_cast<std::size_t>(n));
+    for (index_t c = 0; c < n; ++c) {
+      const auto sc = static_cast<std::size_t>(c);
+      predictor[sv][sc] = u_[sv][sc] + dt0_ * k1[sv][sc];
+    }
+  }
+  rhs(predictor, k2);
+  for (int v = 0; v < kNumVars; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    for (index_t c = 0; c < n; ++c) {
+      const auto sc = static_cast<std::size_t>(c);
+      u_[sv][sc] += 0.5 * dt0_ * (k1[sv][sc] + k2[sv][sc]);
+    }
+  }
+  time_ += dt0_;
+}
+
+State EulerSolver::conserved_totals() const {
+  State total{};
+  for (index_t c = 0; c < mesh_.num_cells(); ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const double vol = mesh_.cell_volume(c);
+    for (int v = 0; v < kNumVars; ++v)
+      total[static_cast<std::size_t>(v)] +=
+          vol * u_[static_cast<std::size_t>(v)][sc];
+  }
+  // In-flight flux: deposited but not yet consumed. Side 0 will subtract
+  // its accumulator; side 1 will add its own.
+  for (index_t f = 0; f < mesh_.num_faces(); ++f) {
+    const auto sf = static_cast<std::size_t>(f);
+    const bool interior = !mesh_.is_boundary_face(f);
+    for (int v = 0; v < kNumVars; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      total[sv] -= acc_[0][sv][sf];
+      if (interior) total[sv] += acc_[1][sv][sf];
+    }
+  }
+  return total;
+}
+
+double EulerSolver::cell_pressure(index_t c) const {
+  const auto sc = static_cast<std::size_t>(c);
+  const State u{u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
+  return (config_.gamma - 1.0) * (u[4] - kinetic(u));
+}
+
+Vec3 EulerSolver::cell_velocity(index_t c) const {
+  const auto sc = static_cast<std::size_t>(c);
+  const double rho = std::max(u_[0][sc], 1e-12);
+  return {u_[1][sc] / rho, u_[2][sc] / rho, u_[3][sc] / rho};
+}
+
+double EulerSolver::max_density() const {
+  double m = 0;
+  for (const double d : u_[0]) m = std::max(m, d);
+  return m;
+}
+
+bool EulerSolver::state_is_finite() const {
+  for (int v = 0; v < kNumVars; ++v)
+    for (const double x : u_[static_cast<std::size_t>(v)])
+      if (!std::isfinite(x)) return false;
+  return true;
+}
+
+taskgraph::CostModel EulerSolver::measure_cost_model(int repetitions) {
+  TAMP_EXPECTS(repetitions >= 1, "need at least one repetition");
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  const index_t nf = std::min<index_t>(mesh_.num_faces(), 200000);
+  const index_t ncl = std::min<index_t>(mesh_.num_cells(), 200000);
+
+  double face_seconds = std::numeric_limits<double>::max();
+  double cell_seconds = std::numeric_limits<double>::max();
+  for (int r = 0; r < repetitions; ++r) {
+    Stopwatch sw;
+    for (index_t f = 0; f < nf; ++f) flux_face(f, 0.0);  // dt=0: no net effect
+    face_seconds = std::min(face_seconds, sw.seconds());
+    sw.reset();
+    for (index_t c = 0; c < ncl; ++c) update_cell(c, dt0_);
+    cell_seconds = std::min(cell_seconds, sw.seconds());
+  }
+  // Cost units are relative: a cell update = 1.
+  const double per_face = face_seconds / static_cast<double>(nf);
+  const double per_cell = cell_seconds / static_cast<double>(ncl);
+  taskgraph::CostModel cm;
+  cm.cell_unit = 1.0;
+  cm.face_unit = per_cell > 0 ? per_face / per_cell : 0.4;
+  return cm;
+}
+
+}  // namespace tamp::solver

@@ -1,0 +1,132 @@
+// Explicit compressible-Euler finite-volume solver with adaptive
+// time stepping — the FLUSEPA-substitute core.
+//
+// Space: cell-centred finite volumes, Rusanov (local Lax–Friedrichs)
+// fluxes, slip-wall boundaries. Time: the paper's temporal-level scheme —
+// cell c advances with Δt·2^τ(c), an iteration spans 2^τmax subiterations,
+// faces refresh at the finer neighbour's rate.
+//
+// Flux coupling across level interfaces uses per-side face accumulators:
+// a face flux evaluation integrates F·area·Δt_face into both sides'
+// accumulators; a cell update gathers and resets *its* side. This makes
+// the scheme exactly conservative at the discrete level (the invariant
+// Σ V·U − Σ A_side0 + Σ A_side1 is constant to rounding at every instant)
+// and — together with the task graph's class dependencies — data-race-free
+// under parallel task execution: every accumulator slot has exactly one
+// writing task class, ordered against its readers by the DAG.
+//
+// The time integrator within a subiteration is forward Euler; FLUSEPA's
+// Heun (second order) changes per-update cost, not task-graph structure
+// (see DESIGN.md). A synchronous Heun integrator is provided for
+// single-level meshes and used by the accuracy tests.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "runtime/runtime.hpp"
+#include "taskgraph/generate.hpp"
+
+namespace tamp::solver {
+
+/// Number of conserved variables: ρ, ρu, ρv, ρw, ρE.
+inline constexpr int kNumVars = 5;
+
+using State = std::array<double, kNumVars>;
+
+struct SolverConfig {
+  double gamma = 1.4;  ///< ratio of specific heats
+  /// CFL number for the per-cell time-step bound. The level-interface
+  /// coupling consumes fluxes with up to one full cell-step of lag, which
+  /// empirically halves the stable CFL versus synchronous integration —
+  /// hence the conservative default (0.4 is stable on single-level
+  /// meshes; FLUSEPA's Heun + flux-correction scheme tolerates more).
+  double cfl = 0.2;
+  level_t max_levels = 4;  ///< cap on the number of temporal levels
+};
+
+class EulerSolver {
+public:
+  /// Binds to `mesh` (whose temporal levels assign_temporal_levels()
+  /// rewrites). The mesh must outlive the solver.
+  EulerSolver(mesh::Mesh& mesh, SolverConfig config = {});
+
+  // --- state initialisation -------------------------------------------------
+
+  /// Uniform primitive state everywhere.
+  void initialize_uniform(double rho, mesh::Vec3 velocity, double pressure);
+
+  /// Superimpose a Gaussian density/pressure pulse (isentropic-ish bump).
+  void add_pulse(mesh::Vec3 center, double radius, double relative_amplitude);
+
+  // --- temporal levels --------------------------------------------------------
+
+  /// Quantise per-cell CFL limits onto the ×2 level ladder, write the
+  /// levels into the mesh, and fix Δt0 (the finest step). Returns the
+  /// level vector.
+  std::vector<level_t> assign_temporal_levels();
+
+  [[nodiscard]] double dt0() const { return dt0_; }
+  [[nodiscard]] double time() const { return time_; }
+
+  // --- execution ---------------------------------------------------------------
+
+  /// One full iteration (2^τmax subiterations), serial reference order:
+  /// subiterations ascending, phases descending, faces before cells.
+  void run_iteration();
+
+  /// One full iteration executed as a task graph on the threaded runtime.
+  /// Produces bitwise the same physics as run_iteration() modulo
+  /// floating-point reassociation across domains (none: object lists are
+  /// deterministic, and each object is touched by exactly one task).
+  runtime::ExecutionReport run_iteration_tasks(
+      const std::vector<part_t>& domain_of_cell, part_t ndomains,
+      const std::vector<part_t>& domain_to_process,
+      const runtime::RuntimeConfig& runtime_config);
+
+  /// Synchronous second-order Heun iteration; requires a single-level
+  /// mesh (used by accuracy tests).
+  void run_iteration_heun();
+
+  // --- observables ----------------------------------------------------------------
+
+  /// Conservation invariant: Σ V·U corrected by in-flight accumulators.
+  /// Exactly constant across updates for mass and energy (slip walls add
+  /// momentum through wall pressure).
+  [[nodiscard]] State conserved_totals() const;
+
+  [[nodiscard]] double cell_density(index_t c) const {
+    return u_[0][static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double cell_pressure(index_t c) const;
+  [[nodiscard]] mesh::Vec3 cell_velocity(index_t c) const;
+  [[nodiscard]] double max_density() const;
+  [[nodiscard]] bool state_is_finite() const;
+
+  // --- cost calibration -------------------------------------------------------------
+
+  /// Measure seconds per face-flux evaluation and per cell update by
+  /// timing the kernels on this mesh (used to calibrate CostModel for the
+  /// production experiment, Fig 13).
+  [[nodiscard]] taskgraph::CostModel measure_cost_model(int repetitions = 3);
+
+private:
+  void flux_face(index_t f, double dtf);
+  void update_cell(index_t c, double dtc);
+  State wall_flux(const State& inside, mesh::Vec3 n) const;
+  State interior_flux(const State& left, const State& right,
+                      mesh::Vec3 n) const;
+  [[nodiscard]] double wave_speed(const State& u) const;
+
+  mesh::Mesh& mesh_;
+  SolverConfig config_;
+  double dt0_ = 0;
+  double time_ = 0;
+  /// Conserved state, SoA: u_[var][cell].
+  std::array<std::vector<double>, kNumVars> u_;
+  /// Per-side face accumulators: acc_[side][var][face].
+  std::array<std::array<std::vector<double>, kNumVars>, 2> acc_;
+};
+
+}  // namespace tamp::solver

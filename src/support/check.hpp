@@ -1,0 +1,77 @@
+// Error-handling primitives for the TAMP library.
+//
+// Following the C++ Core Guidelines (E.12, I.6): preconditions and
+// invariants are checked with throwing macros carrying source location,
+// so violations surface as std::logic_error-family exceptions rather than
+// undefined behaviour. Checks guarding user-facing API input stay enabled
+// in release builds; hot-loop internal assertions use TAMP_DBG_ASSERT,
+// which compiles out unless TAMP_ENABLE_DBG_ASSERT is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tamp {
+
+/// Thrown when an API precondition is violated by the caller.
+class precondition_error : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant does not hold (library bug).
+class invariant_error : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a runtime resource operation fails (I/O, allocation policy).
+class runtime_failure : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tamp
+
+/// Check a caller-supplied precondition; always active.
+#define TAMP_EXPECTS(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tamp::detail::throw_precondition(#cond, __FILE__, __LINE__,      \
+                                         (msg));                         \
+  } while (false)
+
+/// Check an internal invariant; always active (cheap checks only).
+#define TAMP_ENSURE(cond, msg)                                           \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tamp::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Hot-path assertion, compiled out by default.
+#if defined(TAMP_ENABLE_DBG_ASSERT)
+#define TAMP_DBG_ASSERT(cond, msg) TAMP_ENSURE(cond, msg)
+#else
+#define TAMP_DBG_ASSERT(cond, msg) \
+  do {                             \
+  } while (false)
+#endif

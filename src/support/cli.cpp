@@ -1,0 +1,113 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace tamp {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+CliParser& CliParser::option(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  TAMP_EXPECTS(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, false};
+  order_.push_back(name);
+  return *this;
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help) {
+  TAMP_EXPECTS(!options_.count(name), "duplicate flag: " + name);
+  options_[name] = Option{"false", help, true};
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (const auto& [name, opt] : options_) values_[name] = opt.default_value;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    TAMP_EXPECTS(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    TAMP_EXPECTS(it != options_.end(), "unknown option: --" + arg);
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[arg] = value;
+    } else {
+      TAMP_EXPECTS(i + 1 < argc, "option --" + arg + " expects a value");
+      values_[arg] = argv[++i];
+    }
+  }
+  return true;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  TAMP_EXPECTS(it != values_.end(), "option not registered: " + name);
+  return it->second;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t pos = 0;
+    const long long out = std::stoll(v, &pos);
+    TAMP_EXPECTS(pos == v.size(), "trailing characters in --" + name);
+    return out;
+  } catch (const std::invalid_argument&) {
+    throw precondition_error("option --" + name + " expects an integer, got '" +
+                             v + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    TAMP_EXPECTS(pos == v.size(), "trailing characters in --" + name);
+    return out;
+  } catch (const std::invalid_argument&) {
+    throw precondition_error("option --" + name + " expects a number, got '" +
+                             v + "'");
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const std::string& v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_value << ')';
+    os << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace tamp

@@ -1,0 +1,49 @@
+// Tiny command-line option parser for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms,
+// generates --help text, and validates that every argument was consumed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tamp {
+
+/// Declarative CLI option set. Register options, then parse(argc, argv).
+class CliParser {
+public:
+  explicit CliParser(std::string program_description);
+
+  /// Register an option with a default value (all values held as strings).
+  CliParser& option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Register a boolean flag (defaults to false).
+  CliParser& flag(const std::string& name, const std::string& help);
+
+  /// Parse. Returns false (after printing help) when --help is present.
+  /// Throws precondition_error for unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Render the --help text.
+  [[nodiscard]] std::string help() const;
+
+private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,164 @@
+#include "support/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/svg.hpp"
+
+namespace tamp {
+
+std::vector<simtime_t> GanttTrace::busy_per_resource() const {
+  std::vector<simtime_t> busy(resource_names.size(), 0.0);
+  for (const auto& s : spans) {
+    TAMP_DBG_ASSERT(s.resource >= 0 &&
+                        static_cast<std::size_t>(s.resource) < busy.size(),
+                    "span resource out of range");
+    busy[static_cast<std::size_t>(s.resource)] += s.end - s.start;
+  }
+  return busy;
+}
+
+double GanttTrace::occupancy() const {
+  if (resource_names.empty() || makespan <= 0) return 0.0;
+  simtime_t busy = 0;
+  for (const auto& s : spans) busy += s.end - s.start;
+  return busy / (makespan * static_cast<double>(resource_names.size()));
+}
+
+namespace {
+
+constexpr double kRowHeight = 14.0;
+constexpr double kRowGap = 2.0;
+constexpr double kLeftMargin = 110.0;
+constexpr double kTopMargin = 26.0;
+constexpr double kBottomMargin = 22.0;
+
+void draw_trace_rows(SvgWriter& svg, const GanttTrace& trace, double y0,
+                     double pixel_width, simtime_t horizon) {
+  const double plot_w = pixel_width - kLeftMargin - 10.0;
+  const double scale = horizon > 0 ? plot_w / horizon : 1.0;
+  const auto nres = trace.resource_names.size();
+
+  svg.text(kLeftMargin, y0 - 8.0, trace.title, 12.0);
+  for (std::size_t r = 0; r < nres; ++r) {
+    const double y = y0 + static_cast<double>(r) * (kRowHeight + kRowGap);
+    svg.rect(kLeftMargin, y, plot_w, kRowHeight, "#f2f2f2");
+    svg.text(kLeftMargin - 6.0, y + kRowHeight - 3.0, trace.resource_names[r],
+             9.0, "end");
+  }
+  for (const auto& s : trace.spans) {
+    const double y = y0 + s.resource * (kRowHeight + kRowGap);
+    const double x = kLeftMargin + s.start * scale;
+    const double w = std::max((s.end - s.start) * scale, 0.3);
+    svg.rect(x, y, w, kRowHeight,
+             trace_color(static_cast<std::size_t>(s.category)), 1.0, s.label);
+  }
+  // Time axis under the rows.
+  const double axis_y =
+      y0 + static_cast<double>(nres) * (kRowHeight + kRowGap) + 4.0;
+  svg.line(kLeftMargin, axis_y, kLeftMargin + plot_w, axis_y, "#444444");
+  for (int tick = 0; tick <= 10; ++tick) {
+    const double frac = tick / 10.0;
+    const double x = kLeftMargin + frac * plot_w;
+    svg.line(x, axis_y, x, axis_y + 4.0, "#444444");
+    std::ostringstream lbl;
+    lbl << static_cast<long long>(std::llround(frac * horizon));
+    svg.text(x, axis_y + 14.0, lbl.str(), 8.0, "middle");
+  }
+}
+
+double trace_block_height(const GanttTrace& trace) {
+  return kTopMargin +
+         static_cast<double>(trace.resource_names.size()) *
+             (kRowHeight + kRowGap) +
+         kBottomMargin;
+}
+
+}  // namespace
+
+void write_gantt_svg(const GanttTrace& trace, const std::string& path,
+                     double pixel_width) {
+  SvgWriter svg(pixel_width, trace_block_height(trace));
+  draw_trace_rows(svg, trace, kTopMargin, pixel_width, trace.makespan);
+  svg.save(path);
+}
+
+void write_gantt_comparison_svg(const GanttTrace& top,
+                                const GanttTrace& bottom,
+                                const std::string& path, double pixel_width) {
+  const double h_top = trace_block_height(top);
+  const double h_bot = trace_block_height(bottom);
+  SvgWriter svg(pixel_width, h_top + h_bot);
+  // A shared horizon makes relative makespans visually comparable, as in
+  // the paper's stacked traces.
+  const simtime_t horizon = std::max(top.makespan, bottom.makespan);
+  GanttTrace t = top;
+  GanttTrace b = bottom;
+  t.makespan = horizon;
+  b.makespan = horizon;
+  draw_trace_rows(svg, t, kTopMargin, pixel_width, horizon);
+  draw_trace_rows(svg, b, h_top + kTopMargin, pixel_width, horizon);
+  svg.save(path);
+}
+
+std::string render_gantt_ascii(const GanttTrace& trace, int columns) {
+  TAMP_EXPECTS(columns > 0, "ASCII gantt needs at least one column");
+  const auto nres = trace.resource_names.size();
+  const simtime_t horizon = trace.makespan > 0 ? trace.makespan : 1.0;
+  const auto ncols = static_cast<std::size_t>(columns);
+
+  // bucket_weight[r][c][cat] approximated with dominant-category voting:
+  // accumulate busy time per bucket per category, then pick argmax.
+  std::vector<std::vector<std::vector<double>>> weight(
+      nres, std::vector<std::vector<double>>(ncols));
+  int max_cat = 0;
+  for (const auto& s : trace.spans) max_cat = std::max(max_cat, s.category);
+  for (auto& rows : weight)
+    for (auto& cell : rows) cell.assign(static_cast<std::size_t>(max_cat) + 1, 0.0);
+
+  for (const auto& s : trace.spans) {
+    const auto r = static_cast<std::size_t>(s.resource);
+    if (r >= nres) continue;
+    const double c0 = s.start / horizon * columns;
+    const double c1 = s.end / horizon * columns;
+    for (int c = static_cast<int>(c0); c <= static_cast<int>(c1) && c < columns;
+         ++c) {
+      const double lo = std::max<double>(c0, c);
+      const double hi = std::min<double>(c1, c + 1);
+      if (hi > lo)
+        weight[r][static_cast<std::size_t>(c)]
+              [static_cast<std::size_t>(s.category)] += hi - lo;
+    }
+  }
+
+  static const char glyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  std::ostringstream os;
+  if (!trace.title.empty()) os << trace.title << '\n';
+  std::size_t name_w = 0;
+  for (const auto& n : trace.resource_names) name_w = std::max(name_w, n.size());
+  for (std::size_t r = 0; r < nres; ++r) {
+    os << trace.resource_names[r]
+       << std::string(name_w - trace.resource_names[r].size(), ' ') << " |";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      double best_w = 0.0;
+      int best_cat = -1;
+      for (std::size_t cat = 0; cat < weight[r][c].size(); ++cat) {
+        if (weight[r][c][cat] > best_w) {
+          best_w = weight[r][c][cat];
+          best_cat = static_cast<int>(cat);
+        }
+      }
+      if (best_cat < 0 || best_w < 1e-12) {
+        os << '.';
+      } else {
+        os << glyphs[static_cast<std::size_t>(best_cat) % (sizeof(glyphs) - 1)];
+      }
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace tamp

@@ -1,0 +1,56 @@
+// Gantt-chart rendering of execution traces (SVG and ASCII).
+//
+// The paper's evaluation is largely visual (Figs 5, 6, 9, 12, 13 are
+// traces). GanttChart renders equivalent charts from any source of
+// {resource, start, end, category} spans — FLUSIM schedules or the real
+// runtime's worker logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace tamp {
+
+/// One executed task span on one resource row.
+struct GanttSpan {
+  int resource = 0;          ///< row index (worker or aggregated process)
+  simtime_t start = 0;       ///< span start (work units or seconds)
+  simtime_t end = 0;         ///< span end
+  int category = 0;          ///< colour class (the paper uses subiteration)
+  std::string label;         ///< tooltip text
+};
+
+/// A complete trace: named rows + spans + a horizon.
+struct GanttTrace {
+  std::vector<std::string> resource_names;
+  std::vector<GanttSpan> spans;
+  simtime_t makespan = 0;
+  std::string title;
+
+  /// Busy time per resource row.
+  [[nodiscard]] std::vector<simtime_t> busy_per_resource() const;
+
+  /// Fraction of (resources × makespan) spent busy, in [0,1].
+  [[nodiscard]] double occupancy() const;
+};
+
+/// Render the trace as an SVG file (one row per resource, colour by
+/// category, subiteration legend).
+void write_gantt_svg(const GanttTrace& trace, const std::string& path,
+                     double pixel_width = 1200.0);
+
+/// Render a coarse ASCII view (for terminal inspection); each row is one
+/// resource, each column a time bucket, the glyph encodes the dominant
+/// category in that bucket ('.': idle).
+std::string render_gantt_ascii(const GanttTrace& trace, int columns = 100);
+
+/// Stack two traces vertically into one SVG for side-by-side comparison
+/// (the paper's Fig 9/12/13 layout: strategy A on top, B below).
+void write_gantt_comparison_svg(const GanttTrace& top,
+                                const GanttTrace& bottom,
+                                const std::string& path,
+                                double pixel_width = 1200.0);
+
+}  // namespace tamp

@@ -1,0 +1,38 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tamp {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::warn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info ";
+    case LogLevel::warn: return "warn ";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[tamp %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace tamp

@@ -1,0 +1,44 @@
+// Minimal levelled logger writing to stderr.
+//
+// The library itself logs nothing above `debug`; benches and examples use
+// `info` for progress. A global threshold keeps experiment output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tamp {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-global log threshold (default: warn).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style one-shot log statement: `tamp::log(LogLevel::info) << ...`.
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_threshold()) detail::log_emit(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_threshold()) os_ << v;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+inline LogLine log(LogLevel level) { return LogLine(level); }
+
+}  // namespace tamp

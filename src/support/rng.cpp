@@ -1,0 +1,58 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace tamp {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // Avoid the all-zero state (cannot occur after splitmix64 of any seed in
+  // practice, but the guard costs nothing).
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  child.state_ = {(*this)(), (*this)(), (*this)(), (*this)()};
+  if ((child.state_[0] | child.state_[1] | child.state_[2] |
+       child.state_[3]) == 0)
+    child.state_[0] = 1;
+  return child;
+}
+
+std::vector<index_t> random_permutation(index_t n, Rng& rng) {
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace tamp

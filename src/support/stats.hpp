@@ -1,0 +1,46 @@
+// Descriptive statistics over small samples (multi-seed experiment
+// aggregation).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace tamp {
+
+/// Summary of a sample.
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n−1)
+  double min = 0;
+  double median = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics. Throws on an empty sample.
+inline SampleStats summarize_sample(std::vector<double> values) {
+  TAMP_EXPECTS(!values.empty(), "cannot summarise an empty sample");
+  SampleStats s;
+  s.count = values.size();
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values.size() % 2 == 1
+                 ? values[values.size() / 2]
+                 : 0.5 * (values[values.size() / 2 - 1] +
+                          values[values.size() / 2]);
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace tamp

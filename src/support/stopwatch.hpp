@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for measuring phases of the pipeline.
+#pragma once
+
+#include <chrono>
+
+namespace tamp {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the reference point.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,108 @@
+#include "support/svg.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tamp {
+
+SvgWriter::SvgWriter(double width, double height)
+    : width_(width), height_(height) {
+  TAMP_EXPECTS(width > 0 && height > 0, "SVG dimensions must be positive");
+}
+
+std::string SvgWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void SvgWriter::rect(double x, double y, double w, double h,
+                     const std::string& fill, double opacity,
+                     const std::string& tooltip) {
+  std::ostringstream os;
+  os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+     << "\" height=\"" << h << "\" fill=\"" << escape(fill) << '"';
+  if (opacity < 1.0) os << " fill-opacity=\"" << opacity << '"';
+  if (tooltip.empty()) {
+    os << "/>";
+  } else {
+    os << "><title>" << escape(tooltip) << "</title></rect>";
+  }
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double stroke_width) {
+  std::ostringstream os;
+  os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+     << "\" y2=\"" << y2 << "\" stroke=\"" << escape(stroke)
+     << "\" stroke-width=\"" << stroke_width << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::text(double x, double y, const std::string& content,
+                     double font_size, const std::string& anchor,
+                     const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\"" << font_size
+     << "\" font-family=\"monospace\" text-anchor=\"" << escape(anchor)
+     << "\" fill=\"" << escape(fill) << "\">" << escape(content) << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::polyline(const std::vector<std::pair<double, double>>& points,
+                         const std::string& stroke, double stroke_width) {
+  std::ostringstream os;
+  os << "<polyline fill=\"none\" stroke=\"" << escape(stroke)
+     << "\" stroke-width=\"" << stroke_width << "\" points=\"";
+  for (const auto& [x, y] : points) os << x << ',' << y << ' ';
+  os << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::circle(double cx, double cy, double r,
+                       const std::string& fill) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+     << "\" fill=\"" << escape(fill) << "\"/>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+     << height_ << "\">\n";
+  for (const auto& e : elements_) os << "  " << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) throw runtime_failure("cannot open SVG output: " + path);
+  out << str();
+}
+
+const std::string& trace_color(std::size_t index) {
+  // Colour-blind-friendly categorical palette (Okabe-Ito derived).
+  static const std::array<std::string, 8> palette = {
+      "#0072b2", "#e69f00", "#d55e00", "#009e73",
+      "#cc79a7", "#56b4e9", "#f0e442", "#999999"};
+  return palette[index % palette.size()];
+}
+
+}  // namespace tamp

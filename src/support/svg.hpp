@@ -1,0 +1,47 @@
+// Minimal SVG document writer, sufficient for Gantt traces and line plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tamp {
+
+/// Accumulates SVG elements and serialises them into a standalone file.
+class SvgWriter {
+public:
+  SvgWriter(double width, double height);
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0, const std::string& tooltip = {});
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double stroke_width = 1.0);
+  void text(double x, double y, const std::string& content,
+            double font_size = 10.0, const std::string& anchor = "start",
+            const std::string& fill = "#000000");
+  void polyline(const std::vector<std::pair<double, double>>& points,
+                const std::string& stroke, double stroke_width = 1.5);
+  void circle(double cx, double cy, double r, const std::string& fill);
+
+  /// Serialise the accumulated document.
+  [[nodiscard]] std::string str() const;
+
+  /// Write the document to a file; throws runtime_failure on I/O error.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+
+  /// Escape &, <, >, " for embedding in attributes / text nodes.
+  static std::string escape(const std::string& s);
+
+private:
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+/// Categorical palette used for subiteration colour-coding in traces
+/// (index wraps around).
+const std::string& trace_color(std::size_t index);
+
+}  // namespace tamp

@@ -1,0 +1,122 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tamp {
+
+TablePrinter& TablePrinter::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+TablePrinter& TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+TablePrinter& TablePrinter::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return;
+
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = std::max(width[c], header_[c].size());
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(width[c])) << v << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator)
+      print_rule();
+    else
+      print_cells(r.cells);
+  }
+  print_rule();
+}
+
+void TablePrinter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  TAMP_EXPECTS(out.good(), "cannot open CSV output file: " + path);
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      const bool quote =
+          cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : cells[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) write_row(r.cells);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tamp

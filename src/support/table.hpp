@@ -1,0 +1,52 @@
+// Fixed-width console tables and CSV export.
+//
+// Every bench binary reproduces a paper table or figure by printing rows;
+// TablePrinter renders them aligned for the terminal and can mirror the
+// same rows to a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tamp {
+
+/// Collects rows of string cells and renders them as an aligned table.
+class TablePrinter {
+public:
+  /// @param title Optional heading printed above the table.
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.
+  TablePrinter& header(std::vector<std::string> cells);
+
+  /// Append a data row (cells may be fewer than header columns).
+  TablePrinter& row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  TablePrinter& separator();
+
+  /// Render to a stream with column alignment and borders.
+  void print(std::ostream& os) const;
+
+  /// Write header + rows as CSV (separators skipped).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers used throughout bench output.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_count(long long v);  ///< thousands separators: 12,594,374
+
+}  // namespace tamp

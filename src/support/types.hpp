@@ -1,0 +1,33 @@
+// Fundamental index and scalar typedefs shared across TAMP modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tamp {
+
+/// Index of a mesh cell / graph vertex. 32-bit indices keep the CSR
+/// structures compact; the paper's largest mesh (12.6M cells) fits with
+/// two orders of magnitude of headroom.
+using index_t = std::int32_t;
+
+/// Index of a mesh face / graph edge slot.
+using eindex_t = std::int64_t;
+
+/// Vertex / constraint weight. 64-bit: sums over 12M cells × 2^τmax
+/// exceed 32 bits.
+using weight_t = std::int64_t;
+
+/// Temporal level of a cell or face (0 = finest time step).
+using level_t = std::int8_t;
+
+/// Partition / domain / process identifier.
+using part_t = std::int32_t;
+
+/// Simulated time (abstract work units; 1 unit = one object update).
+using simtime_t = double;
+
+inline constexpr index_t invalid_index = -1;
+inline constexpr part_t invalid_part = -1;
+
+}  // namespace tamp

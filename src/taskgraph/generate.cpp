@@ -1,0 +1,247 @@
+#include "taskgraph/generate.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tamp::taskgraph {
+
+namespace {
+
+/// Dense id of an object class: (domain, level, locality).
+struct ClassIndexer {
+  part_t ndomains;
+  level_t nlev;
+
+  [[nodiscard]] index_t count() const {
+    return ndomains * static_cast<index_t>(nlev) * 2;
+  }
+  [[nodiscard]] index_t id(part_t d, level_t tau, Locality loc) const {
+    return (d * static_cast<index_t>(nlev) + static_cast<index_t>(tau)) * 2 +
+           static_cast<index_t>(loc);
+  }
+};
+
+}  // namespace
+
+TaskGraph generate_task_graph(const mesh::Mesh& mesh,
+                              const std::vector<part_t>& domain_of_cell,
+                              part_t ndomains, const GenerateOptions& opts,
+                              ClassMap* class_map) {
+  const index_t ncells = mesh.num_cells();
+  const index_t nfaces = mesh.num_faces();
+  TAMP_EXPECTS(domain_of_cell.size() == static_cast<std::size_t>(ncells),
+               "domain vector size must equal cell count");
+  TAMP_EXPECTS(ndomains >= 1, "need at least one domain");
+  TAMP_EXPECTS(opts.num_iterations >= 1, "need at least one iteration");
+
+  const auto nlev = static_cast<level_t>(mesh.max_level() + 1);
+  const TemporalScheme scheme(nlev);
+  const ClassIndexer cls{ndomains, nlev};
+
+  // --- classify cells -------------------------------------------------------
+  // A cell is external when one of its faces leads to another domain.
+  std::vector<Locality> cell_loc(static_cast<std::size_t>(ncells),
+                                 Locality::internal);
+  for (index_t f = 0; f < nfaces; ++f) {
+    if (mesh.is_boundary_face(f)) continue;
+    const index_t a = mesh.face_cell(f, 0);
+    const index_t b = mesh.face_cell(f, 1);
+    if (domain_of_cell[static_cast<std::size_t>(a)] !=
+        domain_of_cell[static_cast<std::size_t>(b)]) {
+      cell_loc[static_cast<std::size_t>(a)] = Locality::external;
+      cell_loc[static_cast<std::size_t>(b)] = Locality::external;
+    }
+  }
+  auto cell_class = [&](index_t c) {
+    return cls.id(domain_of_cell[static_cast<std::size_t>(c)],
+                  mesh.cell_level(c), cell_loc[static_cast<std::size_t>(c)]);
+  };
+
+  // --- classify faces --------------------------------------------------------
+  // Owner: the lower-indexed adjacent domain (deterministic); external
+  // when the two adjacent cells live in different domains.
+  auto face_owner = [&](index_t f) {
+    const part_t da =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 0))];
+    if (mesh.is_boundary_face(f)) return da;
+    const part_t db =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 1))];
+    return std::min(da, db);
+  };
+  auto face_locality = [&](index_t f) {
+    if (mesh.is_boundary_face(f)) return Locality::internal;
+    const part_t da =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 0))];
+    const part_t db =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 1))];
+    return da == db ? Locality::internal : Locality::external;
+  };
+  auto face_class = [&](index_t f) {
+    return cls.id(face_owner(f), mesh.face_level(f), face_locality(f));
+  };
+
+  // --- per-class populations -------------------------------------------------
+  std::vector<index_t> cell_count(static_cast<std::size_t>(cls.count()), 0);
+  std::vector<index_t> face_count(static_cast<std::size_t>(cls.count()), 0);
+  for (index_t c = 0; c < ncells; ++c)
+    ++cell_count[static_cast<std::size_t>(cell_class(c))];
+  for (index_t f = 0; f < nfaces; ++f)
+    ++face_count[static_cast<std::size_t>(face_class(f))];
+
+  if (class_map != nullptr) {
+    class_map->class_faces.assign(static_cast<std::size_t>(cls.count()), {});
+    class_map->class_cells.assign(static_cast<std::size_t>(cls.count()), {});
+    for (index_t c = 0; c < ncells; ++c)
+      class_map->class_cells[static_cast<std::size_t>(cell_class(c))]
+          .push_back(c);
+    for (index_t f = 0; f < nfaces; ++f)
+      class_map->class_faces[static_cast<std::size_t>(face_class(f))]
+          .push_back(f);
+    class_map->task_class.clear();
+  }
+
+  // --- class adjacency (face class ↔ cell class) ------------------------------
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(2 * static_cast<std::size_t>(nfaces));
+  for (index_t f = 0; f < nfaces; ++f) {
+    const auto fc = static_cast<std::uint64_t>(face_class(f));
+    pairs.push_back(fc << 32 |
+                    static_cast<std::uint32_t>(cell_class(mesh.face_cell(f, 0))));
+    if (!mesh.is_boundary_face(f))
+      pairs.push_back(
+          fc << 32 |
+          static_cast<std::uint32_t>(cell_class(mesh.face_cell(f, 1))));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  // CSR: face class → adjacent cell classes, and the transpose.
+  std::vector<eindex_t> f2c_xadj(static_cast<std::size_t>(cls.count()) + 1, 0);
+  std::vector<index_t> f2c;
+  f2c.reserve(pairs.size());
+  for (const std::uint64_t p : pairs)
+    ++f2c_xadj[static_cast<std::size_t>(p >> 32) + 1];
+  for (std::size_t i = 0; i < static_cast<std::size_t>(cls.count()); ++i)
+    f2c_xadj[i + 1] += f2c_xadj[i];
+  f2c.resize(pairs.size());
+  {
+    std::vector<eindex_t> cursor(f2c_xadj.begin(), f2c_xadj.end() - 1);
+    for (const std::uint64_t p : pairs)
+      f2c[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p >> 32)]++)] =
+          static_cast<index_t>(p & 0xffffffffULL);
+  }
+  std::vector<eindex_t> c2f_xadj(static_cast<std::size_t>(cls.count()) + 1, 0);
+  std::vector<index_t> c2f(pairs.size());
+  for (const std::uint64_t p : pairs)
+    ++c2f_xadj[static_cast<std::size_t>(p & 0xffffffffULL) + 1];
+  for (std::size_t i = 0; i < static_cast<std::size_t>(cls.count()); ++i)
+    c2f_xadj[i + 1] += c2f_xadj[i];
+  {
+    std::vector<eindex_t> cursor(c2f_xadj.begin(), c2f_xadj.end() - 1);
+    for (const std::uint64_t p : pairs)
+      c2f[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(p & 0xffffffffULL)]++)] =
+          static_cast<index_t>(p >> 32);
+  }
+
+  // --- Algorithm 1 ------------------------------------------------------------
+  std::vector<Task> tasks;
+  std::vector<std::vector<index_t>> deps;
+  std::vector<index_t> last_cell_writer(static_cast<std::size_t>(cls.count()),
+                                        invalid_index);
+  std::vector<index_t> last_face_writer(static_cast<std::size_t>(cls.count()),
+                                        invalid_index);
+
+  auto emit = [&](index_t s, level_t tau, ObjectType type, part_t d,
+                  Locality loc) {
+    const index_t cid = cls.id(d, tau, loc);
+    const index_t count = type == ObjectType::face
+                              ? face_count[static_cast<std::size_t>(cid)]
+                              : cell_count[static_cast<std::size_t>(cid)];
+    if (count == 0) return;  // Algorithm 1 line 6: skip empty classes
+
+    Task task;
+    task.subiteration = s;
+    task.level = tau;
+    task.type = type;
+    task.locality = loc;
+    task.domain = d;
+    task.num_objects = count;
+    task.cost = static_cast<simtime_t>(count) *
+                (type == ObjectType::face ? opts.cost.face_unit
+                                          : opts.cost.cell_unit);
+    const auto tid = static_cast<index_t>(tasks.size());
+
+    std::vector<index_t> dep;
+    if (type == ObjectType::face) {
+      if (last_face_writer[static_cast<std::size_t>(cid)] != invalid_index)
+        dep.push_back(last_face_writer[static_cast<std::size_t>(cid)]);
+      for (eindex_t i = f2c_xadj[static_cast<std::size_t>(cid)];
+           i < f2c_xadj[static_cast<std::size_t>(cid) + 1]; ++i) {
+        const index_t cc = f2c[static_cast<std::size_t>(i)];
+        if (last_cell_writer[static_cast<std::size_t>(cc)] != invalid_index)
+          dep.push_back(last_cell_writer[static_cast<std::size_t>(cc)]);
+      }
+      last_face_writer[static_cast<std::size_t>(cid)] = tid;
+    } else {
+      if (last_cell_writer[static_cast<std::size_t>(cid)] != invalid_index)
+        dep.push_back(last_cell_writer[static_cast<std::size_t>(cid)]);
+      for (eindex_t i = c2f_xadj[static_cast<std::size_t>(cid)];
+           i < c2f_xadj[static_cast<std::size_t>(cid) + 1]; ++i) {
+        const index_t fc = c2f[static_cast<std::size_t>(i)];
+        if (last_face_writer[static_cast<std::size_t>(fc)] != invalid_index)
+          dep.push_back(last_face_writer[static_cast<std::size_t>(fc)]);
+      }
+      last_cell_writer[static_cast<std::size_t>(cid)] = tid;
+    }
+    tasks.push_back(task);
+    deps.push_back(std::move(dep));
+    if (class_map != nullptr) class_map->task_class.push_back(cid);
+  };
+
+  for (int iter = 0; iter < opts.num_iterations; ++iter) {
+    for (index_t s = 0; s < scheme.num_subiterations(); ++s) {
+      const level_t top = scheme.top_level(s);
+      for (level_t tau = top;; --tau) {  // descending phases
+        for (const ObjectType type : {ObjectType::face, ObjectType::cell}) {
+          for (part_t d = 0; d < ndomains; ++d) {
+            emit(s, tau, type, d, Locality::external);
+            emit(s, tau, type, d, Locality::internal);
+          }
+        }
+        if (tau == 0) break;
+      }
+    }
+  }
+  return TaskGraph(std::move(tasks), deps);
+}
+
+std::vector<simtime_t> work_per_subiteration(const TaskGraph& graph) {
+  index_t nsub = 0;
+  for (const Task& t : graph.tasks())
+    nsub = std::max(nsub, t.subiteration + 1);
+  std::vector<simtime_t> work(static_cast<std::size_t>(nsub), 0);
+  for (const Task& t : graph.tasks())
+    work[static_cast<std::size_t>(t.subiteration)] += t.cost;
+  return work;
+}
+
+std::vector<simtime_t> work_per_process_subiteration(
+    const TaskGraph& graph, const std::vector<part_t>& domain_to_process,
+    part_t nprocesses) {
+  index_t nsub = 0;
+  for (const Task& t : graph.tasks())
+    nsub = std::max(nsub, t.subiteration + 1);
+  std::vector<simtime_t> work(
+      static_cast<std::size_t>(nprocesses) * static_cast<std::size_t>(nsub), 0);
+  for (const Task& t : graph.tasks()) {
+    TAMP_EXPECTS(static_cast<std::size_t>(t.domain) < domain_to_process.size(),
+                 "task domain outside process map");
+    const part_t p = domain_to_process[static_cast<std::size_t>(t.domain)];
+    work[static_cast<std::size_t>(p) * nsub +
+         static_cast<std::size_t>(t.subiteration)] += t.cost;
+  }
+  return work;
+}
+
+}  // namespace tamp::taskgraph

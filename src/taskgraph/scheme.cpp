@@ -1,0 +1,13 @@
+#include "taskgraph/scheme.hpp"
+
+namespace tamp::taskgraph {
+
+level_t TemporalScheme::top_level(index_t s) const {
+  TAMP_EXPECTS(s >= 0 && s < num_subiterations(), "subiteration out of range");
+  if (s == 0) return max_level();
+  level_t tau = 0;
+  while (is_active(static_cast<level_t>(tau + 1), s)) ++tau;
+  return tau;
+}
+
+}  // namespace tamp::taskgraph

@@ -1,0 +1,58 @@
+// The explicit adaptive time-stepping scheme (paper §II-A, Fig 4).
+//
+// Cells carry a temporal level τ; a level-τ cell advances with time step
+// 2^τ·Δt. One iteration spans 2^τmax subiterations; a level-τ object is
+// *active* in subiteration s iff 2^τ divides s. Inside a subiteration the
+// active levels are processed in descending phases (τtop(s) … 0).
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace tamp::taskgraph {
+
+/// Static description of one iteration's temporal structure.
+class TemporalScheme {
+public:
+  explicit TemporalScheme(level_t num_levels) : num_levels_(num_levels) {
+    TAMP_EXPECTS(num_levels >= 1 && num_levels <= 30,
+                 "temporal level count out of range");
+  }
+
+  [[nodiscard]] level_t num_levels() const { return num_levels_; }
+  [[nodiscard]] level_t max_level() const {
+    return static_cast<level_t>(num_levels_ - 1);
+  }
+
+  /// Subiterations per iteration: 2^τmax.
+  [[nodiscard]] index_t num_subiterations() const {
+    return index_t{1} << max_level();
+  }
+
+  /// Is a level-τ object updated in subiteration s?
+  [[nodiscard]] static bool is_active(level_t tau, index_t s) {
+    return (s & ((index_t{1} << tau) - 1)) == 0;
+  }
+
+  /// Highest active level of subiteration s (the first phase's τ).
+  [[nodiscard]] level_t top_level(index_t s) const;
+
+  /// Number of updates a level-τ object receives per iteration
+  /// (= its operating cost, 2^(τmax−τ)).
+  [[nodiscard]] weight_t updates_per_iteration(level_t tau) const {
+    TAMP_EXPECTS(tau >= 0 && tau <= max_level(), "level out of range");
+    return weight_t{1} << (max_level() - tau);
+  }
+
+  /// Physical time advanced by subiteration s (in units of the finest
+  /// step Δt): always 1 — every subiteration advances the global clock by
+  /// one fine step; coarser cells simply skip updates.
+  [[nodiscard]] static double subiteration_dt() { return 1.0; }
+
+private:
+  level_t num_levels_;
+};
+
+}  // namespace tamp::taskgraph

@@ -1,0 +1,93 @@
+// The task DAG induced by a domain decomposition (paper §II-B, Fig 8).
+//
+// Tasks aggregate all objects of one (subiteration, phase τ, object type,
+// domain, locality) class, exactly as FLUSEPA's Algorithm 1 emits them.
+// Dependencies connect a task to the most recent writers of the object
+// classes its computation reads.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace tamp::taskgraph {
+
+enum class ObjectType : std::uint8_t { face = 0, cell = 1 };
+enum class Locality : std::uint8_t { external = 0, internal = 1 };
+
+[[nodiscard]] const char* to_string(ObjectType t);
+[[nodiscard]] const char* to_string(Locality l);
+
+/// One aggregated task.
+struct Task {
+  index_t subiteration = 0;
+  level_t level = 0;         ///< phase τ
+  ObjectType type = ObjectType::cell;
+  Locality locality = Locality::internal;
+  part_t domain = 0;
+  index_t num_objects = 0;   ///< faces or cells aggregated in this task
+  simtime_t cost = 0;        ///< execution cost (work units)
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Immutable DAG of Tasks with CSR predecessor/successor adjacency.
+class TaskGraph {
+public:
+  TaskGraph() = default;
+  /// `deps[i]` lists the predecessors of task i (duplicates allowed; they
+  /// are deduplicated here).
+  TaskGraph(std::vector<Task> tasks,
+            const std::vector<std::vector<index_t>>& deps);
+
+  [[nodiscard]] index_t num_tasks() const {
+    return static_cast<index_t>(tasks_.size());
+  }
+  [[nodiscard]] eindex_t num_dependencies() const {
+    return static_cast<eindex_t>(pred_.size());
+  }
+  [[nodiscard]] const Task& task(index_t t) const {
+    return tasks_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  [[nodiscard]] std::span<const index_t> predecessors(index_t t) const {
+    return {pred_.data() + pred_xadj_[static_cast<std::size_t>(t)],
+            static_cast<std::size_t>(pred_xadj_[static_cast<std::size_t>(t) + 1] -
+                                     pred_xadj_[static_cast<std::size_t>(t)])};
+  }
+  [[nodiscard]] std::span<const index_t> successors(index_t t) const {
+    return {succ_.data() + succ_xadj_[static_cast<std::size_t>(t)],
+            static_cast<std::size_t>(succ_xadj_[static_cast<std::size_t>(t) + 1] -
+                                     succ_xadj_[static_cast<std::size_t>(t)])};
+  }
+
+  /// Σ task costs (schedule-independent; equal for SC_OC and MC_TL on the
+  /// same mesh — paper §VI: "the total amount of work is independent of
+  /// partitioning strategy").
+  [[nodiscard]] simtime_t total_work() const;
+
+  /// Longest cost-weighted path through the DAG: a lower bound on any
+  /// schedule's makespan.
+  [[nodiscard]] simtime_t critical_path() const;
+
+  /// Tasks in a topological order (generation order is already one; this
+  /// recomputes and verifies acyclicity). Throws invariant_error if a
+  /// cycle exists.
+  [[nodiscard]] std::vector<index_t> topological_order() const;
+
+  /// Graphviz DOT rendering (small graphs only; guarded by a task limit).
+  [[nodiscard]] std::string to_dot(index_t max_tasks = 400) const;
+
+private:
+  std::vector<Task> tasks_;
+  std::vector<eindex_t> pred_xadj_{0};
+  std::vector<index_t> pred_;
+  std::vector<eindex_t> succ_xadj_{0};
+  std::vector<index_t> succ_;
+};
+
+}  // namespace tamp::taskgraph

@@ -1,0 +1,173 @@
+// Tests of level evolution and incremental repartitioning, plus the VTK
+// export.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "mesh/evolve.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/levels.hpp"
+#include "mesh/vtk.hpp"
+#include "partition/incremental.hpp"
+#include "partition/strategy.hpp"
+
+namespace tamp {
+namespace {
+
+mesh::Mesh graded_test_mesh(index_t cells = 8000) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = cells;
+  return mesh::make_cylinder_mesh(spec);
+}
+
+TEST(Evolve, ZeroDriftChangesNothing) {
+  auto m = graded_test_mesh(3000);
+  const auto before = m.cell_levels();
+  Rng rng(1);
+  const auto stats = mesh::evolve_levels(m, 0.0, rng);
+  EXPECT_EQ(stats.cells_changed, 0);
+  EXPECT_GT(stats.eligible_cells, 0);
+  EXPECT_EQ(m.cell_levels(), before);
+}
+
+TEST(Evolve, DriftMovesOnlyBoundaryCellsByOneLevel) {
+  auto m = graded_test_mesh(3000);
+  const auto before = m.cell_levels();
+  Rng rng(2);
+  const auto stats = mesh::evolve_levels(m, 0.5, rng);
+  EXPECT_GT(stats.cells_changed, 0);
+  EXPECT_LE(stats.cells_changed, stats.eligible_cells);
+  for (index_t c = 0; c < m.num_cells(); ++c) {
+    const int delta = std::abs(m.cell_level(c) - before[static_cast<std::size_t>(c)]);
+    EXPECT_LE(delta, 1) << "cell " << c;
+  }
+  // Levels stay in range.
+  EXPECT_LE(m.max_level(), 3);
+}
+
+TEST(Evolve, SmallDriftIsMinimalEvolution) {
+  // The paper's premise: levels barely change between iterations.
+  auto m = graded_test_mesh(6000);
+  Rng rng(3);
+  const auto stats = mesh::evolve_levels(m, 0.02, rng);
+  EXPECT_LT(static_cast<double>(stats.cells_changed),
+            0.02 * static_cast<double>(m.num_cells()));
+}
+
+TEST(Evolve, Deterministic) {
+  auto m1 = graded_test_mesh(2000);
+  auto m2 = graded_test_mesh(2000);
+  Rng a(7), b(7);
+  mesh::evolve_levels(m1, 0.3, a);
+  mesh::evolve_levels(m2, 0.3, b);
+  EXPECT_EQ(m1.cell_levels(), m2.cell_levels());
+}
+
+TEST(Incremental, RestoresBalanceAfterDrift) {
+  auto m = graded_test_mesh();
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::mc_tl;
+  sopts.ndomains = 8;
+  auto dd = partition::decompose(m, sopts);
+
+  // Drift the levels, rebuild the (changed) weighted graph, repartition
+  // incrementally from the old assignment.
+  Rng rng(11);
+  mesh::evolve_levels(m, 0.2, rng);
+  const auto g = partition::build_strategy_graph(m, partition::Strategy::mc_tl);
+  const auto report =
+      partition::incremental_repartition(g, dd.domain_of_cell, 8);
+  EXPECT_LE(report.imbalance_after, report.imbalance_before + 1e-12);
+  // Migration touches a minority of the mesh.
+  EXPECT_LT(report.migrated_vertices, m.num_cells() / 4);
+}
+
+TEST(Incremental, NoChangeNoMigration) {
+  auto m = graded_test_mesh(4000);
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::sc_oc;
+  sopts.ndomains = 4;
+  auto dd = partition::decompose(m, sopts);
+  const auto g = partition::build_strategy_graph(m, partition::Strategy::sc_oc);
+  const weight_t cut0 = partition::edge_cut(g, dd.domain_of_cell);
+  const auto report =
+      partition::incremental_repartition(g, dd.domain_of_cell, 4);
+  // Already balanced: phase 1 does nothing; phase 2 may still polish the
+  // cut, but never worsen it.
+  EXPECT_LE(report.cut_after, cut0);
+  EXPECT_LE(report.migrated_vertices, m.num_cells() / 10);
+}
+
+TEST(Incremental, MigratesFarLessThanScratchRepartition) {
+  auto m = graded_test_mesh();
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::mc_tl;
+  sopts.ndomains = 8;
+  auto dd = partition::decompose(m, sopts);
+  const auto old_part = dd.domain_of_cell;
+
+  Rng rng(13);
+  mesh::evolve_levels(m, 0.1, rng);
+  const auto g = partition::build_strategy_graph(m, partition::Strategy::mc_tl);
+
+  // Incremental.
+  auto inc_part = old_part;
+  const auto report = partition::incremental_repartition(g, inc_part, 8);
+
+  // Scratch (new seed → essentially unrelated labels).
+  sopts.partitioner.seed = 999;
+  const auto scratch = partition::decompose(m, sopts);
+  index_t scratch_moved = 0;
+  for (index_t c = 0; c < m.num_cells(); ++c)
+    if (scratch.domain_of_cell[static_cast<std::size_t>(c)] !=
+        old_part[static_cast<std::size_t>(c)])
+      ++scratch_moved;
+
+  EXPECT_LT(report.migrated_vertices, scratch_moved / 4);
+}
+
+TEST(Incremental, ValidatesInput) {
+  const auto g = graph::make_grid_graph(4, 4);
+  std::vector<part_t> wrong(3, 0);
+  EXPECT_THROW(
+      (void)partition::incremental_repartition(g, wrong, 2),
+      precondition_error);
+}
+
+TEST(Vtk, WritesWellFormedFile) {
+  auto m = mesh::make_lattice_mesh(3, 3, 3);
+  m.set_cell_levels(std::vector<level_t>(27, 1));
+  const std::string path = testing::TempDir() + "/tamp_mesh.vtk";
+  mesh::write_vtk_partition(m, path, std::vector<part_t>(27, 2));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("POINTS 27 double"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS temporal_level int 1"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS domain double 1"), std::string::npos);
+  EXPECT_NE(content.find("POINT_DATA 27"), std::string::npos);
+}
+
+TEST(Vtk, ValidatesFields) {
+  const auto m = mesh::make_lattice_mesh(2, 2, 2);
+  const std::string path = testing::TempDir() + "/tamp_bad.vtk";
+  EXPECT_THROW(
+      mesh::write_vtk_points(m, path, {{"", std::vector<double>(8, 0)}}),
+      precondition_error);
+  EXPECT_THROW(
+      mesh::write_vtk_points(m, path, {{"bad name", std::vector<double>(8, 0)}}),
+      precondition_error);
+  EXPECT_THROW(
+      mesh::write_vtk_points(m, path, {{"f", std::vector<double>(3, 0)}}),
+      precondition_error);
+  EXPECT_THROW(mesh::write_vtk_points(
+                   m, path,
+                   {{"f", std::vector<double>(8, 0)},
+                    {"f", std::vector<double>(8, 0)}}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp

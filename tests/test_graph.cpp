@@ -1,0 +1,144 @@
+// Unit tests for the graph module: CSR invariants, builder, subgraphs,
+// connected components.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/csr.hpp"
+
+namespace tamp::graph {
+namespace {
+
+Csr triangle() {
+  Builder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(0, 2, 4);
+  return b.build();
+}
+
+TEST(Builder, BuildsSymmetricCsr) {
+  const Csr g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Builder, MergesDuplicateEdges) {
+  Builder b(2);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 5);
+  const Csr g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weights(0)[0], 7);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Builder, RejectsSelfLoopAndBadIndices) {
+  Builder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), precondition_error);
+  EXPECT_THROW(b.add_edge(0, 3), precondition_error);
+  EXPECT_THROW(b.add_edge(-1, 0), precondition_error);
+  EXPECT_THROW(b.add_edge(0, 1, 0), precondition_error);
+}
+
+TEST(Builder, VertexWeightVectors) {
+  Builder b(2, 3);
+  const weight_t w[3] = {5, 0, 7};
+  b.set_vertex_weights(0, std::span<const weight_t>(w, 3));
+  b.set_vertex_weight(1, 2, 9);
+  const Csr g = b.build();
+  EXPECT_EQ(g.num_constraints(), 3);
+  EXPECT_EQ(g.vertex_weights(0)[0], 5);
+  EXPECT_EQ(g.vertex_weights(0)[2], 7);
+  EXPECT_EQ(g.vertex_weights(1)[0], 1);  // default
+  EXPECT_EQ(g.vertex_weights(1)[2], 9);
+  const auto totals = g.total_weights();
+  EXPECT_EQ(totals[0], 6);
+  EXPECT_EQ(totals[2], 16);
+}
+
+TEST(Csr, DegreeAndNeighbors) {
+  const Csr g = triangle();
+  for (index_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(g.total_edge_weight(), 9);
+}
+
+TEST(Csr, ConstructorValidatesShapes) {
+  EXPECT_THROW(Csr(2, 1, {0, 0}, {}, {}, {1, 1}), precondition_error);
+  EXPECT_THROW(Csr(2, 1, {0, 0, 0}, {}, {}, {1}), precondition_error);
+}
+
+TEST(GridGraph, CountsAndConnectivity) {
+  const Csr g = make_grid_graph(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 4 * 4 + 5 * 3);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Subgraph, ExtractsInducedSubgraph) {
+  const Csr g = make_grid_graph(4, 4);
+  std::vector<char> mask(16, 0);
+  for (int i = 0; i < 8; ++i) mask[static_cast<std::size_t>(i)] = 1;  // two rows
+  std::vector<index_t> o2n, n2o;
+  const Csr sub = induced_subgraph(g, mask, o2n, n2o);
+  EXPECT_EQ(sub.num_vertices(), 8);
+  EXPECT_EQ(sub.num_edges(), 3 + 3 + 4);  // two rows of 4 + vertical links
+  EXPECT_NO_THROW(sub.validate());
+  for (index_t v = 0; v < 8; ++v)
+    EXPECT_EQ(o2n[static_cast<std::size_t>(n2o[static_cast<std::size_t>(v)])], v);
+}
+
+TEST(Subgraph, PreservesWeights) {
+  Builder b(3, 2);
+  b.add_edge(0, 1, 7);
+  b.add_edge(1, 2, 5);
+  b.set_vertex_weight(1, 1, 42);
+  const Csr g = b.build();
+  std::vector<char> mask{1, 1, 0};
+  std::vector<index_t> o2n, n2o;
+  const Csr sub = induced_subgraph(g, mask, o2n, n2o);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_EQ(sub.edge_weights(0)[0], 7);
+  EXPECT_EQ(sub.vertex_weights(1)[1], 42);
+}
+
+TEST(Components, CountsComponents) {
+  Builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Csr g = b.build();  // {0,1,2}, {3,4}, {5}
+  std::vector<index_t> comp;
+  EXPECT_EQ(connected_components(g, comp), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, FragmentCountsPerPart) {
+  const Csr g = make_grid_graph(4, 1);  // path 0-1-2-3
+  // Part 0 = {0, 2} (two fragments), part 1 = {1, 3} (two fragments).
+  const std::vector<part_t> part{0, 1, 0, 1};
+  const auto frags = part_fragment_counts(g, part, 2);
+  EXPECT_EQ(frags[0], 2);
+  EXPECT_EQ(frags[1], 2);
+  // Contiguous split has one fragment each.
+  const std::vector<part_t> contiguous{0, 0, 1, 1};
+  const auto frags2 = part_fragment_counts(g, contiguous, 2);
+  EXPECT_EQ(frags2[0], 1);
+  EXPECT_EQ(frags2[1], 1);
+}
+
+TEST(Components, EmptyGraph) {
+  Builder b(1);
+  const Csr g = b.build();
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace tamp::graph

@@ -1,0 +1,159 @@
+// Property-based sweeps over the partitioner: for many (seed, k, method,
+// graph shape) combinations, the structural invariants must hold.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "partition/partition.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::partition {
+namespace {
+
+struct Case {
+  index_t nx;
+  index_t ny;
+  part_t nparts;
+  Method method;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  return "g" + std::to_string(c.nx) + "x" + std::to_string(c.ny) + "_k" +
+         std::to_string(c.nparts) + "_" +
+         (c.method == Method::recursive_bisection ? "rb" : "kway") + "_s" +
+         std::to_string(c.seed);
+}
+
+class PartitionProperty : public testing::TestWithParam<Case> {};
+
+TEST_P(PartitionProperty, InvariantsHold) {
+  const Case& c = GetParam();
+  const auto g = graph::make_grid_graph(c.nx, c.ny);
+  Options o;
+  o.nparts = c.nparts;
+  o.method = c.method;
+  o.seed = c.seed;
+  const Result r = partition_graph(g, o);
+
+  // 1. Every vertex assigned to a valid part.
+  ASSERT_EQ(r.part.size(), static_cast<std::size_t>(g.num_vertices()));
+  for (const part_t p : r.part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, c.nparts);
+  }
+  // 2. All parts non-empty.
+  std::set<part_t> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(c.nparts));
+  // 3. Reported metrics agree with recomputation.
+  EXPECT_EQ(r.edge_cut, edge_cut(g, r.part));
+  // 4. Loads sum to the graph total.
+  weight_t sum = 0;
+  for (part_t p = 0; p < c.nparts; ++p)
+    sum += r.loads[static_cast<std::size_t>(p)];
+  EXPECT_EQ(sum, g.total_weights()[0]);
+  // 5. Balance within a generous envelope (tolerance compounds over
+  // log2(k) bisection levels plus one max-vertex slack per level).
+  EXPECT_LE(r.max_imbalance(), 1.35);
+  // 6. Cut is at most the trivial stripes cut (sanity on quality).
+  const weight_t stripes =
+      static_cast<weight_t>(c.nparts - 1) * std::min(c.nx, c.ny);
+  EXPECT_LE(r.edge_cut, 2 * stripes + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    testing::Values(
+        Case{16, 16, 2, Method::recursive_bisection, 1},
+        Case{16, 16, 3, Method::recursive_bisection, 2},
+        Case{16, 16, 5, Method::recursive_bisection, 3},
+        Case{16, 16, 8, Method::recursive_bisection, 4},
+        Case{40, 10, 4, Method::recursive_bisection, 5},
+        Case{10, 40, 6, Method::recursive_bisection, 6},
+        Case{32, 32, 16, Method::recursive_bisection, 7},
+        Case{16, 16, 4, Method::kway_direct, 8},
+        Case{32, 32, 8, Method::kway_direct, 9},
+        Case{25, 25, 5, Method::kway_direct, 10},
+        Case{64, 8, 8, Method::recursive_bisection, 11},
+        Case{33, 17, 7, Method::recursive_bisection, 12}),
+    case_name);
+
+// Multi-constraint sweep: random binary class layouts on a grid, varying
+// class counts and seeds; every class must end up spread.
+struct McCase {
+  int ncon;
+  part_t nparts;
+  std::uint64_t seed;
+};
+
+class MultiConstraintProperty : public testing::TestWithParam<McCase> {};
+
+TEST_P(MultiConstraintProperty, EveryConstraintBalanced) {
+  const McCase& c = GetParam();
+  const index_t nx = 24, ny = 24;
+  graph::Builder b(nx * ny, c.ncon);
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  // Spatially banded classes (like temporal levels): class grows with x.
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const int klass = static_cast<int>((x * c.ncon) / nx);
+      for (int k = 0; k < c.ncon; ++k)
+        b.set_vertex_weight(id(x, y), k, k == klass ? 1 : 0);
+    }
+  }
+  const auto g = b.build();
+  Options o;
+  o.nparts = c.nparts;
+  o.seed = c.seed;
+  const Result r = partition_graph(g, o);
+  for (int k = 0; k < c.ncon; ++k)
+    EXPECT_LE(r.imbalance(k), 1.6) << "constraint " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiConstraintProperty,
+    testing::Values(McCase{2, 2, 1}, McCase{2, 4, 2}, McCase{3, 2, 3},
+                    McCase{3, 4, 4}, McCase{4, 4, 5}, McCase{4, 8, 6},
+                    McCase{3, 8, 7}, McCase{2, 8, 8}),
+    [](const auto& info) {
+      return "ncon" + std::to_string(info.param.ncon) + "_k" +
+             std::to_string(info.param.nparts) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// Randomised graphs (not grids): invariants must survive irregularity.
+TEST(PartitionFuzz, RandomGraphsKeepInvariants) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const index_t n = 60 + static_cast<index_t>(rng.below(200));
+    graph::Builder b(n, 1);
+    // Random spanning path keeps it connected, plus random extra edges.
+    for (index_t v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+    const auto extra = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(3 * n)));
+    for (index_t e = 0; e < extra; ++e) {
+      const auto u = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+      if (u != v) b.add_edge(u, v, 1 + static_cast<weight_t>(rng.below(5)));
+    }
+    const auto g = b.build();
+    Options o;
+    o.nparts = static_cast<part_t>(2 + rng.below(6));
+    o.seed = rng();
+    const Result r = partition_graph(g, o);
+    std::set<part_t> used(r.part.begin(), r.part.end());
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(o.nparts));
+    EXPECT_EQ(r.edge_cut, edge_cut(g, r.part));
+  }
+}
+
+}  // namespace
+}  // namespace tamp::partition

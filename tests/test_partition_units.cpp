@@ -1,0 +1,215 @@
+// Unit tests for the partitioner's internal stages: balance bookkeeping,
+// coarsening, initial bisection, FM refinement.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "partition/balance.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
+#include "partition/partition.hpp"
+#include "partition/refine.hpp"
+
+namespace tamp::partition {
+namespace {
+
+TEST(BalanceSpec, TargetsAndAllowances) {
+  graph::Builder b(4, 1);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  for (index_t v = 0; v < 4; ++v) b.set_vertex_weight(v, 0, 10);
+  const auto g = b.build();
+  const BalanceSpec spec(g, 0.5, 0.1);
+  EXPECT_EQ(spec.total(0), 40);
+  EXPECT_EQ(spec.target(0, 0), 20);
+  EXPECT_EQ(spec.target(1, 0), 20);
+  // allowed = 20·1.1 + max vwgt(10) = 32.
+  EXPECT_EQ(spec.allowed(0, 0), 32);
+  EXPECT_TRUE(spec.feasible({20}));
+  EXPECT_TRUE(spec.feasible({32}));
+  EXPECT_FALSE(spec.feasible({33}));
+  EXPECT_FALSE(spec.feasible({7}));  // side 1 gets 33 > 32
+}
+
+TEST(BalanceSpec, MoveFeasibility) {
+  graph::Builder b(4, 1);
+  b.add_edge(0, 1);
+  for (index_t v = 0; v < 4; ++v) b.set_vertex_weight(v, 0, 10);
+  const auto g = b.build();
+  const BalanceSpec spec(g, 0.5, 0.0);
+  // allowed = 20 + 10 slack = 30 per side.
+  const weight_t w[1] = {10};
+  EXPECT_TRUE(spec.move_keeps_feasible({20}, std::span<const weight_t>(w, 1), 0));
+  EXPECT_FALSE(spec.move_keeps_feasible({30}, std::span<const weight_t>(w, 1), 0));
+}
+
+TEST(BalanceSpec, ViolationMetric) {
+  graph::Builder b(2, 1);
+  b.add_edge(0, 1);
+  b.set_vertex_weight(0, 0, 50);
+  b.set_vertex_weight(1, 0, 50);
+  const auto g = b.build();
+  const BalanceSpec spec(g, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(spec.violation({50}), 0.0);
+  EXPECT_GT(spec.violation({100 + 1}), 0.0);  // impossible load, over allowance
+}
+
+TEST(BalanceSpec, MultiConstraint) {
+  graph::Builder b(4, 2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  // Constraint 0 weight on vertices 0,1; constraint 1 on vertices 2,3.
+  b.set_vertex_weights(0, std::vector<weight_t>{4, 0});
+  b.set_vertex_weights(1, std::vector<weight_t>{4, 0});
+  b.set_vertex_weights(2, std::vector<weight_t>{0, 4});
+  b.set_vertex_weights(3, std::vector<weight_t>{0, 4});
+  const auto g = b.build();
+  const BalanceSpec spec(g, 0.5, 0.0);
+  // Balanced split must mix: {0,2} vs {1,3}.
+  EXPECT_TRUE(spec.feasible({4, 4}));
+  // All of constraint 0 on one side busts it (allowed = 4 + slack 4 = 8,
+  // so 8 is the edge; both constraints at 8/0 violates side 1? target 4,
+  // side1 load 0 fine; side0 8 <= 8 OK → still feasible due to slack).
+  EXPECT_TRUE(spec.feasible({8, 0}));
+  EXPECT_FALSE(spec.feasible({9, 0}));
+}
+
+TEST(Coarsen, MatchingIsSymmetricAndComplete) {
+  Rng rng(3);
+  const auto g = graph::make_grid_graph(8, 8);
+  const auto match = heavy_edge_matching(g, rng);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t u = match[static_cast<std::size_t>(v)];
+    ASSERT_NE(u, invalid_index);
+    EXPECT_EQ(match[static_cast<std::size_t>(u)], v);  // symmetric (or self)
+  }
+}
+
+TEST(Coarsen, PrefersHeavyEdges) {
+  graph::Builder b(4, 1);
+  b.add_edge(0, 1, 100);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 100);
+  const auto g = b.build();
+  Rng rng(1);
+  const auto match = heavy_edge_matching(g, rng);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[2], 3);
+}
+
+TEST(Coarsen, ContractionPreservesTotals) {
+  Rng rng(5);
+  graph::Builder b(9, 2);
+  for (index_t v = 0; v + 1 < 9; ++v) b.add_edge(v, v + 1, v + 1);
+  for (index_t v = 0; v < 9; ++v)
+    b.set_vertex_weights(v, std::vector<weight_t>{v, 2 * v});
+  const auto g = b.build();
+  const CoarseLevel level = coarsen_once(g, rng);
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+  EXPECT_NO_THROW(level.graph.validate());
+  const auto fine_totals = g.total_weights();
+  const auto coarse_totals = level.graph.total_weights();
+  EXPECT_EQ(fine_totals, coarse_totals);
+  // fine→coarse map covers every fine vertex.
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    EXPECT_GE(cv, 0);
+    EXPECT_LT(cv, level.graph.num_vertices());
+  }
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  Rng rng(7);
+  const auto g = graph::make_grid_graph(10, 10);
+  const CoarseLevel level = coarsen_once(g, rng);
+  // Random coarse bisection: its cut must equal the projected fine cut.
+  std::vector<part_t> coarse_part(
+      static_cast<std::size_t>(level.graph.num_vertices()));
+  Rng r2(9);
+  for (auto& p : coarse_part) p = static_cast<part_t>(r2.below(2));
+  std::vector<part_t> fine_part(static_cast<std::size_t>(g.num_vertices()));
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    fine_part[static_cast<std::size_t>(v)] = coarse_part[static_cast<std::size_t>(
+        level.fine_to_coarse[static_cast<std::size_t>(v)])];
+  EXPECT_EQ(edge_cut(level.graph, coarse_part), edge_cut(g, fine_part));
+}
+
+TEST(Initial, ProducesFeasibleBisection) {
+  const auto g = graph::make_grid_graph(16, 16);
+  const BalanceSpec spec(g, 0.5, 0.05);
+  Rng rng(11);
+  const auto part = greedy_growing_bisection(g, spec, rng, 8);
+  std::vector<weight_t> loads0(1, 0);
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    if (part[static_cast<std::size_t>(v)] == 0) loads0[0] += 1;
+  EXPECT_TRUE(spec.feasible(loads0));
+}
+
+TEST(Initial, HandlesDisconnectedGraph) {
+  graph::Builder b(8, 1);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  b.add_edge(6, 7);
+  const auto g = b.build();
+  const BalanceSpec spec(g, 0.5, 0.1);
+  Rng rng(13);
+  const auto part = greedy_growing_bisection(g, spec, rng, 4);
+  index_t side0 = 0;
+  for (const part_t p : part)
+    if (p == 0) ++side0;
+  EXPECT_GE(side0, 3);
+  EXPECT_LE(side0, 5);
+}
+
+TEST(Refine, ImprovesObviousBadCut) {
+  // Path graph split as alternating parts has a terrible cut; FM should
+  // slash it while keeping balance.
+  const auto g = graph::make_grid_graph(16, 1);
+  std::vector<part_t> part(16);
+  for (int v = 0; v < 16; ++v) part[static_cast<std::size_t>(v)] = v % 2;
+  const BalanceSpec spec(g, 0.5, 0.05);
+  Rng rng(17);
+  const weight_t before = edge_cut(g, part);
+  const weight_t after = fm_refine_bisection(g, part, spec, rng, 8);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(after, edge_cut(g, part));
+  EXPECT_LE(after, 3);
+  // Balance retained.
+  index_t side0 = 0;
+  for (const part_t p : part)
+    if (p == 0) ++side0;
+  EXPECT_GE(side0, 7);
+  EXPECT_LE(side0, 9);
+}
+
+TEST(Refine, RestoresFeasibilityWhenUnbalanced) {
+  const auto g = graph::make_grid_graph(8, 8);
+  std::vector<part_t> part(64, 0);  // everything on side 0: infeasible
+  const BalanceSpec spec(g, 0.5, 0.05);
+  Rng rng(19);
+  fm_refine_bisection(g, part, spec, rng, 8);
+  std::vector<weight_t> loads0(1, 0);
+  for (const part_t p : part)
+    if (p == 0) loads0[0] += 1;
+  EXPECT_TRUE(spec.feasible(loads0));
+}
+
+TEST(KwayRefine, OnlyImprovesCutUnderAllowances) {
+  const auto g = graph::make_grid_graph(12, 12);
+  // Checkerboard 4-way assignment: horrible cut.
+  std::vector<part_t> part(144);
+  for (index_t v = 0; v < 144; ++v)
+    part[static_cast<std::size_t>(v)] = static_cast<part_t>((v / 2 + v / 24) % 4);
+  const weight_t before = edge_cut(g, part);
+  std::vector<weight_t> allowed(4, 144 / 4 + 144 / 20 + 1);
+  Rng rng(23);
+  const weight_t after = kway_refine(g, part, 4, allowed, rng, 6);
+  EXPECT_LT(after, before);
+  const auto loads = part_loads(g, part, 4);
+  for (part_t p = 0; p < 4; ++p)
+    EXPECT_LE(loads[static_cast<std::size_t>(p)], allowed[static_cast<std::size_t>(p)]);
+}
+
+}  // namespace
+}  // namespace tamp::partition

@@ -1,0 +1,215 @@
+// Integration tests of the full pipeline (mesh → partition → task graph →
+// simulation) across the three mesh families and all strategies — the
+// paper's qualitative claims as assertions.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "graph/components.hpp"
+
+namespace tamp::core {
+namespace {
+
+mesh::Mesh small_mesh(mesh::TestMeshKind kind, index_t cells = 6000) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = cells;
+  return mesh::make_test_mesh(kind, spec);
+}
+
+class PipelineOnMesh : public testing::TestWithParam<mesh::TestMeshKind> {};
+
+TEST_P(PipelineOnMesh, RunsForAllStrategies) {
+  const auto m = small_mesh(GetParam());
+  for (const auto strategy :
+       {partition::Strategy::sc_cells, partition::Strategy::sc_oc,
+        partition::Strategy::mc_tl, partition::Strategy::hybrid}) {
+    RunConfig cfg;
+    cfg.strategy = strategy;
+    cfg.ndomains = 8;
+    cfg.nprocesses = 4;
+    cfg.workers_per_process = 2;
+    const RunOutcome out = run_on_mesh(m, cfg);
+    EXPECT_GT(out.makespan(), 0.0) << partition::to_string(strategy);
+    EXPECT_GT(out.occupancy(), 0.0);
+    EXPECT_LE(out.occupancy(), 1.0 + 1e-9);
+    // Schedule length bounded by critical path and serial execution.
+    EXPECT_GE(out.makespan(), out.graph.critical_path() - 1e-9);
+    EXPECT_LE(out.makespan(), out.graph.total_work() + 1e-9);
+  }
+}
+
+TEST_P(PipelineOnMesh, McTlNotSlowerThanScOc) {
+  // The headline claim: MC_TL schedules at least as fast as SC_OC on
+  // every mesh family (Figs 9, 11a, 12).
+  const auto m = small_mesh(GetParam(), 8000);
+  RunConfig cfg;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 4;
+  cfg.strategy = partition::Strategy::sc_oc;
+  const auto oc = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::mc_tl;
+  const auto tl = run_on_mesh(m, cfg);
+  EXPECT_LE(tl.makespan(), oc.makespan() * 1.02);
+  // And the total work is strategy-independent (§VI) — identical up to
+  // floating summation order across the differently-shaped task lists.
+  EXPECT_NEAR(tl.graph.total_work(), oc.graph.total_work(),
+              1e-9 * oc.graph.total_work());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PipelineOnMesh,
+                         testing::Values(mesh::TestMeshKind::cylinder,
+                                         mesh::TestMeshKind::cube,
+                                         mesh::TestMeshKind::nozzle),
+                         [](const auto& param_info) {
+                           return std::string(mesh::to_string(param_info.param));
+                         });
+
+TEST(Pipeline, McTlImprovesOccupancyOnCylinder) {
+  const auto m = small_mesh(mesh::TestMeshKind::cylinder, 10000);
+  RunConfig cfg;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 4;
+  cfg.strategy = partition::Strategy::sc_oc;
+  const auto oc = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::mc_tl;
+  const auto tl = run_on_mesh(m, cfg);
+  EXPECT_GT(tl.occupancy(), oc.occupancy());
+  EXPECT_LT(tl.makespan(), oc.makespan());
+}
+
+TEST(Pipeline, CommVolumeHigherForMcTl) {
+  // Fig 11b: MC_TL pays in communication.
+  const auto m = small_mesh(mesh::TestMeshKind::cylinder, 8000);
+  RunConfig cfg;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.strategy = partition::Strategy::sc_oc;
+  const auto oc = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::mc_tl;
+  const auto tl = run_on_mesh(m, cfg);
+  EXPECT_GT(tl.comm_volume(), oc.comm_volume());
+}
+
+TEST(Pipeline, UnboundedCoresStillIdleUnderScOc) {
+  // Fig 6's argument: even with unlimited workers per process, SC_OC
+  // schedules leave processes idle — the task graph itself is the
+  // bottleneck, not the scheduler.
+  const auto m = small_mesh(mesh::TestMeshKind::cylinder, 8000);
+  RunConfig cfg;
+  cfg.strategy = partition::Strategy::sc_oc;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 16;
+  cfg.workers_per_process = 0;  // unbounded
+  const auto out = run_on_mesh(m, cfg);
+  double worst_idle = 0;
+  for (part_t p = 0; p < 16; ++p)
+    worst_idle = std::max(worst_idle, out.sim.idle_fraction(p));
+  EXPECT_GT(worst_idle, 0.3);
+}
+
+TEST(Pipeline, SchedulingPolicyDoesNotFixScOc) {
+  // §III-C: a smarter scheduler cannot recover what the graph lacks.
+  const auto m = small_mesh(mesh::TestMeshKind::cylinder, 8000);
+  RunConfig cfg;
+  cfg.strategy = partition::Strategy::sc_oc;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 4;
+  cfg.policy = sim::Policy::critical_path;
+  const auto smart = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::mc_tl;
+  cfg.policy = sim::Policy::eager_fifo;
+  const auto mc_naive = run_on_mesh(m, cfg);
+  // MC_TL with the dumb scheduler still beats SC_OC with the smart one.
+  EXPECT_LT(mc_naive.makespan(), smart.makespan());
+}
+
+TEST(Pipeline, HybridBetweenWorlds) {
+  // §VII: HYBRID should retain most of MC_TL's speed at lower
+  // communication than plain MC_TL.
+  const auto m = small_mesh(mesh::TestMeshKind::cylinder, 10000);
+  RunConfig cfg;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 4;
+  cfg.strategy = partition::Strategy::mc_tl;
+  const auto tl = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::hybrid;
+  const auto hy = run_on_mesh(m, cfg);
+  cfg.strategy = partition::Strategy::sc_oc;
+  const auto oc = run_on_mesh(m, cfg);
+  EXPECT_LT(hy.makespan(), oc.makespan());
+  EXPECT_LT(hy.comm_volume(), tl.comm_volume());
+}
+
+TEST(Pipeline, MultiIterationScalesLinearly) {
+  const auto m = small_mesh(mesh::TestMeshKind::cube, 4000);
+  RunConfig cfg;
+  cfg.strategy = partition::Strategy::mc_tl;
+  cfg.ndomains = 8;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 2;
+  const auto one = run_on_mesh(m, cfg);
+  cfg.num_iterations = 3;
+  const auto three = run_on_mesh(m, cfg);
+  EXPECT_NEAR(three.graph.total_work(), 3 * one.graph.total_work(),
+              1e-9 * three.graph.total_work());
+  // Iterations chain through dependencies but can pipeline slightly.
+  EXPECT_GT(three.makespan(), 2.0 * one.makespan());
+  EXPECT_LT(three.makespan(), 3.5 * one.makespan());
+}
+
+TEST(Pipeline, CommModelSlowsThingsDown) {
+  const auto m = small_mesh(mesh::TestMeshKind::cube, 4000);
+  RunConfig cfg;
+  cfg.strategy = partition::Strategy::mc_tl;
+  cfg.ndomains = 8;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 2;
+  const auto ideal = run_on_mesh(m, cfg);
+  cfg.comm.latency = 5.0;
+  const auto delayed = run_on_mesh(m, cfg);
+  EXPECT_GT(delayed.makespan(), ideal.makespan());
+}
+
+TEST(Pipeline, RepairFlagReducesFragmentsKeepsBehaviour) {
+  const auto m = small_mesh(mesh::TestMeshKind::cube, 8000);
+  RunConfig cfg;
+  cfg.strategy = partition::Strategy::mc_tl;
+  cfg.ndomains = 16;
+  cfg.nprocesses = 4;
+  cfg.workers_per_process = 2;
+  const auto raw = run_on_mesh(m, cfg);
+  cfg.repair_fragments = true;
+  const auto repaired = run_on_mesh(m, cfg);
+
+  auto extra_fragments = [&](const RunOutcome& out) {
+    const auto frags = graph::part_fragment_counts(
+        m.dual_graph(), out.decomposition.domain_of_cell, 16);
+    index_t extra = 0;
+    for (const index_t f : frags) extra += f - 1;
+    return extra;
+  };
+  EXPECT_LE(extra_fragments(repaired), extra_fragments(raw));
+  EXPECT_LE(repaired.decomposition.edge_cut, raw.decomposition.edge_cut);
+  // Schedule quality within a few percent either way.
+  EXPECT_LT(repaired.makespan(), raw.makespan() * 1.1);
+  // Census consistent after repair (update_census ran).
+  index_t total = 0;
+  for (part_t d = 0; d < 16; ++d)
+    for (level_t l = 0; l < repaired.decomposition.num_levels; ++l)
+      total += repaired.decomposition.cells_in(d, l);
+  EXPECT_EQ(total, m.num_cells());
+}
+
+TEST(Pipeline, RejectsInconsistentConfig) {
+  const auto m = small_mesh(mesh::TestMeshKind::cube, 2000);
+  RunConfig cfg;
+  cfg.ndomains = 2;
+  cfg.nprocesses = 4;
+  EXPECT_THROW(run_on_mesh(m, cfg), precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp::core

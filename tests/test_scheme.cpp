@@ -1,0 +1,90 @@
+// Tests of the temporal scheme (paper Fig 4): activity pattern,
+// subiteration structure, phase order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taskgraph/scheme.hpp"
+
+namespace tamp::taskgraph {
+namespace {
+
+TEST(Scheme, SubiterationCount) {
+  EXPECT_EQ(TemporalScheme(1).num_subiterations(), 1);
+  EXPECT_EQ(TemporalScheme(2).num_subiterations(), 2);
+  EXPECT_EQ(TemporalScheme(3).num_subiterations(), 4);
+  EXPECT_EQ(TemporalScheme(4).num_subiterations(), 8);
+}
+
+TEST(Scheme, Figure4ActivityPattern) {
+  // The paper's Fig 4 example: τmax = 2 → 4 subiterations; τ=0 active in
+  // all, τ=1 in 0 and 2, τ=2 only in 0.
+  const TemporalScheme scheme(3);
+  EXPECT_EQ(scheme.num_subiterations(), 4);
+  const bool expected[3][4] = {
+      {true, true, true, true},    // τ=0
+      {true, false, true, false},  // τ=1
+      {true, false, false, false}  // τ=2
+  };
+  for (level_t tau = 0; tau < 3; ++tau)
+    for (index_t s = 0; s < 4; ++s)
+      EXPECT_EQ(TemporalScheme::is_active(tau, s), expected[tau][s])
+          << "tau=" << static_cast<int>(tau) << " s=" << s;
+}
+
+TEST(Scheme, UpdatesPerIterationEqualsOperatingCost) {
+  const TemporalScheme scheme(4);
+  for (level_t tau = 0; tau < 4; ++tau) {
+    index_t active = 0;
+    for (index_t s = 0; s < scheme.num_subiterations(); ++s)
+      if (TemporalScheme::is_active(tau, s)) ++active;
+    EXPECT_EQ(active, scheme.updates_per_iteration(tau));
+  }
+}
+
+TEST(Scheme, TopLevel) {
+  const TemporalScheme scheme(3);
+  EXPECT_EQ(scheme.top_level(0), 2);  // first subiteration: all levels
+  EXPECT_EQ(scheme.top_level(1), 0);
+  EXPECT_EQ(scheme.top_level(2), 1);
+  EXPECT_EQ(scheme.top_level(3), 0);
+  const TemporalScheme s4(4);
+  EXPECT_EQ(s4.top_level(0), 3);
+  EXPECT_EQ(s4.top_level(4), 2);
+  EXPECT_EQ(s4.top_level(6), 1);
+  EXPECT_EQ(s4.top_level(7), 0);
+}
+
+TEST(Scheme, TopLevelIsMaxActive) {
+  const TemporalScheme scheme(5);
+  for (index_t s = 0; s < scheme.num_subiterations(); ++s) {
+    const level_t top = scheme.top_level(s);
+    EXPECT_TRUE(TemporalScheme::is_active(top, s));
+    if (top + 1 < scheme.num_levels())
+      EXPECT_FALSE(TemporalScheme::is_active(static_cast<level_t>(top + 1), s));
+  }
+}
+
+TEST(Scheme, AllCellsReachSameTime) {
+  // Over one iteration, a level-τ cell performs 2^(τmax−τ) updates of
+  // 2^τ·Δt each: total = 2^τmax·Δt for every level.
+  const TemporalScheme scheme(4);
+  for (level_t tau = 0; tau < 4; ++tau) {
+    double advanced = 0;
+    for (index_t s = 0; s < scheme.num_subiterations(); ++s)
+      if (TemporalScheme::is_active(tau, s))
+        advanced += std::exp2(static_cast<double>(tau));
+    EXPECT_DOUBLE_EQ(advanced,
+                     static_cast<double>(scheme.num_subiterations()));
+  }
+}
+
+TEST(Scheme, RejectsBadInput) {
+  EXPECT_THROW(TemporalScheme(0), precondition_error);
+  EXPECT_THROW((void)TemporalScheme(3).top_level(4), precondition_error);
+  EXPECT_THROW((void)TemporalScheme(3).top_level(-1), precondition_error);
+  EXPECT_THROW((void)TemporalScheme(3).updates_per_iteration(5), precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp::taskgraph

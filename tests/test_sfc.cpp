@@ -1,0 +1,133 @@
+// Tests of the Hilbert space-filling-curve geometric partitioner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/generators.hpp"
+#include "mesh/levels.hpp"
+#include "partition/partition.hpp"
+#include "partition/sfc.hpp"
+#include "partition/strategy.hpp"
+
+namespace tamp::partition {
+namespace {
+
+TEST(Hilbert, BijectiveOnSmallGrid) {
+  // With 2 bits per axis, the 4×4×4 lattice maps to 64 distinct indices.
+  std::set<std::uint64_t> seen;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        seen.insert(hilbert_index_3d(x / 3.0, y / 3.0, z / 3.0, 2));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Hilbert, LocalityAdjacentIndicesAdjacentCells) {
+  // Walking the curve in index order, consecutive lattice points must be
+  // face neighbours (the defining Hilbert property).
+  const int bits = 3, n = 1 << bits;
+  std::vector<std::array<int, 3>> by_index(
+      static_cast<std::size_t>(n * n * n));
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      for (int z = 0; z < n; ++z) {
+        const auto idx = hilbert_index_3d(
+            x / static_cast<double>(n - 1), y / static_cast<double>(n - 1),
+            z / static_cast<double>(n - 1), bits);
+        by_index[static_cast<std::size_t>(idx)] = {x, y, z};
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < by_index.size(); ++i) {
+    const auto& a = by_index[i];
+    const auto& b = by_index[i + 1];
+    const int dist = std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) +
+                     std::abs(a[2] - b[2]);
+    ASSERT_EQ(dist, 1) << "curve jump at index " << i;
+  }
+}
+
+TEST(Hilbert, RejectsBadBits) {
+  EXPECT_THROW((void)hilbert_index_3d(0, 0, 0, 0), precondition_error);
+  EXPECT_THROW((void)hilbert_index_3d(0, 0, 0, 22), precondition_error);
+}
+
+TEST(SfcPartition, CoversAndBalancesCounts) {
+  const auto m = mesh::make_lattice_mesh(12, 12, 12);
+  std::vector<weight_t> uniform(static_cast<std::size_t>(m.num_cells()), 1);
+  const auto part = sfc_partition(m, uniform, 8);
+  std::vector<index_t> count(8, 0);
+  for (const part_t p : part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8);
+    ++count[static_cast<std::size_t>(p)];
+  }
+  for (const index_t c : count) {
+    EXPECT_GE(c, 12 * 12 * 12 / 8 - 2);
+    EXPECT_LE(c, 12 * 12 * 12 / 8 + 2);
+  }
+}
+
+TEST(SfcPartition, BalancesOperatingCost) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 10000;
+  const auto m = mesh::make_cylinder_mesh(spec);
+  const auto part = sfc_partition_operating_cost(m, 16);
+  const auto g = build_strategy_graph(m, Strategy::sc_oc);
+  EXPECT_LE(max_imbalance(g, part, 16), 1.1);
+}
+
+TEST(SfcPartition, PartsAreGeometricallyCompactish) {
+  // SFC chunks on a lattice should be contiguous or nearly so; assert the
+  // cut stays within a sane multiple of the multilevel partitioner's.
+  const auto m = mesh::make_lattice_mesh(16, 16, 16);
+  std::vector<weight_t> uniform(static_cast<std::size_t>(m.num_cells()), 1);
+  const auto sfc = sfc_partition(m, uniform, 8);
+  const auto g = m.dual_graph();
+  Options o;
+  o.nparts = 8;
+  const auto ml = partition_graph(g, o);
+  EXPECT_LT(edge_cut(g, sfc), 3 * ml.edge_cut + 200);
+}
+
+TEST(SfcPartition, DeterministicAndSeedFree) {
+  const auto m = mesh::make_lattice_mesh(6, 6, 6);
+  std::vector<weight_t> uniform(static_cast<std::size_t>(m.num_cells()), 1);
+  EXPECT_EQ(sfc_partition(m, uniform, 4), sfc_partition(m, uniform, 4));
+}
+
+TEST(SfcPartition, ValidatesInput) {
+  const auto m = mesh::make_lattice_mesh(3, 3, 3);
+  std::vector<weight_t> wrong(5, 1);
+  EXPECT_THROW((void)sfc_partition(m, wrong, 2), precondition_error);
+  std::vector<weight_t> uniform(27, 1);
+  EXPECT_THROW((void)sfc_partition(m, uniform, 0), precondition_error);
+  EXPECT_THROW((void)sfc_partition(m, uniform, 28), precondition_error);
+}
+
+TEST(SfcPartition, EveryPartNonEmptyUnderSkewedWeights) {
+  // All the weight at the start of the curve: the backstop must still
+  // hand every part at least one cell.
+  const auto m = mesh::make_lattice_mesh(4, 4, 4);
+  std::vector<weight_t> skew(64, 0);
+  for (auto& w : skew) w = 1;
+  skew[0] = 100000;
+  const auto part = sfc_partition(m, skew, 8);
+  std::set<part_t> used(part.begin(), part.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(SfcPartition, IgnoresLevelsLikeScOc) {
+  // The geometric baseline shares SC_OC's blind spot: level classes
+  // cluster spatially, so per-level balance is poor — exactly why the
+  // multilevel MC_TL approach is needed.
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 10000;
+  const auto m = mesh::make_cylinder_mesh(spec);
+  const auto part = sfc_partition_operating_cost(m, 16);
+  const auto g_tl = build_strategy_graph(m, Strategy::mc_tl);
+  EXPECT_GE(max_imbalance(g_tl, part, 16), 2.0);
+}
+
+}  // namespace
+}  // namespace tamp::partition

@@ -1,0 +1,238 @@
+// Tests of the FLUSIM discrete-event simulator: hand-checkable schedules,
+// conservation of work, policies, unbounded mode, communication model.
+#include <gtest/gtest.h>
+
+#include "sim/simulate.hpp"
+
+namespace tamp::sim {
+namespace {
+
+using taskgraph::Task;
+using taskgraph::TaskGraph;
+
+/// Build a graph of tasks with given costs/domains and dependency lists.
+TaskGraph make_graph(const std::vector<std::pair<double, part_t>>& specs,
+                     const std::vector<std::vector<index_t>>& deps,
+                     index_t subiter_of_first = 0) {
+  std::vector<Task> tasks(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    tasks[i].cost = specs[i].first;
+    tasks[i].domain = specs[i].second;
+    tasks[i].num_objects = 1;
+    tasks[i].subiteration = subiter_of_first;
+  }
+  return TaskGraph(std::move(tasks), deps);
+}
+
+TEST(Simulate, SerialChain) {
+  // 3 tasks in a chain on one worker: makespan = Σ costs.
+  const TaskGraph g = make_graph({{1, 0}, {2, 0}, {3, 0}}, {{}, {0}, {1}});
+  SimOptions opts;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(r.timing[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(r.occupancy(), 1.0);
+}
+
+TEST(Simulate, IndependentTasksOneWorkerSerialize) {
+  const TaskGraph g = make_graph({{2, 0}, {2, 0}, {2, 0}}, {{}, {}, {}});
+  SimOptions opts;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Simulate, IndependentTasksManyWorkersParallelize) {
+  const TaskGraph g = make_graph({{2, 0}, {2, 0}, {2, 0}}, {{}, {}, {}});
+  SimOptions opts;
+  opts.cluster.workers_per_process = 3;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(r.occupancy(), 1.0);
+}
+
+TEST(Simulate, TasksPinnedToProcesses) {
+  // Domain 0 → process 0, domain 1 → process 1; independent tasks run in
+  // parallel across processes even with one worker each.
+  const TaskGraph g = make_graph({{4, 0}, {4, 1}}, {{}, {}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+  EXPECT_EQ(r.timing[0].process, 0);
+  EXPECT_EQ(r.timing[1].process, 1);
+}
+
+TEST(Simulate, PinningForcesIdleness) {
+  // Both tasks on process 0 while process 1 idles: the root cause
+  // structure of the paper's Fig 7.
+  const TaskGraph g = make_graph({{4, 0}, {4, 0}}, {{}, {}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  const SimResult r = simulate(g, {0, 0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(r.idle_fraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.idle_fraction(0), 0.0);
+}
+
+TEST(Simulate, BusyEqualsTotalWork) {
+  const TaskGraph g = make_graph(
+      {{1, 0}, {2, 1}, {3, 0}, {4, 1}, {5, 0}},
+      {{}, {}, {0}, {1, 0}, {2, 3}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  opts.cluster.workers_per_process = 2;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  simtime_t busy = 0;
+  for (part_t p = 0; p < 2; ++p) busy += r.busy_per_process[static_cast<std::size_t>(p)];
+  EXPECT_DOUBLE_EQ(busy, g.total_work());
+  // Makespan bounded by critical path and by serial time.
+  EXPECT_GE(r.makespan, g.critical_path() - 1e-12);
+  EXPECT_LE(r.makespan, g.total_work() + 1e-12);
+}
+
+TEST(Simulate, RespectsDependencies) {
+  const TaskGraph g = make_graph({{5, 0}, {1, 1}}, {{}, {0}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  EXPECT_GE(r.timing[1].start, r.timing[0].end);
+}
+
+TEST(Simulate, UnboundedWorkersReachCriticalPath) {
+  // Wide fan-out: unbounded mode must hit the critical path exactly.
+  std::vector<std::pair<double, part_t>> specs{{1, 0}};
+  std::vector<std::vector<index_t>> deps{{}};
+  for (int i = 0; i < 20; ++i) {
+    specs.push_back({2, 0});
+    deps.push_back({0});
+  }
+  const TaskGraph g = make_graph(specs, deps);
+  SimOptions opts;
+  opts.cluster.workers_per_process = 0;  // unbounded
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, g.critical_path());
+  EXPECT_EQ(r.workers_used[0], 20);  // peak concurrency
+}
+
+TEST(Simulate, FifoOrderAmongReadyTasks) {
+  // Tasks become ready in id order; FIFO must run them in that order.
+  const TaskGraph g = make_graph({{1, 0}, {1, 0}, {1, 0}}, {{}, {}, {}});
+  SimOptions opts;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_LT(r.timing[0].start, r.timing[1].start);
+  EXPECT_LT(r.timing[1].start, r.timing[2].start);
+}
+
+TEST(Simulate, CriticalPathPolicyPrefersLongChains) {
+  // One worker; task 1 heads a long chain, task 2 is a short leaf. CP
+  // policy must run 1 before 2 even though both are ready.
+  const TaskGraph g = make_graph({{1, 0}, {1, 0}, {10, 0}}, {{}, {}, {0}});
+  SimOptions opts;
+  opts.policy = Policy::critical_path;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_LT(r.timing[0].start, r.timing[1].start);
+}
+
+TEST(Simulate, PoliciesPreserveWorkAndDependencies) {
+  const TaskGraph g = make_graph(
+      {{1, 0}, {2, 0}, {3, 0}, {1, 1}, {2, 1}, {4, 1}},
+      {{}, {0}, {0}, {}, {3}, {1, 4}});
+  for (const Policy policy : {Policy::eager_fifo, Policy::eager_lifo,
+                              Policy::critical_path, Policy::random_order}) {
+    SimOptions opts;
+    opts.policy = policy;
+    opts.cluster.num_processes = 2;
+    opts.cluster.workers_per_process = 2;
+    const SimResult r = simulate(g, {0, 1}, opts);
+    simtime_t busy = 0;
+    for (const simtime_t b : r.busy_per_process) busy += b;
+    EXPECT_DOUBLE_EQ(busy, g.total_work()) << to_string(policy);
+    for (index_t t = 0; t < g.num_tasks(); ++t)
+      for (const index_t p : g.predecessors(t))
+        EXPECT_GE(r.timing[static_cast<std::size_t>(t)].start,
+                  r.timing[static_cast<std::size_t>(p)].end)
+            << to_string(policy);
+  }
+}
+
+TEST(Simulate, CommDelayPostponesCrossProcessOnly) {
+  // Task 1 on another process: with latency L its start is pred.end + L.
+  const TaskGraph g = make_graph({{2, 0}, {1, 1}, {1, 0}}, {{}, {0}, {0}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  opts.cluster.workers_per_process = 2;
+  opts.comm.latency = 5.0;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  EXPECT_DOUBLE_EQ(r.timing[1].start, 7.0);  // 2 + 5 (crossing)
+  EXPECT_DOUBLE_EQ(r.timing[2].start, 2.0);  // same process: no delay
+}
+
+TEST(Simulate, CommPerObjectScalesWithProducerSize) {
+  std::vector<Task> tasks(2);
+  tasks[0].cost = 1;
+  tasks[0].domain = 0;
+  tasks[0].num_objects = 10;
+  tasks[1].cost = 1;
+  tasks[1].domain = 1;
+  const TaskGraph g(std::move(tasks), {{}, {0}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  opts.comm.per_object = 0.5;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  EXPECT_DOUBLE_EQ(r.timing[1].start, 1.0 + 0.5 * 10);
+}
+
+TEST(Simulate, GanttTracesConsistent) {
+  const TaskGraph g = make_graph({{2, 0}, {3, 1}, {1, 0}}, {{}, {}, {0, 1}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  const SimResult r = simulate(g, {0, 1}, opts);
+  const GanttTrace per_worker = r.gantt(g, true, "w");
+  EXPECT_EQ(per_worker.spans.size(), 3u);
+  EXPECT_DOUBLE_EQ(per_worker.makespan, r.makespan);
+  const GanttTrace per_proc = r.gantt(g, false, "p");
+  EXPECT_EQ(per_proc.resource_names.size(), 2u);
+  // Aggregated busy time per process ≤ sum of spans, ≥ max span.
+  const auto busy = per_proc.busy_per_resource();
+  EXPECT_DOUBLE_EQ(busy[0], 3.0);  // tasks 0 (0-2) and 2 (3-4): merged 0-2,3-4
+  EXPECT_DOUBLE_EQ(busy[1], 3.0);
+}
+
+TEST(Simulate, DeterministicAcrossRuns) {
+  const TaskGraph g = make_graph(
+      {{1, 0}, {2, 1}, {3, 2}, {1, 3}, {2, 0}, {3, 1}},
+      {{}, {}, {0}, {1}, {2, 3}, {4}});
+  SimOptions opts;
+  opts.cluster.num_processes = 2;
+  opts.cluster.workers_per_process = 2;
+  const SimResult a = simulate(g, {0, 0, 1, 1}, opts);
+  const SimResult b = simulate(g, {0, 0, 1, 1}, opts);
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (index_t t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(a.timing[static_cast<std::size_t>(t)].start,
+              b.timing[static_cast<std::size_t>(t)].start);
+    EXPECT_EQ(a.timing[static_cast<std::size_t>(t)].worker,
+              b.timing[static_cast<std::size_t>(t)].worker);
+  }
+}
+
+TEST(Simulate, TaskOverheadChargedPerTask) {
+  const TaskGraph g = make_graph({{1, 0}, {1, 0}, {1, 0}}, {{}, {0}, {1}});
+  SimOptions opts;
+  opts.task_overhead = 2.0;
+  const SimResult r = simulate(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 9.0);  // 3 × (1 + 2)
+  // Busy accounting includes the overhead (the core is occupied).
+  EXPECT_DOUBLE_EQ(r.busy_per_process[0], 9.0);
+  EXPECT_DOUBLE_EQ(r.occupancy(), 1.0);
+}
+
+TEST(Simulate, ParsePolicyNames) {
+  EXPECT_EQ(parse_policy("eager"), Policy::eager_fifo);
+  EXPECT_EQ(parse_policy("cp"), Policy::critical_path);
+  EXPECT_EQ(parse_policy("random"), Policy::random_order);
+  EXPECT_THROW(parse_policy("bogus"), precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp::sim

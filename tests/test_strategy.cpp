@@ -1,0 +1,199 @@
+// Tests for the SC_CELLS / SC_OC / MC_TL / HYBRID strategies and the
+// domain→process mapping — the paper's §IV/§V behaviour.
+#include <gtest/gtest.h>
+
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+
+namespace tamp::partition {
+namespace {
+
+mesh::Mesh small_cylinder() {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 6000;
+  return mesh::make_cylinder_mesh(spec);
+}
+
+TEST(StrategyParse, RoundTrip) {
+  EXPECT_EQ(parse_strategy("sc_oc"), Strategy::sc_oc);
+  EXPECT_EQ(parse_strategy("SC_OC"), Strategy::sc_oc);
+  EXPECT_EQ(parse_strategy("mc_tl"), Strategy::mc_tl);
+  EXPECT_EQ(parse_strategy("sc_cells"), Strategy::sc_cells);
+  EXPECT_EQ(parse_strategy("hybrid"), Strategy::hybrid);
+  EXPECT_THROW(parse_strategy("magic"), precondition_error);
+  EXPECT_STREQ(to_string(Strategy::mc_tl), "MC_TL");
+}
+
+TEST(StrategyGraph, ScOcUsesOperatingCosts) {
+  const auto m = small_cylinder();
+  const auto g = build_strategy_graph(m, Strategy::sc_oc);
+  EXPECT_EQ(g.num_constraints(), 1);
+  for (index_t c = 0; c < m.num_cells(); ++c)
+    EXPECT_EQ(g.vertex_weights(c)[0],
+              mesh::operating_cost(m.cell_level(c), m.max_level()));
+}
+
+TEST(StrategyGraph, McTlUsesBinaryIndicators) {
+  const auto m = small_cylinder();
+  const auto g = build_strategy_graph(m, Strategy::mc_tl);
+  EXPECT_EQ(g.num_constraints(), static_cast<int>(m.max_level()) + 1);
+  for (index_t c = 0; c < m.num_cells(); ++c) {
+    const auto w = g.vertex_weights(c);
+    weight_t sum = 0;
+    for (const weight_t x : w) sum += x;
+    EXPECT_EQ(sum, 1);
+    EXPECT_EQ(w[static_cast<std::size_t>(m.cell_level(c))], 1);
+  }
+}
+
+TEST(StrategyGraph, HybridHasNoSingleGraph) {
+  const auto m = small_cylinder();
+  EXPECT_THROW(build_strategy_graph(m, Strategy::hybrid), precondition_error);
+}
+
+TEST(Decompose, CoversAllDomains) {
+  const auto m = small_cylinder();
+  for (const Strategy s :
+       {Strategy::sc_cells, Strategy::sc_oc, Strategy::mc_tl}) {
+    StrategyOptions opts;
+    opts.strategy = s;
+    opts.ndomains = 8;
+    const DomainDecomposition dd = decompose(m, opts);
+    ASSERT_EQ(dd.domain_of_cell.size(), static_cast<std::size_t>(m.num_cells()));
+    std::vector<index_t> count(8, 0);
+    for (const part_t d : dd.domain_of_cell) {
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, 8);
+      ++count[static_cast<std::size_t>(d)];
+    }
+    for (part_t d = 0; d < 8; ++d) EXPECT_GT(count[static_cast<std::size_t>(d)], 0);
+  }
+}
+
+TEST(Decompose, CensusConsistent) {
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.strategy = Strategy::sc_oc;
+  opts.ndomains = 4;
+  const DomainDecomposition dd = decompose(m, opts);
+  index_t total = 0;
+  for (part_t d = 0; d < 4; ++d)
+    for (level_t l = 0; l < dd.num_levels; ++l) total += dd.cells_in(d, l);
+  EXPECT_EQ(total, m.num_cells());
+  // total_cost sums per-level costs.
+  for (part_t d = 0; d < 4; ++d) {
+    weight_t sum = 0;
+    for (level_t l = 0; l < dd.num_levels; ++l) sum += dd.cost_in(d, l);
+    EXPECT_EQ(sum, dd.total_cost(d));
+  }
+}
+
+TEST(Decompose, ScOcBalancesCostButNotLevels) {
+  // The paper's core observation (Fig 7): operating costs balance while
+  // temporal-level populations diverge wildly.
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.strategy = Strategy::sc_oc;
+  opts.ndomains = 16;
+  const DomainDecomposition dd = decompose(m, opts);
+  EXPECT_LE(dd.cost_imbalance(), 1.35);
+  EXPECT_GE(dd.level_imbalance(), 2.0);  // badly spread level classes
+}
+
+TEST(Decompose, McTlBalancesLevels) {
+  // The paper's contribution (Fig 10): every level class spread evenly.
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.strategy = Strategy::mc_tl;
+  opts.ndomains = 16;
+  const DomainDecomposition dd = decompose(m, opts);
+  EXPECT_LE(dd.level_imbalance(), 2.0);
+  // And since balancing every level balances their weighted sum, the
+  // operating cost stays reasonable too.
+  EXPECT_LE(dd.cost_imbalance(), 1.6);
+}
+
+TEST(Decompose, McTlBeatsScOcOnLevelBalance) {
+  const auto m = small_cylinder();
+  StrategyOptions oc, tl;
+  oc.strategy = Strategy::sc_oc;
+  tl.strategy = Strategy::mc_tl;
+  oc.ndomains = tl.ndomains = 12;
+  EXPECT_LT(decompose(m, tl).level_imbalance(),
+            decompose(m, oc).level_imbalance());
+}
+
+TEST(Decompose, McTlCutsMoreEdges) {
+  // Paper Fig 11b: the price of level balance is a larger interface.
+  const auto m = small_cylinder();
+  StrategyOptions oc, tl;
+  oc.strategy = Strategy::sc_oc;
+  tl.strategy = Strategy::mc_tl;
+  oc.ndomains = tl.ndomains = 16;
+  EXPECT_GT(decompose(m, tl).edge_cut, decompose(m, oc).edge_cut);
+}
+
+TEST(Decompose, SingleDomainTrivial) {
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.ndomains = 1;
+  const DomainDecomposition dd = decompose(m, opts);
+  EXPECT_EQ(dd.edge_cut, 0);
+  EXPECT_DOUBLE_EQ(dd.cost_imbalance(), 1.0);
+}
+
+TEST(Hybrid, RefinesWithinProcessDomains) {
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.strategy = Strategy::hybrid;
+  opts.ndomains = 16;
+  opts.nprocesses = 4;
+  const DomainDecomposition dd = decompose(m, opts);
+  EXPECT_EQ(dd.ndomains, 16);
+  std::vector<index_t> count(16, 0);
+  for (const part_t d : dd.domain_of_cell) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 16);
+    ++count[static_cast<std::size_t>(d)];
+  }
+  for (part_t d = 0; d < 16; ++d) EXPECT_GT(count[static_cast<std::size_t>(d)], 0);
+
+  // Process groups (blocks of 4 domains) must balance temporal levels
+  // like MC_TL does across processes.
+  const level_t nlev = dd.num_levels;
+  std::vector<index_t> per_proc(static_cast<std::size_t>(4 * nlev), 0);
+  for (part_t d = 0; d < 16; ++d)
+    for (level_t l = 0; l < nlev; ++l)
+      per_proc[static_cast<std::size_t>((d / 4) * nlev + l)] += dd.cells_in(d, l);
+  for (level_t l = 0; l < nlev; ++l) {
+    index_t total = 0, worst = 0;
+    for (part_t p = 0; p < 4; ++p) {
+      total += per_proc[static_cast<std::size_t>(p * nlev + l)];
+      worst = std::max(worst, per_proc[static_cast<std::size_t>(p * nlev + l)]);
+    }
+    if (total < 400) continue;  // tiny classes carry slack
+    EXPECT_LE(static_cast<double>(worst) * 4.0 / static_cast<double>(total), 2.0)
+        << "level " << static_cast<int>(l);
+  }
+}
+
+TEST(Hybrid, RequiresDivisibleDomainCount) {
+  const auto m = small_cylinder();
+  StrategyOptions opts;
+  opts.strategy = Strategy::hybrid;
+  opts.ndomains = 10;
+  opts.nprocesses = 4;
+  EXPECT_THROW(decompose(m, opts), precondition_error);
+}
+
+TEST(Mapping, BlockAndRoundRobin) {
+  const auto block = map_domains_to_processes(8, 3, DomainMapping::block);
+  EXPECT_EQ(block, (std::vector<part_t>{0, 0, 0, 1, 1, 1, 2, 2}));
+  const auto rr = map_domains_to_processes(8, 3, DomainMapping::round_robin);
+  EXPECT_EQ(rr, (std::vector<part_t>{0, 1, 2, 0, 1, 2, 0, 1}));
+  EXPECT_THROW(map_domains_to_processes(2, 4, DomainMapping::block),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp::partition

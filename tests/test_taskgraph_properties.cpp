@@ -1,0 +1,162 @@
+// Property sweeps over task generation: for many (mesh, level layout,
+// domain count) combinations, structural invariants of Algorithm 1 hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mesh/generators.hpp"
+#include "mesh/levels.hpp"
+#include "partition/strategy.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/scheme.hpp"
+
+namespace tamp::taskgraph {
+namespace {
+
+struct Case {
+  mesh::TestMeshKind kind;
+  part_t ndomains;
+  std::uint64_t seed;
+};
+
+class TaskGraphProperty : public testing::TestWithParam<Case> {
+protected:
+  void run(partition::Strategy strategy) {
+    const Case& c = GetParam();
+    mesh::TestMeshSpec spec;
+    spec.target_cells = 4000;
+    spec.seed = c.seed;
+    const mesh::Mesh m = mesh::make_test_mesh(c.kind, spec);
+
+    partition::StrategyOptions sopts;
+    sopts.strategy = strategy;
+    sopts.ndomains = c.ndomains;
+    sopts.partitioner.seed = c.seed;
+    const auto dd = partition::decompose(m, sopts);
+
+    const TaskGraph g =
+        generate_task_graph(m, dd.domain_of_cell, c.ndomains);
+    verify(m, g, c.ndomains);
+  }
+
+  static void verify(const mesh::Mesh& m, const TaskGraph& g,
+                     part_t ndomains) {
+    // Acyclic.
+    ASSERT_NO_THROW(g.topological_order());
+
+    const TemporalScheme scheme(static_cast<level_t>(m.max_level() + 1));
+
+    // Every task well-formed.
+    for (index_t t = 0; t < g.num_tasks(); ++t) {
+      const Task& task = g.task(t);
+      ASSERT_GE(task.domain, 0);
+      ASSERT_LT(task.domain, ndomains);
+      ASSERT_GE(task.subiteration, 0);
+      ASSERT_LT(task.subiteration, scheme.num_subiterations());
+      ASSERT_LE(task.level, scheme.top_level(task.subiteration));
+      ASSERT_TRUE(TemporalScheme::is_active(task.level, task.subiteration));
+      ASSERT_GT(task.num_objects, 0);
+      ASSERT_GT(task.cost, 0.0);
+      // Dependencies point strictly backwards in generation order.
+      for (const index_t p : g.predecessors(t)) ASSERT_LT(p, t);
+    }
+
+    // Total processed object activations match the temporal scheme.
+    weight_t cell_updates = 0, face_updates = 0;
+    for (index_t t = 0; t < g.num_tasks(); ++t) {
+      const Task& task = g.task(t);
+      (task.type == ObjectType::cell ? cell_updates : face_updates) +=
+          task.num_objects;
+    }
+    weight_t expected_cells = 0;
+    for (index_t c = 0; c < m.num_cells(); ++c)
+      expected_cells += scheme.updates_per_iteration(m.cell_level(c));
+    weight_t expected_faces = 0;
+    for (index_t f = 0; f < m.num_faces(); ++f)
+      expected_faces += scheme.updates_per_iteration(m.face_level(f));
+    EXPECT_EQ(cell_updates, expected_cells);
+    EXPECT_EQ(face_updates, expected_faces);
+  }
+};
+
+TEST_P(TaskGraphProperty, InvariantsUnderScOc) {
+  run(partition::Strategy::sc_oc);
+}
+
+TEST_P(TaskGraphProperty, InvariantsUnderMcTl) {
+  run(partition::Strategy::mc_tl);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TaskGraphProperty,
+    testing::Values(Case{mesh::TestMeshKind::cylinder, 2, 1},
+                    Case{mesh::TestMeshKind::cylinder, 8, 2},
+                    Case{mesh::TestMeshKind::cube, 4, 3},
+                    Case{mesh::TestMeshKind::cube, 12, 4},
+                    Case{mesh::TestMeshKind::nozzle, 6, 5},
+                    Case{mesh::TestMeshKind::nozzle, 16, 6}),
+    [](const auto& tp_info) {
+      return std::string(mesh::to_string(tp_info.param.kind)) + "_d" +
+             std::to_string(tp_info.param.ndomains);
+    });
+
+TEST(TaskGraphInvariance, TotalWorkIndependentOfPartitioning) {
+  // Paper §VI: "the total amount of work is independent of partitioning
+  // strategy". Cell work is identical; face work may differ marginally
+  // only through face levels — which depend on the mesh, not the
+  // partition — so totals must match exactly.
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 4000;
+  const mesh::Mesh m = mesh::make_cylinder_mesh(spec);
+  simtime_t works[2];
+  int i = 0;
+  for (const auto strategy :
+       {partition::Strategy::sc_oc, partition::Strategy::mc_tl}) {
+    partition::StrategyOptions sopts;
+    sopts.strategy = strategy;
+    sopts.ndomains = 8;
+    const auto dd = partition::decompose(m, sopts);
+    works[i++] =
+        generate_task_graph(m, dd.domain_of_cell, 8).total_work();
+  }
+  EXPECT_NEAR(works[0], works[1], 1e-9 * works[0]);
+}
+
+TEST(TaskGraphGranularity, McTlProducesMoreTasks) {
+  // Paper Fig 8 / §VI: MC_TL domains contain every level, so each phase
+  // emits tasks from every domain — finer granularity than SC_OC.
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 6000;
+  const mesh::Mesh m = mesh::make_cylinder_mesh(spec);
+  index_t counts[2];
+  int i = 0;
+  for (const auto strategy :
+       {partition::Strategy::sc_oc, partition::Strategy::mc_tl}) {
+    partition::StrategyOptions sopts;
+    sopts.strategy = strategy;
+    sopts.ndomains = 16;
+    const auto dd = partition::decompose(m, sopts);
+    counts[i++] =
+        generate_task_graph(m, dd.domain_of_cell, 16).num_tasks();
+  }
+  EXPECT_GT(counts[1], counts[0]);
+}
+
+TEST(TaskGraphScaling, MoreDomainsMoreTasks) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 4000;
+  const mesh::Mesh m = mesh::make_cube_mesh(spec);
+  index_t prev = 0;
+  for (const part_t nd : {2, 8, 32}) {
+    partition::StrategyOptions sopts;
+    sopts.strategy = partition::Strategy::mc_tl;
+    sopts.ndomains = nd;
+    const auto dd = partition::decompose(m, sopts);
+    const index_t n = generate_task_graph(m, dd.domain_of_cell, nd).num_tasks();
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+}  // namespace
+}  // namespace tamp::taskgraph

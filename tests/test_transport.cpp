@@ -1,0 +1,225 @@
+// Tests of the scalar advection–diffusion solver: conservation, the
+// discrete maximum principle, diffusion behaviour, advection direction,
+// adaptive subcycling and task/serial equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+#include "solver/transport.hpp"
+
+namespace tamp::solver {
+namespace {
+
+TEST(Transport, UniformFieldIsSteadyState) {
+  mesh::Mesh m = mesh::make_lattice_mesh(5, 5, 5);
+  TransportConfig cfg;
+  cfg.velocity = {1.0, 0.5, -0.2};
+  cfg.diffusivity = 0.1;
+  cfg.ambient = 3.0;  // inflow carries the same value: exact steady state
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(3.0);
+  s.assign_temporal_levels();
+  for (int it = 0; it < 3; ++it) s.run_iteration();
+  for (index_t c = 0; c < m.num_cells(); ++c)
+    EXPECT_NEAR(s.value(c), 3.0, 1e-12);
+}
+
+TEST(Transport, ScalarMassConservedExactly) {
+  mesh::Mesh m = mesh::make_graded_box_mesh(9, 9, 9, 1.2);
+  TransportConfig cfg;
+  cfg.velocity = {0.8, 0.3, 0.0};
+  cfg.diffusivity = 0.05;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(1.0);
+  s.add_blob({2.0, 2.0, 2.0}, 1.5, 2.0);
+  s.assign_temporal_levels();
+  // Open boundaries: what is inside plus what departed is invariant.
+  const double before = s.total_scalar() + s.net_boundary_outflow();
+  for (int it = 0; it < 5; ++it) {
+    s.run_iteration();
+    EXPECT_NEAR(s.total_scalar() + s.net_boundary_outflow(), before,
+                1e-10 * std::abs(before))
+        << "iter " << it;
+  }
+  EXPECT_TRUE(s.values_finite());
+}
+
+TEST(Transport, DiscreteMaximumPrinciple) {
+  // Upwind + two-point diffusion under the CFL bound creates no new
+  // extrema: φ stays within [initial min, initial max].
+  mesh::Mesh m = mesh::make_graded_box_mesh(8, 8, 8, 1.25);
+  TransportConfig cfg;
+  cfg.velocity = {1.0, 0.0, 0.0};
+  cfg.diffusivity = 0.02;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(0.0);
+  s.add_blob({1.5, 1.5, 1.5}, 1.0, 1.0);
+  s.assign_temporal_levels();
+  const double lo = s.min_value(), hi = s.max_value();
+  for (int it = 0; it < 6; ++it) {
+    s.run_iteration();
+    EXPECT_GE(s.min_value(), lo - 1e-12) << "iter " << it;
+    EXPECT_LE(s.max_value(), hi + 1e-12) << "iter " << it;
+  }
+}
+
+TEST(Transport, DiffusionDecaysPeak) {
+  mesh::Mesh m = mesh::make_lattice_mesh(10, 10, 10);
+  TransportConfig cfg;
+  cfg.velocity = {0, 0, 0};
+  cfg.diffusivity = 0.2;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(0.0);
+  s.add_blob({5, 5, 5}, 1.0, 1.0);
+  s.assign_temporal_levels();
+  const double peak0 = s.max_value();
+  s.run_iteration();
+  const double peak1 = s.max_value();
+  s.run_iteration();
+  EXPECT_LT(peak1, peak0);
+  EXPECT_LT(s.max_value(), peak1);
+  EXPECT_GE(s.min_value(), -1e-12);  // diffusion cannot undershoot
+}
+
+TEST(Transport, AdvectionMovesBlobDownstream) {
+  mesh::Mesh m = mesh::make_lattice_mesh(16, 4, 4);
+  TransportConfig cfg;
+  cfg.velocity = {1.0, 0.0, 0.0};
+  cfg.diffusivity = 0.0;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(0.0);
+  s.add_blob({3.0, 2.0, 2.0}, 1.0, 1.0);
+  s.assign_temporal_levels();
+  auto centroid_x = [&] {
+    double mass = 0, mx = 0;
+    for (index_t c = 0; c < m.num_cells(); ++c) {
+      const double w = s.value(c) * m.cell_volume(c);
+      mass += w;
+      mx += w * m.cell_centroid(c).x;
+    }
+    return mx / mass;
+  };
+  const double x0 = centroid_x();
+  double elapsed = 0;
+  for (int it = 0; it < 8; ++it) {
+    s.run_iteration();
+  }
+  elapsed = s.time();
+  const double x1 = centroid_x();
+  // The scalar's centre of mass moves with the flow (upwind diffusion
+  // spreads it, but the mean must track u·t until walls interfere).
+  EXPECT_NEAR(x1 - x0, elapsed, 0.25 * elapsed);
+}
+
+TEST(Transport, RequiresVelocityOrDiffusivity) {
+  mesh::Mesh m = mesh::make_lattice_mesh(3, 3, 3);
+  TransportConfig cfg;
+  cfg.velocity = {0, 0, 0};
+  cfg.diffusivity = 0.0;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(1.0);
+  EXPECT_THROW((void)s.assign_temporal_levels(), precondition_error);
+}
+
+TEST(Transport, GradedMeshGetsMultipleLevels) {
+  mesh::Mesh m = mesh::make_graded_box_mesh(12, 12, 12, 1.25);
+  TransportConfig cfg;
+  cfg.velocity = {1, 0, 0};
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(0.0);
+  s.assign_temporal_levels();
+  EXPECT_GE(m.max_level(), 2);
+}
+
+TEST(Transport, DiffusiveLevelsScaleQuadratically) {
+  // Pure diffusion: Δt ∝ h², so one cell-size doubling is *two* temporal
+  // levels — a different ladder shape than advection's.
+  mesh::Mesh adv_mesh = mesh::make_graded_box_mesh(10, 10, 10, 1.2);
+  mesh::Mesh dif_mesh = mesh::make_graded_box_mesh(10, 10, 10, 1.2);
+  TransportConfig adv;
+  adv.velocity = {1, 0, 0};
+  adv.diffusivity = 0;
+  TransportConfig dif;
+  dif.velocity = {0, 0, 0};
+  dif.diffusivity = 0.1;
+  dif.max_levels = 8;
+  TransportSolver sa(adv_mesh, adv), sd(dif_mesh, dif);
+  sa.initialize_uniform(0);
+  sd.initialize_uniform(0);
+  sa.assign_temporal_levels();
+  sd.assign_temporal_levels();
+  EXPECT_GT(dif_mesh.max_level(), adv_mesh.max_level());
+}
+
+TEST(Transport, TaskExecutionMatchesSerial) {
+  mesh::Mesh m1 = mesh::make_graded_box_mesh(8, 7, 6, 1.2);
+  mesh::Mesh m2 = mesh::make_graded_box_mesh(8, 7, 6, 1.2);
+  TransportConfig cfg;
+  cfg.velocity = {0.7, -0.2, 0.1};
+  cfg.diffusivity = 0.03;
+  TransportSolver serial(m1, cfg), tasked(m2, cfg);
+  for (TransportSolver* s : {&serial, &tasked}) {
+    s->initialize_uniform(1.0);
+    s->add_blob({1.5, 1.0, 0.8}, 1.0, 1.5);
+    s->assign_temporal_levels();
+  }
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::mc_tl;
+  sopts.ndomains = 6;
+  const auto dd = partition::decompose(m2, sopts);
+  runtime::RuntimeConfig rc;
+  rc.num_processes = 3;
+  rc.workers_per_process = 2;
+  const auto d2p = partition::map_domains_to_processes(
+      6, 3, partition::DomainMapping::block);
+
+  for (int it = 0; it < 2; ++it) serial.run_iteration();
+  for (int it = 0; it < 2; ++it)
+    tasked.run_iteration_tasks(dd.domain_of_cell, 6, d2p, rc);
+  for (index_t c = 0; c < m1.num_cells(); ++c)
+    EXPECT_NEAR(tasked.value(c), serial.value(c), 1e-13) << "cell " << c;
+}
+
+TEST(Transport, TaskExecutionConserves) {
+  mesh::Mesh m = mesh::make_graded_box_mesh(8, 8, 8, 1.2);
+  TransportConfig cfg;
+  cfg.velocity = {0.5, 0.5, 0};
+  cfg.diffusivity = 0.02;
+  TransportSolver s(m, cfg);
+  s.initialize_uniform(1.0);
+  s.add_blob({1, 1, 1}, 1.0, 1.0);
+  s.assign_temporal_levels();
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::sc_oc;
+  sopts.ndomains = 4;
+  const auto dd = partition::decompose(m, sopts);
+  runtime::RuntimeConfig rc;
+  rc.num_processes = 2;
+  rc.workers_per_process = 2;
+  const auto d2p = partition::map_domains_to_processes(
+      4, 2, partition::DomainMapping::block);
+  const double before = s.total_scalar() + s.net_boundary_outflow();
+  for (int it = 0; it < 3; ++it)
+    s.run_iteration_tasks(dd.domain_of_cell, 4, d2p, rc);
+  EXPECT_NEAR(s.total_scalar() + s.net_boundary_outflow(), before,
+              1e-10 * std::abs(before));
+}
+
+TEST(Transport, ValidatesConfigAndInput) {
+  mesh::Mesh m = mesh::make_lattice_mesh(3, 3, 3);
+  TransportConfig bad;
+  bad.diffusivity = -1;
+  EXPECT_THROW(TransportSolver(m, bad), precondition_error);
+  bad = TransportConfig{};
+  bad.cfl = 0;
+  EXPECT_THROW(TransportSolver(m, bad), precondition_error);
+  TransportSolver s(m);
+  EXPECT_THROW(s.set_value(100, 1.0), precondition_error);
+  EXPECT_THROW(s.add_blob({0, 0, 0}, -1.0, 1.0), precondition_error);
+  EXPECT_THROW(s.run_iteration(), precondition_error);  // no levels yet
+}
+
+}  // namespace
+}  // namespace tamp::solver
