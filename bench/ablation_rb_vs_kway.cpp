@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
         sopts.ndomains = cfg.ndomains;
         sopts.partitioner.method = method;
         sopts.partitioner.seed = seed;
-        Stopwatch sw;
+        ScopedTimer timer("bench.partition.seconds");
         const auto dd = partition::decompose(m, sopts);
-        const double part_seconds = sw.seconds();
+        const double part_seconds = timer.stop();
 
         const auto g =
             partition::build_strategy_graph(m, strategy);

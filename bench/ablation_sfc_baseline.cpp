@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
   };
 
   {
-    Stopwatch sw;
+    ScopedTimer timer("bench.partition.seconds");
     const auto part = partition::sfc_partition_operating_cost(m, ndomains);
-    add_row("SFC (Hilbert, OC weights)", part, sw.seconds());
+    add_row("SFC (Hilbert, OC weights)", part, timer.stop());
   }
   for (const auto strategy :
        {partition::Strategy::sc_oc, partition::Strategy::mc_tl}) {
@@ -64,10 +64,10 @@ int main(int argc, char** argv) {
     sopts.strategy = strategy;
     sopts.ndomains = ndomains;
     sopts.partitioner.seed = seed;
-    Stopwatch sw;
+    ScopedTimer timer("bench.partition.seconds");
     const auto dd = partition::decompose(m, sopts);
     add_row(std::string("multilevel ") + partition::to_string(strategy),
-            dd.domain_of_cell, sw.seconds());
+            dd.domain_of_cell, timer.stop());
   }
   t.print(std::cout);
   std::cout << "Shape check: SFC is fastest with a fine cost balance but "

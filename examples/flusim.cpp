@@ -15,6 +15,9 @@
 
 #include "mesh/generators.hpp"
 #include "mesh/io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/io.hpp"
 #include "partition/strategy.hpp"
 #include "sim/analysis.hpp"
@@ -43,9 +46,17 @@ int main(int argc, char** argv) {
   cli.option("comm-latency", "0", "latency per crossing edge (work units)");
   cli.option("iterations", "1", "iterations to emulate");
   cli.option("svg", "", "write a Gantt SVG here");
-  cli.option("chrome-trace", "", "write a chrome://tracing JSON here");
+  cli.option("chrome-trace", "",
+             "write a chrome://tracing JSON here (task spans merged with "
+             "pipeline-phase spans when tracing is compiled in)");
+  cli.option("metrics", "", "write a metrics JSON snapshot here");
   cli.flag("per-worker", "Gantt rows per worker instead of per process");
   if (!cli.parse(argc, argv)) return 0;
+
+  // Asking for a trace implies wanting the pipeline spans in it: arm the
+  // session before any pipeline work runs.
+  if (!cli.get("chrome-trace").empty() || !cli.get("metrics").empty())
+    obs::set_tracing_enabled(true);
 
   try {
     // --- inputs -------------------------------------------------------------
@@ -123,8 +134,11 @@ int main(int argc, char** argv) {
       write_gantt_svg(result.gantt(graph, cli.get_flag("per-worker"), "flusim"),
                       cli.get("svg"));
     if (!cli.get("chrome-trace").empty())
-      sim::save_chrome_trace(sim::to_chrome_trace(graph, result),
+      sim::save_chrome_trace(sim::to_chrome_trace_merged(graph, result),
                              cli.get("chrome-trace"));
+    if (!cli.get("metrics").empty())
+      obs::save_text(obs::metrics_to_json(obs::Registry::instance().snapshot()),
+                     cli.get("metrics"));
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "flusim: " << e.what() << '\n';

@@ -1,7 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <sstream>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/repair.hpp"
 
 namespace tamp::core {
@@ -26,16 +29,21 @@ weight_t RunOutcome::comm_volume() const {
 RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config) {
   TAMP_EXPECTS(config.ndomains >= config.nprocesses,
                "need at least one domain per process");
+  TAMP_TRACE_SCOPE("pipeline/run_on_mesh");
   RunOutcome out;
 
-  partition::StrategyOptions sopts;
-  sopts.strategy = config.strategy;
-  sopts.ndomains = config.ndomains;
-  sopts.nprocesses = config.nprocesses;
-  sopts.partitioner.tolerance = config.partition_tolerance;
-  sopts.partitioner.seed = config.seed;
-  out.decomposition = partition::decompose(mesh, sopts);
+  {
+    TAMP_TRACE_SCOPE("pipeline/partition");
+    partition::StrategyOptions sopts;
+    sopts.strategy = config.strategy;
+    sopts.ndomains = config.ndomains;
+    sopts.nprocesses = config.nprocesses;
+    sopts.partitioner.tolerance = config.partition_tolerance;
+    sopts.partitioner.seed = config.seed;
+    out.decomposition = partition::decompose(mesh, sopts);
+  }
   if (config.repair_fragments) {
+    TAMP_TRACE_SCOPE("pipeline/repair");
     const auto g = partition::build_strategy_graph(
         mesh, config.strategy == partition::Strategy::hybrid
                   ? partition::Strategy::mc_tl
@@ -44,24 +52,40 @@ RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config) {
                                 config.ndomains);
     partition::update_census(mesh, out.decomposition);
   }
+  TAMP_METRIC_GAUGE_SET("pipeline.level_imbalance",
+                        out.decomposition.level_imbalance());
+  TAMP_METRIC_GAUGE_SET("pipeline.cost_imbalance",
+                        out.decomposition.cost_imbalance());
+  TAMP_METRIC_GAUGE_SET("pipeline.edge_cut", out.decomposition.edge_cut);
 
-  taskgraph::GenerateOptions gopts;
-  gopts.cost = config.cost;
-  gopts.num_iterations = config.num_iterations;
-  out.graph = taskgraph::generate_task_graph(
-      mesh, out.decomposition.domain_of_cell, config.ndomains, gopts);
+  {
+    TAMP_TRACE_SCOPE("pipeline/taskgraph");
+    taskgraph::GenerateOptions gopts;
+    gopts.cost = config.cost;
+    gopts.num_iterations = config.num_iterations;
+    out.graph = taskgraph::generate_task_graph(
+        mesh, out.decomposition.domain_of_cell, config.ndomains, gopts);
+  }
 
-  out.domain_to_process = partition::map_domains_to_processes(
-      config.ndomains, config.nprocesses, config.mapping);
+  {
+    TAMP_TRACE_SCOPE("pipeline/map");
+    out.domain_to_process = partition::map_domains_to_processes(
+        config.ndomains, config.nprocesses, config.mapping);
+  }
 
-  sim::SimOptions simopts;
-  simopts.cluster.num_processes = config.nprocesses;
-  simopts.cluster.workers_per_process = config.workers_per_process;
-  simopts.policy = config.policy;
-  simopts.comm = config.comm;
-  simopts.task_overhead = config.task_overhead;
-  simopts.seed = config.seed;
-  out.sim = sim::simulate(out.graph, out.domain_to_process, simopts);
+  {
+    TAMP_TRACE_SCOPE("pipeline/simulate");
+    sim::SimOptions simopts;
+    simopts.cluster.num_processes = config.nprocesses;
+    simopts.cluster.workers_per_process = config.workers_per_process;
+    simopts.policy = config.policy;
+    simopts.comm = config.comm;
+    simopts.task_overhead = config.task_overhead;
+    simopts.seed = config.seed;
+    out.sim = sim::simulate(out.graph, out.domain_to_process, simopts);
+  }
+  TAMP_METRIC_GAUGE_SET("pipeline.makespan", out.makespan());
+  TAMP_METRIC_GAUGE_SET("pipeline.occupancy", out.occupancy());
   return out;
 }
 

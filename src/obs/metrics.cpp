@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace tamp::obs {
+
+int HistogramSnapshot::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant ∈ [0.5, 1)
+  const int slot = exp - 1;                 // v ∈ [2^slot, 2^(slot+1))
+  if (slot < kMinExp) return 0;
+  if (slot >= kMaxExp) return kNumBuckets - 1;
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((2.0 * mant - 1.0) * static_cast<double>(kSubBuckets)));
+  return (slot - kMinExp) * kSubBuckets + sub;
+}
+
+double HistogramSnapshot::bucket_lower(int index) {
+  const int slot = kMinExp + index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    slot);
+}
+
+double HistogramSnapshot::bucket_upper(int index) {
+  const int slot = kMinExp + index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) /
+                              static_cast<double>(kSubBuckets),
+                    slot);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double frac =
+          std::clamp((rank - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < HistogramSnapshot::kNumBuckets; ++b)
+    snap.buckets[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges)
+    snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms)
+    snap.histograms.emplace_back(name, h->snapshot());
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, c] : impl_->counters) c->reset();
+  for (const auto& [name, g] : impl_->gauges) g->reset();
+  for (const auto& [name, h] : impl_->histograms) h->reset();
+}
+
+}  // namespace tamp::obs

@@ -1,0 +1,214 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace tamp::obs {
+
+namespace detail {
+
+constexpr std::size_t kChunkCapacity = 512;
+
+/// Fixed-size block of events. The owning thread writes a slot, then
+/// publishes it with a release store of `count`; readers acquire `count`
+/// and may copy the published prefix while the writer keeps appending.
+struct Chunk {
+  std::array<TraceEvent, kChunkCapacity> events;
+  std::atomic<std::size_t> count{0};
+  std::atomic<Chunk*> next{nullptr};
+};
+
+/// Per-thread event sink: a singly-linked list of chunks. Only the owning
+/// thread appends (wait-free); snapshot() readers walk head/next/count
+/// with acquire loads.
+struct ThreadBuffer {
+  std::uint32_t thread_id = 0;
+  std::atomic<Chunk*> head{nullptr};
+  Chunk* tail = nullptr;   ///< writer-owned cursor
+  std::int32_t depth = 0;  ///< writer-owned span nesting level
+
+  ~ThreadBuffer() { free_chunks(); }
+
+  void free_chunks() {
+    Chunk* c = head.load(std::memory_order_acquire);
+    head.store(nullptr, std::memory_order_release);
+    tail = nullptr;
+    while (c != nullptr) {
+      Chunk* nxt = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = nxt;
+    }
+  }
+
+  void push(TraceEvent&& e) {
+    if (tail == nullptr) {
+      auto* c = new Chunk;
+      tail = c;
+      head.store(c, std::memory_order_release);
+    } else if (tail->count.load(std::memory_order_relaxed) ==
+               kChunkCapacity) {
+      auto* c = new Chunk;
+      tail->next.store(c, std::memory_order_release);
+      tail = c;
+    }
+    const std::size_t i = tail->count.load(std::memory_order_relaxed);
+    tail->events[i] = std::move(e);
+    tail->count.store(i + 1, std::memory_order_release);
+  }
+};
+
+}  // namespace detail
+
+struct TraceSession::Impl {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  mutable std::mutex registry_mutex;
+  /// Shared ownership with each thread's thread_local handle, so events
+  /// of exited threads stay readable until the session dies.
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  std::uint32_t next_thread_id = 0;
+};
+
+TraceSession::TraceSession() : impl_(std::make_unique<Impl>()) {
+  if (const char* env = std::getenv("TAMP_TRACE"); env != nullptr) {
+    const std::string v(env);
+    enabled_.store(v == "1" || v == "true" || v == "on" || v == "TRUE" ||
+                   v == "ON");
+  }
+}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession& TraceSession::instance() {
+  static TraceSession session;
+  return session;
+}
+
+std::int64_t TraceSession::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - impl_->epoch)
+      .count();
+}
+
+std::shared_ptr<detail::ThreadBuffer> TraceSession::register_thread() {
+  const std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  auto buffer = std::make_shared<detail::ThreadBuffer>();
+  buffer->thread_id = impl_->next_thread_id++;
+  impl_->buffers.push_back(buffer);
+  return buffer;
+}
+
+detail::ThreadBuffer& TraceSession::local_buffer() {
+  thread_local std::shared_ptr<detail::ThreadBuffer> buffer =
+      register_thread();
+  return *buffer;
+}
+
+void TraceSession::record_span(std::string name, std::int64_t start_ns,
+                               std::int64_t end_ns, std::string payload) {
+  if (!enabled()) return;
+  detail::ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.kind = EventKind::span;
+  ev.name = std::move(name);
+  ev.detail = std::move(payload);
+  ev.thread = buf.thread_id;
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  ev.depth = buf.depth;
+  buf.push(std::move(ev));
+}
+
+void TraceSession::record_instant(std::string name, std::string payload) {
+  if (!enabled()) return;
+  detail::ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.kind = EventKind::instant;
+  ev.name = std::move(name);
+  ev.detail = std::move(payload);
+  ev.thread = buf.thread_id;
+  ev.start_ns = now_ns();
+  ev.depth = buf.depth;
+  buf.push(std::move(ev));
+}
+
+void TraceSession::record_counter(std::string name, double value) {
+  if (!enabled()) return;
+  detail::ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.kind = EventKind::counter;
+  ev.name = std::move(name);
+  ev.thread = buf.thread_id;
+  ev.start_ns = now_ns();
+  ev.value = value;
+  buf.push(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+    buffers = impl_->buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    const detail::Chunk* c = buf->head.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      const std::size_t n = c->count.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) out.push_back(c->events[i]);
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns)
+                       return a.start_ns < b.start_ns;
+                     return a.thread < b.thread;
+                   });
+  return out;
+}
+
+std::uint32_t TraceSession::num_threads() const {
+  const std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  std::uint32_t n = 0;
+  for (const auto& buf : impl_->buffers)
+    if (buf->head.load(std::memory_order_acquire) != nullptr) ++n;
+  return n;
+}
+
+void TraceSession::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  for (const auto& buf : impl_->buffers) buf->free_chunks();
+}
+
+std::uint32_t current_thread_id() {
+  return TraceSession::instance().local_buffer().thread_id;
+}
+
+TraceScope::TraceScope(const char* name) {
+  TraceSession& session = TraceSession::instance();
+  if (!session.enabled()) return;
+  buffer_ = &session.local_buffer();
+  name_ = name;
+  start_ns_ = session.now_ns();
+  depth_ = buffer_->depth++;
+}
+
+TraceScope::~TraceScope() {
+  if (buffer_ == nullptr) return;
+  TraceSession& session = TraceSession::instance();
+  buffer_->depth = depth_;
+  TraceEvent ev;
+  ev.kind = EventKind::span;
+  ev.name = name_;
+  ev.thread = buffer_->thread_id;
+  ev.start_ns = start_ns_;
+  ev.end_ns = session.now_ns();
+  ev.depth = depth_;
+  buffer_->push(std::move(ev));
+}
+
+}  // namespace tamp::obs

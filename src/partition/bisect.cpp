@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "partition/balance.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/initial.hpp"
@@ -13,42 +14,54 @@ std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
                                       const Options& opts, Rng& rng,
                                       weight_t& cut_out) {
   TAMP_EXPECTS(g.num_vertices() >= 2, "cannot bisect fewer than 2 vertices");
+  TAMP_TRACE_SCOPE("partition/bisect");
 
   // --- coarsening phase ---------------------------------------------------
   // Keep the ladder of levels; stop when small enough or when matching
   // stalls (reduction < 10 %, typical on graphs with many isolated
   // vertices).
   std::vector<CoarseLevel> ladder;
-  const graph::Csr* current = &g;
-  while (current->num_vertices() > opts.coarsen_to && ladder.size() < 64) {
-    CoarseLevel level = coarsen_once(*current, rng);
-    // Stalled matching (< 2 % reduction) means further levels are wasted
-    // work: discard this level and partition what we have.
-    if (static_cast<double>(level.graph.num_vertices()) >
-        0.98 * static_cast<double>(current->num_vertices()))
-      break;
-    ladder.push_back(std::move(level));
-    current = &ladder.back().graph;
+  {
+    TAMP_TRACE_SCOPE("partition/coarsen");
+    const graph::Csr* current = &g;
+    while (current->num_vertices() > opts.coarsen_to && ladder.size() < 64) {
+      CoarseLevel level = coarsen_once(*current, rng);
+      // Stalled matching (< 2 % reduction) means further levels are wasted
+      // work: discard this level and partition what we have.
+      if (static_cast<double>(level.graph.num_vertices()) >
+          0.98 * static_cast<double>(current->num_vertices()))
+        break;
+      ladder.push_back(std::move(level));
+      current = &ladder.back().graph;
+    }
   }
 
   // --- initial partitioning at the coarsest level --------------------------
   const graph::Csr& coarsest = ladder.empty() ? g : ladder.back().graph;
   BalanceSpec coarse_spec(coarsest, fraction0, opts.tolerance);
-  std::vector<part_t> part =
-      greedy_growing_bisection(coarsest, coarse_spec, rng, opts.initial_trials);
-  fm_refine_bisection(coarsest, part, coarse_spec, rng, opts.refine_passes);
+  std::vector<part_t> part;
+  {
+    TAMP_TRACE_SCOPE("partition/initial");
+    part = greedy_growing_bisection(coarsest, coarse_spec, rng,
+                                    opts.initial_trials);
+    fm_refine_bisection(coarsest, part, coarse_spec, rng, opts.refine_passes);
+  }
 
   // --- uncoarsening + refinement -------------------------------------------
-  for (std::size_t li = ladder.size(); li-- > 0;) {
-    const graph::Csr& fine = li == 0 ? g : ladder[li - 1].graph;
-    const std::vector<index_t>& f2c = ladder[li].fine_to_coarse;
-    std::vector<part_t> fine_part(static_cast<std::size_t>(fine.num_vertices()));
-    for (index_t v = 0; v < fine.num_vertices(); ++v)
-      fine_part[static_cast<std::size_t>(v)] =
-          part[static_cast<std::size_t>(f2c[static_cast<std::size_t>(v)])];
-    part = std::move(fine_part);
-    BalanceSpec spec(fine, fraction0, opts.tolerance);
-    fm_refine_bisection(fine, part, spec, rng, opts.refine_passes);
+  {
+    TAMP_TRACE_SCOPE("partition/refine");
+    for (std::size_t li = ladder.size(); li-- > 0;) {
+      const graph::Csr& fine = li == 0 ? g : ladder[li - 1].graph;
+      const std::vector<index_t>& f2c = ladder[li].fine_to_coarse;
+      std::vector<part_t> fine_part(
+          static_cast<std::size_t>(fine.num_vertices()));
+      for (index_t v = 0; v < fine.num_vertices(); ++v)
+        fine_part[static_cast<std::size_t>(v)] =
+            part[static_cast<std::size_t>(f2c[static_cast<std::size_t>(v)])];
+      part = std::move(fine_part);
+      BalanceSpec spec(fine, fraction0, opts.tolerance);
+      fm_refine_bisection(fine, part, spec, rng, opts.refine_passes);
+    }
   }
 
   cut_out = edge_cut(g, part);

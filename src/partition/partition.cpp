@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/balance.hpp"
 #include "partition/bisect.hpp"
 #include "partition/refine.hpp"
@@ -88,9 +91,13 @@ Result partition_graph(const graph::Csr& g, const Options& opts) {
     for (part_t k = 1; k < opts.nparts; k *= 2) ++depth;
     bisect_opts.tolerance =
         std::max(opts.tolerance / std::max(depth, 1), 0.005);
-    rb_recurse(g, identity, opts.nparts, 0, bisect_opts, rng, result.part);
+    {
+      TAMP_TRACE_SCOPE("partition/rb");
+      rb_recurse(g, identity, opts.nparts, 0, bisect_opts, rng, result.part);
+    }
 
     if (opts.method == Method::kway_direct) {
+      TAMP_TRACE_SCOPE("partition/kway");
       // RB seeds a direct k-way refinement over the whole graph.
       const int nc = g.num_constraints();
       const auto totals = g.total_weights();
@@ -119,6 +126,11 @@ Result partition_graph(const graph::Csr& g, const Options& opts) {
 
   result.edge_cut = edge_cut(g, result.part);
   result.loads = part_loads(g, result.part, opts.nparts);
+#if defined(TAMP_TRACING_ENABLED)
+  for (int c = 0; c < result.ncon; ++c)
+    obs::gauge("partition.imbalance.c" + std::to_string(c))
+        .set(result.imbalance(c));
+#endif
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 
 namespace tamp::partition {
@@ -269,6 +270,7 @@ weight_t fm_refine_bisection(const graph::Csr& g, std::vector<part_t>& part,
       const MoveRecord& m = moves[i - 1];
       apply_move(m.vertex);  // flips back
     }
+    TAMP_METRIC_COUNT("partition.refine.moves", best_prefix);
     const weight_t new_cut = best_cut;
     const bool improved = new_cut < cut || best_prefix > 0;
     cut = new_cut;
@@ -289,6 +291,7 @@ weight_t kway_refine(const graph::Csr& g, std::vector<part_t>& part,
   std::vector<weight_t> loads = part_loads(g, part, nparts);
   std::vector<weight_t> conn(static_cast<std::size_t>(nparts), 0);
   std::vector<part_t> touched;
+  std::int64_t kway_moves = 0;  // recorded once at the end; see metrics.hpp
 
   for (int pass = 0; pass < passes; ++pass) {
     bool any_move = false;
@@ -336,12 +339,15 @@ weight_t kway_refine(const graph::Csr& g, std::vector<part_t>& part,
             loads[static_cast<std::size_t>(best) * nc + sc] += w[sc];
           }
           any_move = true;
+          ++kway_moves;
         }
       }
       for (const part_t b : touched) conn[static_cast<std::size_t>(b)] = 0;
     }
     if (!any_move) break;
   }
+  TAMP_METRIC_COUNT("partition.refine.kway_moves", kway_moves);
+  static_cast<void>(kway_moves);
   return edge_cut(g, part);
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 
 namespace tamp::partition {
@@ -74,6 +76,7 @@ RepairReport repair_fragments(const graph::Csr& g, std::vector<part_t>& part,
   TAMP_EXPECTS(part.size() == static_cast<std::size_t>(g.num_vertices()),
                "partition vector size mismatch");
   TAMP_EXPECTS(opts.headroom >= 0, "headroom must be non-negative");
+  TAMP_TRACE_SCOPE("partition/repair");
   const int nc = g.num_constraints();
 
   RepairReport report;
@@ -211,6 +214,9 @@ RepairReport repair_fragments(const graph::Csr& g, std::vector<part_t>& part,
   const Fragments final_frags = find_fragments(g, part, nparts);
   report.fragments_after = count_extra_fragments(final_frags, nparts);
   report.cut_after = edge_cut(g, part);
+  TAMP_METRIC_COUNT("partition.repair.vertices_moved", report.vertices_moved);
+  TAMP_METRIC_COUNT("partition.repair.fragments_dissolved",
+                    report.fragments_before - report.fragments_after);
   return report;
 }
 

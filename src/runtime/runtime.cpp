@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
 
 namespace tamp::runtime {
@@ -64,6 +66,7 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
                         const RuntimeConfig& config, const TaskBody& body) {
   TAMP_EXPECTS(config.num_processes >= 1, "need at least one process");
   TAMP_EXPECTS(config.workers_per_process >= 1, "need at least one worker");
+  TAMP_TRACE_SCOPE("runtime/execute");
   const index_t n = graph.num_tasks();
 
   std::vector<part_t> process_of(static_cast<std::size_t>(n));
@@ -112,11 +115,20 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
         0)
       push_ready(t);
 
+#if defined(TAMP_TRACING_ENABLED)
+  // Resolve metric handles once: the per-name lookup takes the registry
+  // mutex and must stay out of the worker loop.
+  obs::Histogram& task_seconds_hist = obs::histogram("runtime.task.seconds");
+#endif
+
   auto worker_main = [&](part_t p, int w) {
     ProcessQueue& q = queues[static_cast<std::size_t>(p)];
     while (true) {
       index_t t = invalid_index;
       {
+        // Spans the cv wait plus the dequeue: on the timeline, every gap
+        // between runtime/task spans shows up as runtime/idle.
+        TAMP_TRACE_SCOPE("runtime/idle");
         std::unique_lock<std::mutex> lock(q.mutex);
         q.cv.wait(lock, [&] {
           return !q.ready.empty() ||
@@ -134,6 +146,7 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
       span.worker = w;
       span.start = clock.seconds();
       try {
+        TAMP_TRACE_SCOPE("runtime/task");
         body(t);
       } catch (...) {
         {
@@ -146,6 +159,9 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
         return;
       }
       span.end = clock.seconds();
+#if defined(TAMP_TRACING_ENABLED)
+      task_seconds_hist.record(span.end - span.start);
+#endif
 
       for (const index_t s : graph.successors(t)) {
         if (pending[static_cast<std::size_t>(s)].fetch_sub(
@@ -170,6 +186,10 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
   if (failed.load()) std::rethrow_exception(first_error);
   TAMP_ENSURE(remaining.load() == 0, "runtime finished with pending tasks");
   report.wall_seconds = clock.seconds();
+  TAMP_METRIC_COUNT("runtime.tasks.executed", n);
+  TAMP_METRIC_GAUGE_ADD("runtime.worker.busy_seconds",
+                        report.total_busy_seconds());
+  TAMP_METRIC_GAUGE_SET("runtime.occupancy", report.occupancy());
   return report;
 }
 

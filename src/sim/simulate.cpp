@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace tamp::sim {
@@ -155,6 +158,7 @@ SimResult simulate(const taskgraph::TaskGraph& graph,
   const index_t n = graph.num_tasks();
   const part_t nproc = opts.cluster.num_processes;
   TAMP_EXPECTS(nproc >= 1, "need at least one process");
+  TAMP_TRACE_SCOPE("sim/simulate");
 
   // Pin tasks to processes.
   std::vector<part_t> process_of(static_cast<std::size_t>(n));
@@ -264,13 +268,24 @@ SimResult simulate(const taskgraph::TaskGraph& graph,
     }
   };
 
+  index_t peak_depth = 0;
+  auto sample_queue_depth = [&](part_t p, simtime_t when) {
+    const auto depth =
+        static_cast<index_t>(ready[static_cast<std::size_t>(p)].size());
+    peak_depth = std::max(peak_depth, depth);
+    result.queue_depth.push_back({when, p, depth});
+  };
+
   // Seed initial ready tasks.
   for (index_t t = 0; t < n; ++t) {
     pending[static_cast<std::size_t>(t)] =
         static_cast<index_t>(graph.predecessors(t).size());
     if (pending[static_cast<std::size_t>(t)] == 0) enqueue_ready(t, 0.0, 0.0);
   }
-  for (part_t p = 0; p < nproc; ++p) dispatch(p, 0.0);
+  for (part_t p = 0; p < nproc; ++p) {
+    dispatch(p, 0.0);
+    sample_queue_depth(p, 0.0);
+  }
 
   simtime_t now = 0.0;
   index_t completed = 0;
@@ -318,7 +333,10 @@ SimResult simulate(const taskgraph::TaskGraph& graph,
     std::sort(touched_procs.begin(), touched_procs.end());
     touched_procs.erase(std::unique(touched_procs.begin(), touched_procs.end()),
                         touched_procs.end());
-    for (const part_t p : touched_procs) dispatch(p, now);
+    for (const part_t p : touched_procs) {
+      dispatch(p, now);
+      sample_queue_depth(p, now);
+    }
   }
   TAMP_ENSURE(completed == n, "simulation deadlocked (cycle or lost event)");
 
@@ -329,6 +347,42 @@ SimResult simulate(const taskgraph::TaskGraph& graph,
         opts.cluster.unbounded()
             ? std::max(peak_workers[static_cast<std::size_t>(p)], 1)
             : opts.cluster.workers_per_process;
+
+  TAMP_METRIC_GAUGE_SET("sim.ready_queue.peak_depth", peak_depth);
+  static_cast<void>(peak_depth);
+#if defined(TAMP_TRACING_ENABLED)
+  // Per-subiteration work and occupancy (the paper's Fig 6 diagnostic):
+  // occupancy of subiteration s = its total work over the busy window
+  // [min start, max end] of its tasks times the configured capacity.
+  {
+    index_t nsub = 0;
+    for (index_t t = 0; t < n; ++t)
+      nsub = std::max(nsub, graph.task(t).subiteration + 1);
+    std::vector<simtime_t> work(static_cast<std::size_t>(nsub), 0.0);
+    std::vector<simtime_t> first(static_cast<std::size_t>(nsub),
+                                 std::numeric_limits<simtime_t>::max());
+    std::vector<simtime_t> last(static_cast<std::size_t>(nsub), 0.0);
+    for (index_t t = 0; t < n; ++t) {
+      const auto s = static_cast<std::size_t>(graph.task(t).subiteration);
+      const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+      work[s] += tt.end - tt.start;
+      first[s] = std::min(first[s], tt.start);
+      last[s] = std::max(last[s], tt.end);
+    }
+    double capacity_per_time = 0.0;
+    for (part_t p = 0; p < nproc; ++p)
+      capacity_per_time +=
+          static_cast<double>(result.workers_used[static_cast<std::size_t>(p)]);
+    obs::Histogram& work_hist = obs::histogram("sim.subiteration.work");
+    obs::Histogram& occ_hist = obs::histogram("sim.subiteration.occupancy");
+    for (std::size_t s = 0; s < static_cast<std::size_t>(nsub); ++s) {
+      if (last[s] <= first[s]) continue;
+      work_hist.record(work[s]);
+      occ_hist.record(work[s] /
+                      ((last[s] - first[s]) * capacity_per_time));
+    }
+  }
+#endif
   return result;
 }
 

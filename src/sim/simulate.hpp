@@ -66,6 +66,16 @@ struct TaskTiming {
   int worker = 0;  ///< worker index within the process
 };
 
+/// Ready-queue depth of one process at one simulated instant, sampled
+/// whenever the scheduler touches that process. Exported as Chrome-trace
+/// counter events (queue starvation is the visual signature of the
+/// paper's level-imbalance pathology).
+struct QueueDepthSample {
+  simtime_t time = 0;
+  part_t process = 0;
+  index_t depth = 0;  ///< ready tasks left after dispatching
+};
+
 /// Outcome of a simulation.
 struct SimResult {
   simtime_t makespan = 0;
@@ -74,6 +84,7 @@ struct SimResult {
   std::vector<int> workers_used;        ///< per process (≤ configured, or
                                         ///< peak concurrency if unbounded)
   std::vector<simtime_t> busy_per_process;
+  std::vector<QueueDepthSample> queue_depth;  ///< chronological samples
 
   /// Fraction of process-time spent busy, with the worker count actually
   /// configured (unbounded mode uses the peak).

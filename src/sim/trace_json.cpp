@@ -1,7 +1,10 @@
 #include "sim/trace_json.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+
+#include "obs/export.hpp"
 
 namespace tamp::sim {
 
@@ -12,8 +15,8 @@ void append_event(std::ostringstream& os, bool& first, const std::string& name,
                   const taskgraph::Task& task) {
   if (!first) os << ",\n";
   first = false;
-  os << R"(  {"name":")" << name << R"(","ph":"X","pid":)" << pid
-     << R"(,"tid":)" << tid << R"(,"ts":)" << start_us << R"(,"dur":)"
+  os << R"(  {"name":")" << obs::json_escape(name) << R"(","ph":"X","pid":)"
+     << pid << R"(,"tid":)" << tid << R"(,"ts":)" << start_us << R"(,"dur":)"
      << duration_us << R"(,"args":{"subiteration":)" << task.subiteration
      << R"(,"level":)" << static_cast<int>(task.level) << R"(,"type":")"
      << taskgraph::to_string(task.type) << R"(","locality":")"
@@ -21,10 +24,76 @@ void append_event(std::ostringstream& os, bool& first, const std::string& name,
      << R"(,"objects":)" << task.num_objects << "}}";
 }
 
+/// Perfetto/chrome://tracing label pids as "process_name" and tids as
+/// "thread_name"; emit one metadata event per process/worker seen.
+void append_task_metadata(std::ostringstream& os, bool& first,
+                          const std::vector<TaskTiming>& timing) {
+  std::vector<int> workers;  // max worker id + 1, per process
+  for (const TaskTiming& tt : timing) {
+    const auto p = static_cast<std::size_t>(tt.process);
+    if (workers.size() <= p) workers.resize(p + 1, 0);
+    workers[p] = std::max(workers[p], tt.worker + 1);
+  }
+  for (std::size_t p = 0; p < workers.size(); ++p) {
+    obs::append_process_name(os, first, static_cast<int>(p),
+                             "process " + std::to_string(p));
+    for (int w = 0; w < workers[p]; ++w)
+      obs::append_thread_name(os, first, static_cast<int>(p), w,
+                              "worker " + std::to_string(w));
+  }
+}
+
+void append_task_metadata(std::ostringstream& os, bool& first,
+                          const std::vector<runtime::ExecutionReport::Span>&
+                              spans) {
+  std::vector<TaskTiming> timing;
+  timing.reserve(spans.size());
+  for (const auto& s : spans)
+    timing.push_back({s.start, s.end, s.process, s.worker});
+  append_task_metadata(os, first, timing);
+}
+
 std::string finish(std::ostringstream& body) {
   std::ostringstream os;
   os << "{\"traceEvents\":[\n" << body.str() << "\n]}\n";
   return os.str();
+}
+
+/// Append the global TraceSession's pipeline-phase events under a distinct
+/// high pid. Pipeline wall-clock time and simulated task time are
+/// different time bases; separate pids keep both readable side by side on
+/// one Perfetto timeline.
+void append_session_events(std::ostringstream& os, bool& first) {
+  const auto events = obs::TraceSession::instance().snapshot();
+  if (events.empty()) return;
+  obs::append_process_name(os, first, obs::kPipelineTracePid, "tamp pipeline");
+  std::uint32_t max_thread = 0;
+  for (const auto& ev : events) max_thread = std::max(max_thread, ev.thread);
+  for (std::uint32_t t = 0; t <= max_thread; ++t)
+    obs::append_thread_name(os, first, obs::kPipelineTracePid,
+                            static_cast<int>(t),
+                            t == 0 ? "main" : "worker " + std::to_string(t));
+  obs::append_chrome_events(os, first, events, obs::kPipelineTracePid);
+}
+
+/// Shared body of the plain and merged SimResult exporters: metadata,
+/// task spans, and ready-queue depth counter tracks (one per process).
+void append_sim_body(std::ostringstream& body, bool& first,
+                     const taskgraph::TaskGraph& graph,
+                     const SimResult& result) {
+  append_task_metadata(body, first, result.timing);
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+    append_event(body, first, graph.task(t).label(), tt.process, tt.worker,
+                 tt.start, tt.end - tt.start, graph.task(t));
+  }
+  for (const QueueDepthSample& s : result.queue_depth) {
+    if (!first) body << ",\n";
+    first = false;
+    body << R"(  {"name":"ready_queue","ph":"C","pid":)" << s.process
+         << R"(,"tid":0,"ts":)" << s.time << R"(,"args":{"depth":)" << s.depth
+         << "}}";
+  }
 }
 
 }  // namespace
@@ -36,11 +105,7 @@ std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
                "result does not match graph");
   std::ostringstream body;
   bool first = true;
-  for (index_t t = 0; t < graph.num_tasks(); ++t) {
-    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
-    append_event(body, first, graph.task(t).label(), tt.process, tt.worker,
-                 tt.start, tt.end - tt.start, graph.task(t));
-  }
+  append_sim_body(body, first, graph, result);
   return finish(body);
 }
 
@@ -51,12 +116,25 @@ std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
                "report does not match graph");
   std::ostringstream body;
   bool first = true;
+  append_task_metadata(body, first, report.spans);
   for (index_t t = 0; t < graph.num_tasks(); ++t) {
     const auto& span = report.spans[static_cast<std::size_t>(t)];
     append_event(body, first, graph.task(t).label(), span.process,
                  span.worker, span.start * 1e6, (span.end - span.start) * 1e6,
                  graph.task(t));
   }
+  return finish(body);
+}
+
+std::string to_chrome_trace_merged(const taskgraph::TaskGraph& graph,
+                                   const SimResult& result) {
+  TAMP_EXPECTS(result.timing.size() ==
+                   static_cast<std::size_t>(graph.num_tasks()),
+               "result does not match graph");
+  std::ostringstream body;
+  bool first = true;
+  append_sim_body(body, first, graph, result);
+  append_session_events(body, first);
   return finish(body);
 }
 

@@ -24,6 +24,13 @@ std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
 std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
                             const runtime::ExecutionReport& report);
 
+/// Serialise a simulation result together with the global TraceSession's
+/// pipeline-phase spans (partition/coarsen, taskgraph/generate, …) into
+/// one document: task spans keep their simulated-time pids, pipeline
+/// wall-clock spans appear under obs::kPipelineTracePid.
+std::string to_chrome_trace_merged(const taskgraph::TaskGraph& graph,
+                                   const SimResult& result);
+
 /// Write either serialisation to a file; throws runtime_failure on I/O
 /// error.
 void save_chrome_trace(const std::string& json, const std::string& path);

@@ -342,13 +342,19 @@ taskgraph::CostModel EulerSolver::measure_cost_model(int repetitions) {
 
   double face_seconds = std::numeric_limits<double>::max();
   double cell_seconds = std::numeric_limits<double>::max();
+  obs::Histogram& face_hist = obs::histogram("solver.cost_model.face_pass");
+  obs::Histogram& cell_hist = obs::histogram("solver.cost_model.cell_pass");
   for (int r = 0; r < repetitions; ++r) {
-    Stopwatch sw;
-    for (index_t f = 0; f < nf; ++f) flux_face(f, 0.0);  // dt=0: no net effect
-    face_seconds = std::min(face_seconds, sw.seconds());
-    sw.reset();
-    for (index_t c = 0; c < ncl; ++c) update_cell(c, dt0_);
-    cell_seconds = std::min(cell_seconds, sw.seconds());
+    {
+      ScopedTimer timer(face_hist);
+      for (index_t f = 0; f < nf; ++f) flux_face(f, 0.0);  // dt=0: no net effect
+      face_seconds = std::min(face_seconds, timer.stop());
+    }
+    {
+      ScopedTimer timer(cell_hist);
+      for (index_t c = 0; c < ncl; ++c) update_cell(c, dt0_);
+      cell_seconds = std::min(cell_seconds, timer.stop());
+    }
   }
   // Cost units are relative: a cell update = 1.
   const double per_face = face_seconds / static_cast<double>(nf);

@@ -1,13 +1,29 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace tamp {
 
 namespace {
-std::atomic<LogLevel> g_threshold{LogLevel::warn};
+
+LogLevel initial_threshold() {
+  if (const char* env = std::getenv("TAMP_LOG_LEVEL"); env != nullptr) {
+    if (const auto level = parse_log_level(env); level.has_value())
+      return *level;
+    std::fprintf(stderr, "[tamp warn ] unknown TAMP_LOG_LEVEL '%s' ignored\n",
+                 env);
+  }
+  return LogLevel::warn;
+}
+
+std::atomic<LogLevel> g_threshold{initial_threshold()};
 std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,7 +36,37 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// ISO-8601 UTC wall-clock timestamp with millisecond resolution,
+/// e.g. 2026-02-14T09:31:05.123Z.
+void format_timestamp(char (&buf)[32]) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, sizeof(buf), "%s.%03dZ", date, static_cast<int>(ms));
+}
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  return std::nullopt;
+}
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
@@ -30,8 +76,22 @@ void set_log_threshold(LogLevel level) {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[tamp %s] %s\n", level_name(level), message.c_str());
+  char stamp[32];
+  format_timestamp(stamp);
+  const std::uint32_t tid = obs::current_thread_id();
+  {
+    const std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[%s tamp %s t%u] %s\n", stamp, level_name(level),
+                 tid, message.c_str());
+  }
+  // Mirror warnings/errors onto the trace timeline so they are visible in
+  // context next to the spans that produced them.
+  if (level >= LogLevel::warn && level < LogLevel::off) {
+    obs::TraceSession& session = obs::TraceSession::instance();
+    if (session.enabled())
+      session.record_instant(level == LogLevel::warn ? "log/warn" : "log/error",
+                             message);
+  }
 }
 }  // namespace detail
 

@@ -2,8 +2,16 @@
 //
 // The library itself logs nothing above `debug`; benches and examples use
 // `info` for progress. A global threshold keeps experiment output clean.
+//
+// Each record carries an ISO-8601 UTC timestamp and the session thread id
+// (the same dense id used by obs::TraceSession, so log lines and trace
+// events correlate). The threshold can be overridden at process start via
+// the TAMP_LOG_LEVEL environment variable (debug|info|warn|error|off),
+// and records at warn or above are mirrored into the active TraceSession
+// as instant events so they show up on the Perfetto timeline.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -11,7 +19,10 @@ namespace tamp {
 
 enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
-/// Process-global log threshold (default: warn).
+/// Parse a level name (debug|info|warn|error|off, case-sensitive).
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Process-global log threshold (default: warn, or TAMP_LOG_LEVEL).
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 

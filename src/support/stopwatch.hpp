@@ -2,6 +2,9 @@
 #pragma once
 
 #include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace tamp {
 
@@ -24,6 +27,42 @@ public:
 private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// RAII timer reporting elapsed seconds into a metrics histogram — the
+/// structured replacement for `Stopwatch sw; ...; use(sw.seconds())`.
+/// Records exactly once: either explicitly via stop() (which also returns
+/// the elapsed seconds, for call sites that consume the value) or on
+/// destruction if stop() was never called.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(obs::Histogram& sink) : sink_(&sink) {}
+  explicit ScopedTimer(const std::string& metric_name)
+      : sink_(&obs::histogram(metric_name)) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!stopped_) sink_->record(watch_.seconds());
+  }
+
+  /// Record the elapsed time now and return it; further calls and the
+  /// destructor become no-ops.
+  double stop() {
+    const double elapsed = watch_.seconds();
+    if (!stopped_) {
+      stopped_ = true;
+      sink_->record(elapsed);
+    }
+    return elapsed;
+  }
+
+  /// Elapsed seconds so far, without recording.
+  [[nodiscard]] double seconds() const { return watch_.seconds(); }
+
+private:
+  obs::Histogram* sink_;
+  Stopwatch watch_;
+  bool stopped_ = false;
 };
 
 }  // namespace tamp

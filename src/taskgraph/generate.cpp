@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tamp::taskgraph {
 
 namespace {
@@ -33,6 +36,8 @@ TaskGraph generate_task_graph(const mesh::Mesh& mesh,
                "domain vector size must equal cell count");
   TAMP_EXPECTS(ndomains >= 1, "need at least one domain");
   TAMP_EXPECTS(opts.num_iterations >= 1, "need at least one iteration");
+
+  TAMP_TRACE_SCOPE("taskgraph/generate");
 
   const auto nlev = static_cast<level_t>(mesh.max_level() + 1);
   const TemporalScheme scheme(nlev);
@@ -213,7 +218,10 @@ TaskGraph generate_task_graph(const mesh::Mesh& mesh,
       }
     }
   }
-  return TaskGraph(std::move(tasks), deps);
+  TaskGraph graph(std::move(tasks), deps);
+  TAMP_METRIC_COUNT("taskgraph.tasks", graph.num_tasks());
+  TAMP_METRIC_COUNT("taskgraph.dependencies", graph.num_dependencies());
+  return graph;
 }
 
 std::vector<simtime_t> work_per_subiteration(const TaskGraph& graph) {

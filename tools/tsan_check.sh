@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrency-sensitive pieces: the
+# lock-free trace buffers / metrics registry (test_obs) and the worker
+# pool (test_runtime). Uses a separate build tree so it never disturbs
+# the main ./build directory.
+#
+#   tools/tsan_check.sh [extra cmake args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+cmake -S "${ROOT}" -B "${BUILD}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTAMP_TSAN=ON \
+  -DTAMP_ENABLE_TRACING=ON \
+  "$@"
+cmake --build "${BUILD}" -j "$(nproc)" --target test_obs test_runtime
+
+# Run the binaries directly (deterministic, no ctest discovery pass);
+# TSan failures make the test runner exit non-zero.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+"${BUILD}/tests/test_obs"
+"${BUILD}/tests/test_runtime"
+
+echo "tsan_check: OK"
