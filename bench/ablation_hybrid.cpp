@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: at the low core count HYBRID's makespan is "
                "within a few percent of MC_TL's with roughly half the "
                "cross-process edges.\n";
+  bench::dump_bench_metrics("ablation_hybrid");
   return 0;
 }

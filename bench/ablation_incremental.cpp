@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "Shape check: incremental migration is a small fraction of "
                "scratch migration while the makespans stay comparable.\n";
+  bench::dump_bench_metrics("ablation_incremental");
   return 0;
 }

@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
                "partitioning time, with balance and makespan essentially "
                "unchanged — consistent with the paper's finding that plain "
                "RB is the better deal on these meshes.\n";
+  bench::dump_bench_metrics("ablation_rb_vs_kway");
   return 0;
 }

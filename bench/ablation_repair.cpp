@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
                "balance-locked — raise --headroom to trade); the cut never "
                "grows, level imbalance stays bounded, and the makespan is "
                "preserved: the artefacts cost interfaces, not balance.\n";
+  bench::dump_bench_metrics("ablation_repair");
   return 0;
 }

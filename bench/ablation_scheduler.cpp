@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
             << fmt_double(best_oc / best_tl, 2)
             << "x.\nShape check: even the smartest policy on SC_OC loses "
                "to plain FIFO on MC_TL.\n";
+  bench::dump_bench_metrics("ablation_scheduler");
   return 0;
 }

@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: SFC is fastest with a fine cost balance but "
                "its level imbalance — and therefore makespan — lands in "
                "SC_OC territory; only MC_TL fixes the schedule.\n";
+  bench::dump_bench_metrics("ablation_sfc_baseline");
   return 0;
 }

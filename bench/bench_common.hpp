@@ -7,12 +7,15 @@
 // reproduction target, not absolute numbers.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "mesh/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -61,6 +64,21 @@ inline std::string artifact_dir(const CliParser& cli) {
   const std::string dir = cli.get("artifacts");
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Dump a tamp-metrics-v1 snapshot of everything the run recorded when
+/// the TAMP_BENCH_METRICS_DIR environment variable names a directory.
+/// Called at the end of every bench main so CI can archive the metrics
+/// and `tamp-report` can diff them across commits; a no-op otherwise.
+inline void dump_bench_metrics(const std::string& bench_name) {
+  const char* dir = std::getenv("TAMP_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / (bench_name + ".json")).string();
+  obs::save_text(obs::metrics_to_json(obs::Registry::instance().snapshot()),
+                 path);
+  std::cout << "metrics snapshot: " << path << '\n';
 }
 
 /// Banner printed by every bench: ties the binary to the paper artefact.

@@ -79,5 +79,6 @@ int main(int argc, char** argv) {
   std::cout << "Series written to " << dir << "/fig11_sweep.csv\n"
             << "Shape check: ratio > 1 everywhere, decreasing with domain "
                "count; MC_TL comm column dominates SC_OC's.\n";
+  bench::dump_bench_metrics("fig11_domain_sweep");
   return 0;
 }

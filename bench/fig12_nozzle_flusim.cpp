@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
       tl.sim.gantt(tl.graph, true, "PPRIME_NOZZLE MC_TL"),
       dir + "/fig12_traces.svg");
   std::cout << "Traces in " << dir << "/fig12_traces.svg\n";
+  bench::dump_bench_metrics("fig12_nozzle_flusim");
   return 0;
 }

@@ -140,5 +140,6 @@ int main(int argc, char** argv) {
             << " (paper: ~20%, overheads and communication included)\n";
   write_gantt_comparison_svg(traces[0], traces[1], dir + "/fig13_traces.svg");
   std::cout << "Traces in " << dir << "/fig13_traces.svg\n";
+  bench::dump_bench_metrics("fig13_production");
   return 0;
 }

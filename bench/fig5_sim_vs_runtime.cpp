@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
       out.sim.gantt(out.graph, true, "FLUSIM prediction"),
       dir + "/fig5_traces.svg");
   std::cout << "Traces written to " << dir << "/fig5_traces.svg\n";
+  bench::dump_bench_metrics("fig5_sim_vs_runtime");
   return 0;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
             << "\nShape check: many rows show long idle stretches despite "
                "unlimited cores — scheduling cannot be the root cause.\n"
             << "Trace written to " << dir << "/fig6_trace.svg\n";
+  bench::dump_bench_metrics("fig6_unbounded_cores");
   return 0;
 }

@@ -107,5 +107,6 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: SC_OC rows are near-single-level and its 'b' "
                "table is full of zeros; MC_TL rows mix all levels and its "
                "'b' table has none.\n";
+  bench::dump_bench_metrics("fig7_fig10_domain_census");
   return 0;
 }

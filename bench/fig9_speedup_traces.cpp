@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: speedup well above 1 on both meshes (paper: "
                "~2x); MC_TL occupancy far higher.\nTraces in " << dir
             << "/fig9_*.svg\n";
+  bench::dump_bench_metrics("fig9_speedup_traces");
   return 0;
 }

@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
                "(4.4/11.3/43.2/41.2, 9.7/38.6/0.4/51.3, 28.4/38.3/33.3) —\n"
                "they follow analytically from the %Cells rows, which the "
                "generators match by construction.\n";
+  bench::dump_bench_metrics("table1_meshes");
   return 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "Shape check: min speedup stays well above 1; the spread is "
                "a few percent of the mean.\n";
+  bench::dump_bench_metrics("variance_seeds");
   return 0;
 }

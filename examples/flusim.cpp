@@ -21,6 +21,7 @@
 #include "partition/io.hpp"
 #include "partition/strategy.hpp"
 #include "sim/analysis.hpp"
+#include "sim/doctor.hpp"
 #include "sim/messages.hpp"
 #include "sim/simulate.hpp"
 #include "sim/trace_json.hpp"
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
              "write a chrome://tracing JSON here (task spans merged with "
              "pipeline-phase spans when tracing is compiled in)");
   cli.option("metrics", "", "write a metrics JSON snapshot here");
+  cli.flag("doctor",
+           "diagnose the schedule: realized critical path, idle blame "
+           "(dependency-wait vs starvation vs tail), doctor.* gauges");
+  cli.option("doctor-csv", "",
+             "write the per-(process x subiteration) blame breakdown here");
+  cli.option("doctor-svg", "", "write the idle-blame heatmap SVG here");
   cli.flag("per-worker", "Gantt rows per worker instead of per process");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -129,6 +136,19 @@ int main(int argc, char** argv) {
              std::to_string(blocks.count), fmt_double(blocks.longest, 0)});
     }
     t.print(std::cout);
+
+    if (cli.get_flag("doctor") || !cli.get("doctor-csv").empty() ||
+        !cli.get("doctor-svg").empty()) {
+      const sim::DoctorReport doc = sim::diagnose(graph, result, simopts.comm);
+      // Publish gauges before a --metrics snapshot is taken so the
+      // doctor.* values land in the exported JSON for tamp-report.
+      sim::publish_doctor_metrics(graph, doc);
+      if (cli.get_flag("doctor")) sim::print_doctor_report(std::cout, graph, doc);
+      if (!cli.get("doctor-csv").empty())
+        obs::save_text(sim::doctor_blame_csv(doc), cli.get("doctor-csv"));
+      if (!cli.get("doctor-svg").empty())
+        sim::write_doctor_heatmap_svg(doc, cli.get("doctor-svg"));
+    }
 
     if (!cli.get("svg").empty())
       write_gantt_svg(result.gantt(graph, cli.get_flag("per-worker"), "flusim"),

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tamp::mesh {
 
 EvolveStats evolve_levels(Mesh& mesh, double drift, Rng& rng) {
+  TAMP_TRACE_SCOPE("mesh/evolve");
   TAMP_EXPECTS(drift >= 0.0 && drift <= 1.0, "drift must be in [0,1]");
   const index_t n = mesh.num_cells();
   const level_t max_level = mesh.max_level();
@@ -33,6 +37,8 @@ EvolveStats evolve_levels(Mesh& mesh, double drift, Rng& rng) {
     if (next[static_cast<std::size_t>(c)] != mine) ++stats.cells_changed;
   }
   mesh.set_cell_levels(std::move(next));
+  TAMP_METRIC_COUNT("mesh.evolve.eligible_cells", stats.eligible_cells);
+  TAMP_METRIC_COUNT("mesh.evolve.cells_changed", stats.cells_changed);
   return stats;
 }
 

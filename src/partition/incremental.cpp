@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "partition/refine.hpp"
 
@@ -12,6 +14,7 @@ IncrementalReport incremental_repartition(const graph::Csr& g,
                                           std::vector<part_t>& part,
                                           part_t nparts,
                                           const IncrementalOptions& opts) {
+  TAMP_TRACE_SCOPE("partition/incremental");
   const index_t n = g.num_vertices();
   TAMP_EXPECTS(part.size() == static_cast<std::size_t>(n),
                "partition vector size mismatch");
@@ -53,84 +56,95 @@ IncrementalReport incremental_repartition(const graph::Csr& g,
 
   // --- phase 1: restore balance with targeted migrations --------------------
   const index_t max_moves = 4 * n / std::max<part_t>(nparts, 1) + 1024;
-  for (index_t move = 0; move < max_moves; ++move) {
-    // Worst (part, constraint) overshoot.
-    part_t worst_p = invalid_part;
-    int worst_c = -1;
-    weight_t worst_over = 0;
-    for (part_t p = 0; p < nparts; ++p) {
-      for (int c = 0; c < nc; ++c) {
-        const weight_t over = overshoot(p, c);
-        if (over > worst_over) {
-          worst_over = over;
-          worst_p = p;
-          worst_c = c;
-        }
-      }
-    }
-    if (worst_p == invalid_part) break;  // balanced
-
-    // Best migration: a vertex of worst_p carrying weight in worst_c,
-    // moved to an adjacent (preferred) part that stays feasible on every
-    // constraint; maximise cut gain among candidates.
-    index_t best_v = invalid_index;
-    part_t best_dest = invalid_part;
-    weight_t best_gain = std::numeric_limits<weight_t>::min();
-    for (index_t v = 0; v < n; ++v) {
-      if (part[static_cast<std::size_t>(v)] != worst_p) continue;
-      const auto w = g.vertex_weights(v);
-      if (w[static_cast<std::size_t>(worst_c)] <= 0) continue;
-      // Connectivity per adjacent part.
-      const auto nbrs = g.neighbors(v);
-      const auto wgts = g.edge_weights(v);
-      weight_t internal = 0;
-      for (std::size_t i = 0; i < nbrs.size(); ++i)
-        if (part[static_cast<std::size_t>(nbrs[i])] == worst_p)
-          internal += wgts[i];
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const part_t q = part[static_cast<std::size_t>(nbrs[i])];
-        if (q == worst_p) continue;
-        bool fits = true;
+  {
+    TAMP_TRACE_SCOPE("partition/incremental/rebalance");
+    for (index_t move = 0; move < max_moves; ++move) {
+      // Worst (part, constraint) overshoot.
+      part_t worst_p = invalid_part;
+      int worst_c = -1;
+      weight_t worst_over = 0;
+      for (part_t p = 0; p < nparts; ++p) {
         for (int c = 0; c < nc; ++c) {
-          const auto idx =
-              static_cast<std::size_t>(q) * nc + static_cast<std::size_t>(c);
-          if (loads[idx] + w[static_cast<std::size_t>(c)] > allowed[idx]) {
-            fits = false;
-            break;
+          const weight_t over = overshoot(p, c);
+          if (over > worst_over) {
+            worst_over = over;
+            worst_p = p;
+            worst_c = c;
           }
         }
-        if (!fits) continue;
-        weight_t external = 0;
-        for (std::size_t j = 0; j < nbrs.size(); ++j)
-          if (part[static_cast<std::size_t>(nbrs[j])] == q)
-            external += wgts[j];
-        const weight_t gain = external - internal;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_v = v;
-          best_dest = q;
+      }
+      if (worst_p == invalid_part) break;  // balanced
+
+      // Best migration: a vertex of worst_p carrying weight in worst_c,
+      // moved to an adjacent (preferred) part that stays feasible on every
+      // constraint; maximise cut gain among candidates.
+      index_t best_v = invalid_index;
+      part_t best_dest = invalid_part;
+      weight_t best_gain = std::numeric_limits<weight_t>::min();
+      for (index_t v = 0; v < n; ++v) {
+        if (part[static_cast<std::size_t>(v)] != worst_p) continue;
+        const auto w = g.vertex_weights(v);
+        if (w[static_cast<std::size_t>(worst_c)] <= 0) continue;
+        // Connectivity per adjacent part.
+        const auto nbrs = g.neighbors(v);
+        const auto wgts = g.edge_weights(v);
+        weight_t internal = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+          if (part[static_cast<std::size_t>(nbrs[i])] == worst_p)
+            internal += wgts[i];
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const part_t q = part[static_cast<std::size_t>(nbrs[i])];
+          if (q == worst_p) continue;
+          bool fits = true;
+          for (int c = 0; c < nc; ++c) {
+            const auto idx =
+                static_cast<std::size_t>(q) * nc + static_cast<std::size_t>(c);
+            if (loads[idx] + w[static_cast<std::size_t>(c)] > allowed[idx]) {
+              fits = false;
+              break;
+            }
+          }
+          if (!fits) continue;
+          weight_t external = 0;
+          for (std::size_t j = 0; j < nbrs.size(); ++j)
+            if (part[static_cast<std::size_t>(nbrs[j])] == q)
+              external += wgts[j];
+          const weight_t gain = external - internal;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_v = v;
+            best_dest = q;
+          }
         }
       }
+      if (best_v == invalid_index) break;  // no feasible rebalancing move
+      const auto w = g.vertex_weights(best_v);
+      for (int c = 0; c < nc; ++c) {
+        const auto sc = static_cast<std::size_t>(c);
+        loads[static_cast<std::size_t>(worst_p) * nc + sc] -= w[sc];
+        loads[static_cast<std::size_t>(best_dest) * nc + sc] += w[sc];
+      }
+      part[static_cast<std::size_t>(best_v)] = best_dest;
     }
-    if (best_v == invalid_index) break;  // no feasible rebalancing move
-    const auto w = g.vertex_weights(best_v);
-    for (int c = 0; c < nc; ++c) {
-      const auto sc = static_cast<std::size_t>(c);
-      loads[static_cast<std::size_t>(worst_p) * nc + sc] -= w[sc];
-      loads[static_cast<std::size_t>(best_dest) * nc + sc] += w[sc];
-    }
-    part[static_cast<std::size_t>(best_v)] = best_dest;
   }
 
   // --- phase 2: local cut refinement under the same allowances --------------
-  Rng rng(opts.seed);
-  kway_refine(g, part, nparts, allowed, rng, opts.refine_passes);
+  {
+    TAMP_TRACE_SCOPE("partition/incremental/refine");
+    Rng rng(opts.seed);
+    kway_refine(g, part, nparts, allowed, rng, opts.refine_passes);
+  }
 
   for (index_t v = 0; v < n; ++v)
     if (part[static_cast<std::size_t>(v)] != before[static_cast<std::size_t>(v)])
       ++report.migrated_vertices;
   report.cut_after = edge_cut(g, part);
   report.imbalance_after = max_imbalance(g, part, nparts);
+  TAMP_METRIC_COUNT("partition.incremental.migrated_vertices",
+                    report.migrated_vertices);
+  TAMP_METRIC_GAUGE_SET("partition.incremental.cut_after", report.cut_after);
+  TAMP_METRIC_GAUGE_SET("partition.incremental.imbalance_after",
+                        report.imbalance_after);
   return report;
 }
 

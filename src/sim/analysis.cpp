@@ -17,13 +17,8 @@ std::vector<SubiterationActivity> subiteration_activity(
     SubiterationActivity& a =
         activity[static_cast<std::size_t>(tt.process) * nsub +
                  static_cast<std::size_t>(graph.task(t).subiteration)];
-    if (a.tasks == 0) {
-      a.first_start = tt.start;
-      a.last_end = tt.end;
-    } else {
-      a.first_start = std::min(a.first_start, tt.start);
-      a.last_end = std::max(a.last_end, tt.end);
-    }
+    a.first_start = std::min(a.first_start, tt.start);
+    a.last_end = std::max(a.last_end, tt.end);
     a.busy += tt.end - tt.start;
     ++a.tasks;
   }

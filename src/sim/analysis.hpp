@@ -10,18 +10,27 @@
 //   * contiguous idle blocks per process (count, total, longest).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "sim/simulate.hpp"
 
 namespace tamp::sim {
 
-/// Activity of one process during one subiteration.
+/// Activity of one process during one subiteration. Absence of tasks is
+/// explicit: first_start/last_end stay at ±infinity (a 0 would be
+/// indistinguishable from "started at t=0") — check active() before
+/// reading them.
 struct SubiterationActivity {
-  simtime_t busy = 0;        ///< Σ task durations
-  simtime_t first_start = 0; ///< earliest task start (0 if none)
-  simtime_t last_end = 0;    ///< latest task end (0 if none)
+  simtime_t busy = 0;  ///< Σ task durations
+  simtime_t first_start =
+      std::numeric_limits<simtime_t>::infinity();  ///< earliest task start
+  simtime_t last_end =
+      -std::numeric_limits<simtime_t>::infinity();  ///< latest task end
   index_t tasks = 0;
+
+  /// Whether this (process, subiteration) cell ran anything at all.
+  [[nodiscard]] bool active() const { return tasks > 0; }
 };
 
 /// activity[p * nsub + s] for every process and subiteration.

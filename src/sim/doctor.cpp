@@ -1,0 +1,581 @@
+#include "sim/doctor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "support/svg.hpp"
+#include "support/table.hpp"
+
+namespace tamp::sim {
+
+const char* to_string(StartGate g) {
+  switch (g) {
+    case StartGate::source: return "source";
+    case StartGate::dependency: return "dependency";
+    case StartGate::worker: return "worker";
+  }
+  return "?";
+}
+
+const char* to_string(IdleCause c) {
+  switch (c) {
+    case IdleCause::dependency_wait: return "dependency_wait";
+    case IdleCause::starvation: return "starvation";
+    case IdleCause::tail_imbalance: return "tail_imbalance";
+  }
+  return "?";
+}
+
+namespace {
+
+simtime_t time_epsilon(simtime_t makespan) {
+  return 1e-9 * (std::abs(makespan) + 1.0);
+}
+
+/// Arrival time of `pred`'s output at `succ` (comm delay on crossing
+/// edges, mirroring the simulator's model).
+simtime_t arrival_time(const taskgraph::TaskGraph& graph,
+                       const SimResult& result, const CommModel& comm,
+                       index_t pred, index_t succ) {
+  const TaskTiming& pt = result.timing[static_cast<std::size_t>(pred)];
+  const TaskTiming& st = result.timing[static_cast<std::size_t>(succ)];
+  simtime_t t = pt.end;
+  if (comm.enabled() && pt.process != st.process)
+    t += comm.latency +
+         comm.per_object *
+             static_cast<simtime_t>(graph.task(pred).num_objects);
+  return t;
+}
+
+}  // namespace
+
+CriticalPathReport realized_critical_path(const taskgraph::TaskGraph& graph,
+                                          const SimResult& result,
+                                          const CommModel& comm) {
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(result.timing.size() == static_cast<std::size_t>(n),
+               "simulation result does not match the task graph");
+  CriticalPathReport report;
+  report.static_lower_bound = graph.critical_path();
+  if (n == 0) return report;
+  const simtime_t eps = time_epsilon(result.makespan);
+
+  // Per-process (end, task) lists for worker-gate lookups.
+  std::vector<std::vector<std::pair<simtime_t, index_t>>> ends_by_proc(
+      static_cast<std::size_t>(result.num_processes));
+  for (index_t t = 0; t < n; ++t)
+    ends_by_proc[static_cast<std::size_t>(
+                     result.timing[static_cast<std::size_t>(t)].process)]
+        .emplace_back(result.timing[static_cast<std::size_t>(t)].end, t);
+  for (auto& list : ends_by_proc) std::sort(list.begin(), list.end());
+
+  // Terminal task: latest end (ties broken by id for determinism).
+  index_t current = 0;
+  for (index_t t = 1; t < n; ++t)
+    if (result.timing[static_cast<std::size_t>(t)].end >
+        result.timing[static_cast<std::size_t>(current)].end)
+      current = t;
+
+  std::vector<CriticalStep> chain;
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  while (current != invalid_index && !visited[static_cast<std::size_t>(current)]) {
+    visited[static_cast<std::size_t>(current)] = true;
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(current)];
+    CriticalStep step;
+    step.task = current;
+    step.duration = tt.end - tt.start;
+
+    // Latest-arriving predecessor.
+    index_t best_pred = invalid_index;
+    simtime_t best_arrival = -std::numeric_limits<simtime_t>::infinity();
+    for (const index_t p : graph.predecessors(current)) {
+      const simtime_t a = arrival_time(graph, result, comm, p, current);
+      if (a > best_arrival) {
+        best_arrival = a;
+        best_pred = p;
+      }
+    }
+
+    if (best_pred != invalid_index && best_arrival >= tt.start - eps) {
+      step.gate = StartGate::dependency;
+      step.gated_by = best_pred;
+    } else if (tt.start <= eps) {
+      step.gate = StartGate::source;
+    } else {
+      // Started the instant a worker freed: find the task whose end
+      // released it, preferring the same worker row.
+      const auto& list = ends_by_proc[static_cast<std::size_t>(tt.process)];
+      auto it = std::lower_bound(
+          list.begin(), list.end(),
+          std::make_pair(tt.start - eps,
+                         std::numeric_limits<index_t>::min()));
+      index_t releaser = invalid_index;
+      for (; it != list.end() && it->first <= tt.start + eps; ++it) {
+        if (it->second == current) continue;
+        if (releaser == invalid_index) releaser = it->second;
+        if (result.timing[static_cast<std::size_t>(it->second)].worker ==
+            tt.worker) {
+          releaser = it->second;
+          break;
+        }
+      }
+      if (releaser != invalid_index) {
+        step.gate = StartGate::worker;
+        step.gated_by = releaser;
+      } else if (best_pred != invalid_index) {
+        // Numerical fallback: predecessor arrived earlier than the start
+        // but nothing else explains the gap — still the closest cause.
+        step.gate = StartGate::dependency;
+        step.gated_by = best_pred;
+      } else {
+        step.gate = StartGate::source;
+      }
+    }
+    chain.push_back(step);
+    current = step.gated_by;
+  }
+  std::reverse(chain.begin(), chain.end());
+  report.steps = std::move(chain);
+
+  // Aggregations.
+  index_t nsub = 0;
+  level_t nlevels = 0;
+  part_t ndomains = 0;
+  for (const taskgraph::Task& t : graph.tasks()) {
+    nsub = std::max(nsub, t.subiteration + 1);
+    nlevels = std::max<level_t>(nlevels, static_cast<level_t>(t.level + 1));
+    ndomains = std::max(ndomains, t.domain + 1);
+  }
+  report.by_subiteration.assign(static_cast<std::size_t>(nsub), 0);
+  report.by_level.assign(static_cast<std::size_t>(nlevels), 0);
+  report.by_domain.assign(static_cast<std::size_t>(ndomains), 0);
+  report.by_process.assign(static_cast<std::size_t>(result.num_processes), 0);
+  for (const CriticalStep& step : report.steps) {
+    const taskgraph::Task& task = graph.task(step.task);
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(step.task)];
+    report.task_time += step.duration;
+    report.by_subiteration[static_cast<std::size_t>(task.subiteration)] +=
+        step.duration;
+    report.by_level[static_cast<std::size_t>(task.level)] += step.duration;
+    report.by_domain[static_cast<std::size_t>(task.domain)] += step.duration;
+    report.by_process[static_cast<std::size_t>(tt.process)] += step.duration;
+    if (step.gate == StartGate::dependency) {
+      report.gated_by_dependency += step.duration;
+      if (result.timing[static_cast<std::size_t>(step.gated_by)].process !=
+          tt.process)
+        ++report.cross_process_handoffs;
+    } else if (step.gate == StartGate::worker) {
+      report.gated_by_worker += step.duration;
+    }
+  }
+  return report;
+}
+
+simtime_t IdleBlameReport::at(part_t p, index_t s, IdleCause c) const {
+  return blame[(static_cast<std::size_t>(p) *
+                    static_cast<std::size_t>(num_subiterations) +
+                static_cast<std::size_t>(s)) *
+                   kNumIdleCauses +
+               static_cast<std::size_t>(c)];
+}
+
+simtime_t IdleBlameReport::total(part_t p, IdleCause c) const {
+  simtime_t sum = 0;
+  for (index_t s = 0; s < num_subiterations; ++s) sum += at(p, s, c);
+  return sum;
+}
+
+double IdleBlameReport::share(part_t p, IdleCause c) const {
+  const double capacity =
+      static_cast<double>(workers[static_cast<std::size_t>(p)]) * makespan;
+  return capacity > 0 ? total(p, c) / capacity : 0.0;
+}
+
+double IdleBlameReport::overall_share(IdleCause c) const {
+  double time = 0, capacity = 0;
+  for (part_t p = 0; p < num_processes; ++p) {
+    time += total(p, c);
+    capacity +=
+        static_cast<double>(workers[static_cast<std::size_t>(p)]) * makespan;
+  }
+  return capacity > 0 ? time / capacity : 0.0;
+}
+
+IdleBlameReport idle_blame(const taskgraph::TaskGraph& graph,
+                           const SimResult& result) {
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(result.timing.size() == static_cast<std::size_t>(n),
+               "simulation result does not match the task graph");
+  IdleBlameReport report;
+  report.num_processes = result.num_processes;
+  report.makespan = result.makespan;
+  report.workers = result.workers_used;
+
+  index_t nsub = 0;
+  for (const taskgraph::Task& t : graph.tasks())
+    nsub = std::max(nsub, t.subiteration + 1);
+  report.num_subiterations = std::max<index_t>(nsub, 1);
+  report.blame.assign(static_cast<std::size_t>(report.num_processes) *
+                          static_cast<std::size_t>(report.num_subiterations) *
+                          kNumIdleCauses,
+                      0.0);
+  if (n == 0 || result.makespan <= 0) {
+    report.window_end.assign(static_cast<std::size_t>(report.num_subiterations),
+                             0.0);
+    return report;
+  }
+  const simtime_t eps = time_epsilon(result.makespan);
+
+  // Global subiteration windows: subiteration s is "current" until every
+  // task of subiterations ≤ s has completed (running max of per-sub
+  // latest ends). Windows tile [0, makespan].
+  std::vector<simtime_t> sub_end(static_cast<std::size_t>(nsub),
+                                 -std::numeric_limits<simtime_t>::infinity());
+  // Latest end of (process, subiteration) work — "does p still have
+  // subiteration-s work running or coming after time t?".
+  std::vector<simtime_t> proc_sub_end(
+      static_cast<std::size_t>(report.num_processes) *
+          static_cast<std::size_t>(nsub),
+      -std::numeric_limits<simtime_t>::infinity());
+  std::vector<simtime_t> proc_last_end(
+      static_cast<std::size_t>(report.num_processes), 0.0);
+  for (index_t t = 0; t < n; ++t) {
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+    const auto s = static_cast<std::size_t>(graph.task(t).subiteration);
+    sub_end[s] = std::max(sub_end[s], tt.end);
+    auto& pse = proc_sub_end[static_cast<std::size_t>(tt.process) * nsub + s];
+    pse = std::max(pse, tt.end);
+    auto& ple = proc_last_end[static_cast<std::size_t>(tt.process)];
+    ple = std::max(ple, tt.end);
+  }
+  report.window_end.assign(static_cast<std::size_t>(report.num_subiterations),
+                           0.0);
+  simtime_t running = 0;
+  for (index_t s = 0; s < nsub; ++s) {
+    running = std::max(running, sub_end[static_cast<std::size_t>(s)]);
+    report.window_end[static_cast<std::size_t>(s)] = running;
+  }
+  // Guard against numerical shortfall: the final window must reach the
+  // makespan so idle accounting is exact.
+  report.window_end[static_cast<std::size_t>(nsub - 1)] = result.makespan;
+  index_t last_window = 0;
+  for (index_t s = 0; s < nsub; ++s) {
+    const simtime_t begin =
+        s == 0 ? 0.0 : report.window_end[static_cast<std::size_t>(s - 1)];
+    if (report.window_end[static_cast<std::size_t>(s)] > begin + eps)
+      last_window = s;
+  }
+
+  auto classify = [&](part_t p, index_t s, simtime_t x) {
+    if (s == last_window && x >= proc_last_end[static_cast<std::size_t>(p)] - eps)
+      return IdleCause::tail_imbalance;
+    if (proc_sub_end[static_cast<std::size_t>(p) * nsub +
+                     static_cast<std::size_t>(s)] > x + eps)
+      return IdleCause::dependency_wait;
+    return IdleCause::starvation;
+  };
+  auto account = [&](part_t p, index_t s, simtime_t from, simtime_t to) {
+    if (to <= from) return;
+    // Tail status can flip once inside a piece: split at the process's
+    // last task end when it falls inside the last window's piece.
+    const simtime_t cut = proc_last_end[static_cast<std::size_t>(p)];
+    std::array<std::pair<simtime_t, simtime_t>, 2> pieces{
+        {{from, to}, {0, 0}}};
+    if (s == last_window && cut > from + eps && cut < to - eps)
+      pieces = {{{from, cut}, {cut, to}}};
+    for (const auto& [a, b] : pieces) {
+      if (b <= a) continue;
+      const IdleCause c = classify(p, s, a);
+      report.blame[(static_cast<std::size_t>(p) *
+                        static_cast<std::size_t>(report.num_subiterations) +
+                    static_cast<std::size_t>(s)) *
+                       kNumIdleCauses +
+                   static_cast<std::size_t>(c)] += b - a;
+    }
+  };
+
+  // Per-worker busy spans → idle gaps → window-sliced attribution.
+  std::vector<std::vector<std::pair<simtime_t, simtime_t>>> busy;
+  std::vector<std::size_t> row_base(
+      static_cast<std::size_t>(report.num_processes) + 1, 0);
+  for (part_t p = 0; p < report.num_processes; ++p)
+    row_base[static_cast<std::size_t>(p) + 1] =
+        row_base[static_cast<std::size_t>(p)] +
+        static_cast<std::size_t>(report.workers[static_cast<std::size_t>(p)]);
+  busy.resize(row_base.back());
+  for (index_t t = 0; t < n; ++t) {
+    const TaskTiming& tt = result.timing[static_cast<std::size_t>(t)];
+    busy[row_base[static_cast<std::size_t>(tt.process)] +
+         static_cast<std::size_t>(tt.worker)]
+        .emplace_back(tt.start, tt.end);
+  }
+  for (part_t p = 0; p < report.num_processes; ++p) {
+    for (int w = 0; w < report.workers[static_cast<std::size_t>(p)]; ++w) {
+      auto& spans = busy[row_base[static_cast<std::size_t>(p)] +
+                         static_cast<std::size_t>(w)];
+      std::sort(spans.begin(), spans.end());
+      simtime_t cursor = 0;
+      auto emit_gap = [&](simtime_t a, simtime_t b) {
+        if (b <= a) return;
+        // Slice the gap by subiteration windows.
+        for (index_t s = 0; s < nsub; ++s) {
+          const simtime_t wbegin =
+              s == 0 ? 0.0
+                     : report.window_end[static_cast<std::size_t>(s - 1)];
+          const simtime_t wend =
+              report.window_end[static_cast<std::size_t>(s)];
+          account(p, s, std::max(a, wbegin), std::min(b, wend));
+        }
+      };
+      for (const auto& [start, end] : spans) {
+        emit_gap(cursor, start);
+        cursor = std::max(cursor, end);
+      }
+      emit_gap(cursor, result.makespan);
+    }
+  }
+  return report;
+}
+
+DoctorReport diagnose(const taskgraph::TaskGraph& graph,
+                      const SimResult& result, const CommModel& comm) {
+  DoctorReport report;
+  report.makespan = result.makespan;
+  report.occupancy = result.occupancy();
+  report.critical = realized_critical_path(graph, result, comm);
+  report.blame = idle_blame(graph, result);
+  report.activity = subiteration_activity(graph, result);
+  return report;
+}
+
+void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
+                         const DoctorReport& report) {
+  const CriticalPathReport& cp = report.critical;
+  const IdleBlameReport& blame = report.blame;
+  const simtime_t ms = report.makespan;
+
+  os << "== schedule doctor ==\n"
+     << "makespan: " << fmt_double(ms, 0)
+     << "   static critical path: " << fmt_double(cp.static_lower_bound, 0)
+     << "   realized/static: "
+     << fmt_double(cp.static_lower_bound > 0 ? ms / cp.static_lower_bound : 0.0,
+                   2)
+     << "x   occupancy: " << fmt_percent(report.occupancy) << '\n'
+     << "realized critical path: " << cp.steps.size() << " tasks, "
+     << fmt_double(cp.task_time, 0) << " on-chain work ("
+     << fmt_percent(ms > 0 ? cp.task_time / ms : 0.0)
+     << " of makespan), gates: dependency "
+     << fmt_double(cp.gated_by_dependency, 0) << " / worker "
+     << fmt_double(cp.gated_by_worker, 0) << ", cross-process handoffs: "
+     << cp.cross_process_handoffs << '\n';
+
+  TablePrinter by_sub("critical-path time by subiteration");
+  by_sub.header({"subiteration", "chain time", "% makespan", "window",
+                 "silent processes"});
+  const auto nsub = static_cast<index_t>(cp.by_subiteration.size());
+  for (index_t s = 0; s < nsub; ++s) {
+    const simtime_t wbegin =
+        s == 0 ? 0.0 : blame.window_end[static_cast<std::size_t>(s - 1)];
+    const simtime_t wend = blame.window_end[static_cast<std::size_t>(s)];
+    index_t silent = 0;
+    for (part_t p = 0; p < blame.num_processes; ++p)
+      if (!report
+               .activity[static_cast<std::size_t>(p) *
+                             static_cast<std::size_t>(nsub) +
+                         static_cast<std::size_t>(s)]
+               .active())
+        ++silent;
+    by_sub.row({std::to_string(s),
+                fmt_double(cp.by_subiteration[static_cast<std::size_t>(s)], 0),
+                fmt_percent(ms > 0 ? cp.by_subiteration
+                                             [static_cast<std::size_t>(s)] /
+                                         ms
+                                   : 0.0),
+                "[" + fmt_double(wbegin, 0) + ", " + fmt_double(wend, 0) + ")",
+                std::to_string(silent) + "/" +
+                    std::to_string(blame.num_processes)});
+  }
+  by_sub.print(os);
+
+  TablePrinter by_level("critical-path time by temporal level (phase)");
+  by_level.header({"level", "chain time", "% makespan"});
+  for (std::size_t l = 0; l < cp.by_level.size(); ++l)
+    by_level.row({"t=" + std::to_string(l), fmt_double(cp.by_level[l], 0),
+                  fmt_percent(ms > 0 ? cp.by_level[l] / ms : 0.0)});
+  by_level.print(os);
+
+  TablePrinter blame_table("idle blame per process (share of capacity)");
+  blame_table.header(
+      {"process", "idle", "dependency-wait", "starvation", "tail"});
+  for (part_t p = 0; p < blame.num_processes; ++p) {
+    const double dep = blame.share(p, IdleCause::dependency_wait);
+    const double sta = blame.share(p, IdleCause::starvation);
+    const double tail = blame.share(p, IdleCause::tail_imbalance);
+    blame_table.row({std::to_string(p), fmt_percent(dep + sta + tail),
+                     fmt_percent(dep), fmt_percent(sta), fmt_percent(tail)});
+  }
+  blame_table.separator();
+  blame_table.row(
+      {"all",
+       fmt_percent(blame.overall_share(IdleCause::dependency_wait) +
+                   blame.overall_share(IdleCause::starvation) +
+                   blame.overall_share(IdleCause::tail_imbalance)),
+       fmt_percent(blame.overall_share(IdleCause::dependency_wait)),
+       fmt_percent(blame.overall_share(IdleCause::starvation)),
+       fmt_percent(blame.overall_share(IdleCause::tail_imbalance))});
+  blame_table.print(os);
+
+  // The verdict line the paper draws from its Gantt charts: flag when
+  // the machine spends a meaningful slice of capacity idle, and name
+  // the dominant cause of that idleness.
+  const double dep = blame.overall_share(IdleCause::dependency_wait);
+  const double starvation = blame.overall_share(IdleCause::starvation);
+  const double tail = blame.overall_share(IdleCause::tail_imbalance);
+  const double idle_total = dep + starvation + tail;
+  os << "diagnosis: ";
+  if (idle_total <= 0.15) {
+    os << "schedule is healthy (" << fmt_percent(idle_total)
+       << " of capacity idle, below the 15% alert threshold)\n";
+  } else if (starvation >= dep && starvation >= tail) {
+    os << "level-imbalance starvation dominates ("
+       << fmt_percent(starvation)
+       << " of capacity idle with no current-subiteration work) — the "
+          "partition, not the scheduler, is the bottleneck\n";
+  } else if (dep >= tail) {
+    os << "dependency waits dominate (" << fmt_percent(dep)
+       << " of capacity) — critical-path structure or communication is "
+          "the bottleneck\n";
+  } else {
+    os << "tail imbalance dominates (" << fmt_percent(tail)
+       << " of capacity) — the last subiteration drains unevenly\n";
+  }
+  static_cast<void>(graph);
+}
+
+std::string doctor_blame_csv(const DoctorReport& report) {
+  const IdleBlameReport& blame = report.blame;
+  std::ostringstream os;
+  os << "process,subiteration,dependency_wait,starvation,tail_imbalance,"
+        "idle_total,window_capacity\n";
+  for (part_t p = 0; p < blame.num_processes; ++p) {
+    for (index_t s = 0; s < blame.num_subiterations; ++s) {
+      const simtime_t dep = blame.at(p, s, IdleCause::dependency_wait);
+      const simtime_t sta = blame.at(p, s, IdleCause::starvation);
+      const simtime_t tail = blame.at(p, s, IdleCause::tail_imbalance);
+      const simtime_t wbegin =
+          s == 0 ? 0.0 : blame.window_end[static_cast<std::size_t>(s - 1)];
+      const simtime_t wend = blame.window_end[static_cast<std::size_t>(s)];
+      const double capacity =
+          static_cast<double>(blame.workers[static_cast<std::size_t>(p)]) *
+          (wend - wbegin);
+      os << p << ',' << s << ',' << fmt_double(dep, 3) << ','
+         << fmt_double(sta, 3) << ',' << fmt_double(tail, 3) << ','
+         << fmt_double(dep + sta + tail, 3) << ',' << fmt_double(capacity, 3)
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+void write_doctor_heatmap_svg(const DoctorReport& report,
+                              const std::string& path) {
+  const IdleBlameReport& blame = report.blame;
+  const part_t nproc = blame.num_processes;
+  const index_t nsub = blame.num_subiterations;
+  const double cell_w = 64, cell_h = 18;
+  const double left = 56, top = 34, legend_h = 40;
+  const double width = left + cell_w * std::max<index_t>(nsub, 1) + 16;
+  const double height =
+      top + cell_h * std::max<part_t>(nproc, 1) + legend_h + 16;
+  SvgWriter svg(width, height);
+  svg.text(8, 18, "idle blame heatmap (rows: processes, cols: subiteration "
+                  "windows)",
+           11.0);
+  static const char* kCauseColor[kNumIdleCauses] = {
+      "#4c78a8",  // dependency_wait — blue
+      "#e45756",  // starvation — red
+      "#f2a14a",  // tail_imbalance — orange
+  };
+  for (index_t s = 0; s < nsub; ++s)
+    svg.text(left + (s + 0.5) * cell_w, top - 6, "s" + std::to_string(s), 9.0,
+             "middle");
+  for (part_t p = 0; p < nproc; ++p) {
+    svg.text(left - 6, top + (p + 0.75) * cell_h, "p" + std::to_string(p), 9.0,
+             "end");
+    for (index_t s = 0; s < nsub; ++s) {
+      const simtime_t wbegin =
+          s == 0 ? 0.0 : blame.window_end[static_cast<std::size_t>(s - 1)];
+      const simtime_t wend = blame.window_end[static_cast<std::size_t>(s)];
+      const double capacity =
+          static_cast<double>(blame.workers[static_cast<std::size_t>(p)]) *
+          (wend - wbegin);
+      double vals[kNumIdleCauses];
+      double idle = 0;
+      for (int c = 0; c < kNumIdleCauses; ++c) {
+        vals[c] = blame.at(p, s, static_cast<IdleCause>(c));
+        idle += vals[c];
+      }
+      const int dominant = static_cast<int>(
+          std::max_element(vals, vals + kNumIdleCauses) - vals);
+      const double share = capacity > 0 ? idle / capacity : 0.0;
+      const double x = left + s * cell_w, y = top + p * cell_h;
+      svg.rect(x, y, cell_w - 1, cell_h - 1, "#eeeeee");
+      if (share > 0) {
+        std::ostringstream tip;
+        tip << "p" << p << " s" << s << ": idle "
+            << fmt_percent(share) << " (" << to_string(
+                   static_cast<IdleCause>(dominant))
+            << ")";
+        svg.rect(x, y, cell_w - 1, cell_h - 1, kCauseColor[dominant],
+                 std::min(1.0, 0.15 + 0.85 * share), tip.str());
+      }
+    }
+  }
+  // Legend.
+  const double ly = top + cell_h * std::max<part_t>(nproc, 1) + 16;
+  double lx = left;
+  for (int c = 0; c < kNumIdleCauses; ++c) {
+    svg.rect(lx, ly, 12, 12, kCauseColor[c]);
+    svg.text(lx + 16, ly + 10, to_string(static_cast<IdleCause>(c)), 9.0);
+    lx += 130;
+  }
+  svg.text(left, ly + 26,
+           "shade = idle share of the cell's window capacity; hue = dominant "
+           "cause",
+           9.0);
+  svg.save(path);
+}
+
+void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
+                            const DoctorReport& report) {
+  obs::gauge("doctor.makespan").set(report.makespan);
+  obs::gauge("doctor.occupancy").set(report.occupancy);
+  obs::gauge("doctor.critical_path.static_lower_bound")
+      .set(report.critical.static_lower_bound);
+  obs::gauge("doctor.critical_path.task_time").set(report.critical.task_time);
+  obs::gauge("doctor.critical_path.steps")
+      .set(static_cast<double>(report.critical.steps.size()));
+  obs::gauge("doctor.critical_path.cross_process_handoffs")
+      .set(static_cast<double>(report.critical.cross_process_handoffs));
+  obs::gauge("doctor.blame.dependency_wait_share")
+      .set(report.blame.overall_share(IdleCause::dependency_wait));
+  obs::gauge("doctor.blame.starvation_share")
+      .set(report.blame.overall_share(IdleCause::starvation));
+  obs::gauge("doctor.blame.tail_imbalance_share")
+      .set(report.blame.overall_share(IdleCause::tail_imbalance));
+  obs::Histogram& per_proc =
+      obs::histogram("doctor.blame.process_starvation_share");
+  for (part_t p = 0; p < report.blame.num_processes; ++p)
+    per_proc.record(report.blame.share(p, IdleCause::starvation));
+  obs::Histogram& lengths = obs::histogram("doctor.task_length");
+  for (index_t t = 0; t < graph.num_tasks(); ++t)
+    lengths.record(graph.task(t).cost);
+}
+
+}  // namespace tamp::sim

@@ -1,0 +1,148 @@
+// Schedule doctor: automatic diagnosis of a realized schedule.
+//
+// The paper reads its central claims off Gantt charts — SC_OC shows
+// "continuous blocks of inactivity" because whole subiterations starve
+// most processes, MC_TL keeps every domain active in every subiteration.
+// This module turns that visual analysis into a report:
+//
+//   * Realized critical path — the chain of tasks whose starts were
+//     actually gated (by a predecessor finishing or a worker freeing)
+//     that ends at the makespan, with its time aggregated by
+//     subiteration, temporal level, domain and process. The *static*
+//     critical path (taskgraph::critical_path) bounds any schedule; the
+//     realized one explains the schedule you got.
+//
+//   * Idle blame — every contiguous idle interval of every worker is
+//     attributed to one of three causes:
+//       dependency_wait — the process still has work in the currently
+//         executing subiteration, but it is blocked (remote predecessor
+//         not finished, or fewer runnable tasks than workers);
+//       starvation — the process has no task of the current
+//         subiteration at all: the paper's level-imbalance signature;
+//       tail_imbalance — the process already finished everything and
+//         waits for the makespan.
+//     Blame is accounted per (process × subiteration), in worker-time,
+//     so the shares of one process sum exactly to its idle_fraction().
+//
+// Reports can be rendered as text (flusim --doctor), CSV, an SVG
+// heatmap, and tamp-metrics-v1 gauges for tamp-report / CI gating.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/analysis.hpp"
+#include "sim/simulate.hpp"
+
+namespace tamp::sim {
+
+/// What gated the start of a realized-critical-path step.
+enum class StartGate : std::uint8_t {
+  source,      ///< started at t = 0, nothing before it
+  dependency,  ///< start coincides with the latest predecessor's arrival
+  worker,      ///< start coincides with a worker of its process freeing
+};
+[[nodiscard]] const char* to_string(StartGate g);
+
+/// One link of the realized critical path, in execution order.
+struct CriticalStep {
+  index_t task = invalid_index;
+  StartGate gate = StartGate::source;
+  /// The task whose completion opened this one's start: the gating
+  /// predecessor (dependency) or the task that freed the worker
+  /// (worker); invalid_index for source steps.
+  index_t gated_by = invalid_index;
+  simtime_t duration = 0;
+};
+
+/// The realized critical path and where its time lives.
+struct CriticalPathReport {
+  std::vector<CriticalStep> steps;   ///< schedule start → makespan
+  simtime_t task_time = 0;           ///< Σ step durations (== makespan)
+  simtime_t static_lower_bound = 0;  ///< graph.critical_path()
+
+  // Chain task time aggregated along the paper's analysis axes.
+  std::vector<simtime_t> by_subiteration;
+  std::vector<simtime_t> by_level;   ///< phase τ
+  std::vector<simtime_t> by_domain;
+  std::vector<simtime_t> by_process;
+  simtime_t gated_by_dependency = 0; ///< Σ durations of dependency-gated steps
+  simtime_t gated_by_worker = 0;     ///< Σ durations of worker-gated steps
+  index_t cross_process_handoffs = 0;///< dependency gates crossing processes
+};
+
+/// Recover the chain of tasks that determined the makespan. Pass the
+/// simulation's CommModel so cross-process dependency arrivals match
+/// what the scheduler saw.
+[[nodiscard]] CriticalPathReport realized_critical_path(
+    const taskgraph::TaskGraph& graph, const SimResult& result,
+    const CommModel& comm = {});
+
+/// Idle-interval blame classes.
+enum class IdleCause : std::uint8_t {
+  dependency_wait = 0,
+  starvation = 1,
+  tail_imbalance = 2,
+};
+inline constexpr int kNumIdleCauses = 3;
+[[nodiscard]] const char* to_string(IdleCause c);
+
+/// Worker idle time attributed per (process × subiteration × cause).
+struct IdleBlameReport {
+  part_t num_processes = 0;
+  index_t num_subiterations = 0;
+  simtime_t makespan = 0;
+  std::vector<int> workers;      ///< per process (capacity divisor)
+  /// blame[(p · nsub + s) · kNumIdleCauses + cause] in worker-time.
+  std::vector<simtime_t> blame;
+  /// Boundaries of the global subiteration windows: subiteration s was
+  /// "current" during [window_end[s-1], window_end[s]) (0-based start).
+  std::vector<simtime_t> window_end;
+
+  [[nodiscard]] simtime_t at(part_t p, index_t s, IdleCause c) const;
+  /// Σ over subiterations, worker-time.
+  [[nodiscard]] simtime_t total(part_t p, IdleCause c) const;
+  /// total() as a fraction of p's capacity (workers · makespan); the
+  /// three shares of a process sum to its idle_fraction().
+  [[nodiscard]] double share(part_t p, IdleCause c) const;
+  /// Cause share of the whole cluster's capacity.
+  [[nodiscard]] double overall_share(IdleCause c) const;
+};
+
+/// Classify every worker idle interval of the schedule.
+[[nodiscard]] IdleBlameReport idle_blame(const taskgraph::TaskGraph& graph,
+                                         const SimResult& result);
+
+/// Everything the doctor knows about one run.
+struct DoctorReport {
+  simtime_t makespan = 0;
+  double occupancy = 0;
+  CriticalPathReport critical;
+  IdleBlameReport blame;
+  std::vector<SubiterationActivity> activity;  ///< p × nsub
+};
+
+/// Run the full diagnosis.
+[[nodiscard]] DoctorReport diagnose(const taskgraph::TaskGraph& graph,
+                                    const SimResult& result,
+                                    const CommModel& comm = {});
+
+/// Human-readable report (tables + headline numbers).
+void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
+                         const DoctorReport& report);
+
+/// Per-(process × subiteration) blame breakdown as CSV text.
+[[nodiscard]] std::string doctor_blame_csv(const DoctorReport& report);
+
+/// SVG heatmap: rows = processes, columns = subiteration windows, cell
+/// shade = idle share within that window, hue = dominant blame cause.
+void write_doctor_heatmap_svg(const DoctorReport& report,
+                              const std::string& path);
+
+/// Publish headline numbers as tamp-metrics-v1 gauges/histograms
+/// ("doctor.*"), ready for obs::metrics_to_json and tamp-report gating.
+void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
+                            const DoctorReport& report);
+
+}  // namespace tamp::sim

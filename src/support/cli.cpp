@@ -27,15 +27,30 @@ CliParser& CliParser::flag(const std::string& name, const std::string& help) {
   return *this;
 }
 
+CliParser& CliParser::positional(const std::string& name,
+                                 const std::string& help) {
+  TAMP_EXPECTS(!options_.count(name), "positional clashes with option: " + name);
+  for (const auto& [n, h] : positionals_)
+    TAMP_EXPECTS(n != name, "duplicate positional: " + name);
+  positionals_.emplace_back(name, help);
+  return *this;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (const auto& [name, opt] : options_) values_[name] = opt.default_value;
+  std::size_t next_positional = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(help().c_str(), stdout);
       return false;
     }
-    TAMP_EXPECTS(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    if (arg.rfind("--", 0) != 0) {
+      TAMP_EXPECTS(next_positional < positionals_.size(),
+                   "unexpected argument: " + arg);
+      values_[positionals_[next_positional++].first] = arg;
+      continue;
+    }
     arg.erase(0, 2);
     std::string value;
     bool has_value = false;
@@ -55,6 +70,11 @@ bool CliParser::parse(int argc, const char* const* argv) {
       values_[arg] = argv[++i];
     }
   }
+  TAMP_EXPECTS(next_positional == positionals_.size(),
+               "missing argument: " +
+                   (positionals_.empty()
+                        ? std::string{}
+                        : positionals_[next_positional].first));
   return true;
 }
 
@@ -97,7 +117,13 @@ bool CliParser::get_flag(const std::string& name) const {
 
 std::string CliParser::help() const {
   std::ostringstream os;
-  os << description_ << "\n\nOptions:\n";
+  os << description_ << '\n';
+  if (!positionals_.empty()) {
+    os << "\nArguments:\n";
+    for (const auto& [name, help_text] : positionals_)
+      os << "  <" << name << ">\n      " << help_text << '\n';
+  }
+  os << "\nOptions:\n";
   for (const auto& name : order_) {
     const Option& opt = options_.at(name);
     os << "  --" << name;

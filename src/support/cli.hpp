@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tamp {
@@ -21,6 +22,11 @@ public:
 
   /// Register a boolean flag (defaults to false).
   CliParser& flag(const std::string& name, const std::string& help);
+
+  /// Register a required positional argument. Positionals are filled in
+  /// registration order by the bare (non `--`) arguments and retrieved
+  /// with get() like any option; parse() throws when one is missing.
+  CliParser& positional(const std::string& name, const std::string& help);
 
   /// Parse. Returns false (after printing help) when --help is present.
   /// Throws precondition_error for unknown or malformed options.
@@ -42,6 +48,7 @@ private:
   };
   std::string description_;
   std::vector<std::string> order_;
+  std::vector<std::pair<std::string, std::string>> positionals_;  ///< name, help
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
 };

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tamp::taskgraph {
 
 const char* to_string(ObjectType t) {
@@ -87,6 +90,7 @@ std::vector<index_t> TaskGraph::topological_order() const {
 }
 
 simtime_t TaskGraph::critical_path() const {
+  TAMP_TRACE_SCOPE("taskgraph/critical_path");
   const std::vector<index_t> order = topological_order();
   std::vector<simtime_t> finish(tasks_.size(), 0);
   simtime_t best = 0;
@@ -98,6 +102,7 @@ simtime_t TaskGraph::critical_path() const {
         start + tasks_[static_cast<std::size_t>(t)].cost;
     best = std::max(best, finish[static_cast<std::size_t>(t)]);
   }
+  TAMP_METRIC_GAUGE_SET("taskgraph.critical_path", best);
   return best;
 }
 

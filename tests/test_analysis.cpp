@@ -2,6 +2,7 @@
 // idle blocks) and the Chrome trace export.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 
 #include "sim/analysis.hpp"
@@ -48,9 +49,15 @@ TEST(Analysis, SubiterationActivity) {
   EXPECT_EQ(act[1].tasks, 1);
   EXPECT_DOUBLE_EQ(act[1].first_start, 3.0);
   EXPECT_DOUBLE_EQ(act[1].last_end, 4.0);
-  // p1, s0: task 1. p1, s1: nothing.
+  // p1, s0: task 1. p1, s1: nothing — inactive cells keep the sentinel
+  // +inf first_start so "never started" is distinct from "started at 0".
   EXPECT_EQ(act[2].tasks, 1);
+  EXPECT_TRUE(act[2].active());
+  EXPECT_DOUBLE_EQ(act[2].first_start, 0.0);
   EXPECT_EQ(act[3].tasks, 0);
+  EXPECT_FALSE(act[3].active());
+  EXPECT_TRUE(std::isinf(act[3].first_start));
+  EXPECT_GT(act[3].first_start, 0);
 }
 
 TEST(Analysis, ConcurrencyProfile) {

@@ -1,0 +1,258 @@
+// Tests of the schedule doctor: realized critical path, idle blame
+// classification (hand-built 2-process graphs with known schedules), the
+// shares-sum-to-idle_fraction accounting identity on random DAGs, and
+// the paper's SC_OC-vs-MC_TL starvation signature on a real mesh.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+#include "sim/doctor.hpp"
+#include "taskgraph/generate.hpp"
+
+namespace tamp::sim {
+namespace {
+
+using taskgraph::Task;
+using taskgraph::TaskGraph;
+
+Task make_task(index_t subiteration, part_t domain, simtime_t cost,
+               level_t level = 0) {
+  Task t;
+  t.subiteration = subiteration;
+  t.domain = domain;
+  t.cost = cost;
+  t.level = level;
+  return t;
+}
+
+SimResult run(const TaskGraph& g, part_t nproc, int workers,
+              const std::vector<part_t>& d2p) {
+  SimOptions opts;
+  opts.cluster.num_processes = nproc;
+  opts.cluster.workers_per_process = workers;
+  return simulate(g, d2p, opts);
+}
+
+// --- realized critical path -------------------------------------------------
+
+TEST(CriticalPath, DependencyChain) {
+  // A → B → C on one process, one worker: the whole schedule is the chain.
+  std::vector<Task> tasks{make_task(0, 0, 2), make_task(0, 0, 3),
+                          make_task(1, 0, 1)};
+  const TaskGraph g(std::move(tasks), {{}, {0}, {1}});
+  const SimResult r = run(g, 1, 1, {0});
+  ASSERT_DOUBLE_EQ(r.makespan, 6.0);
+
+  const CriticalPathReport cp = realized_critical_path(g, r);
+  ASSERT_EQ(cp.steps.size(), 3u);
+  EXPECT_EQ(cp.steps[0].task, 0);
+  EXPECT_EQ(cp.steps[0].gate, StartGate::source);
+  EXPECT_EQ(cp.steps[1].task, 1);
+  EXPECT_EQ(cp.steps[1].gate, StartGate::dependency);
+  EXPECT_EQ(cp.steps[1].gated_by, 0);
+  EXPECT_EQ(cp.steps[2].task, 2);
+  EXPECT_EQ(cp.steps[2].gate, StartGate::dependency);
+  EXPECT_DOUBLE_EQ(cp.task_time, r.makespan);
+  EXPECT_DOUBLE_EQ(cp.static_lower_bound, 6.0);
+  ASSERT_EQ(cp.by_subiteration.size(), 2u);
+  EXPECT_DOUBLE_EQ(cp.by_subiteration[0], 5.0);
+  EXPECT_DOUBLE_EQ(cp.by_subiteration[1], 1.0);
+  EXPECT_DOUBLE_EQ(cp.gated_by_dependency, 4.0);  // B and C
+  EXPECT_EQ(cp.cross_process_handoffs, 0);
+}
+
+TEST(CriticalPath, WorkerGate) {
+  // Two independent tasks on one worker: the second one's start was
+  // gated by the worker freeing, not by any dependency.
+  std::vector<Task> tasks{make_task(0, 0, 2), make_task(0, 0, 3)};
+  const TaskGraph g(std::move(tasks), {{}, {}});
+  const SimResult r = run(g, 1, 1, {0});
+  ASSERT_DOUBLE_EQ(r.makespan, 5.0);
+
+  const CriticalPathReport cp = realized_critical_path(g, r);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  EXPECT_EQ(cp.steps[0].gate, StartGate::source);
+  EXPECT_EQ(cp.steps[1].gate, StartGate::worker);
+  EXPECT_EQ(cp.steps[1].gated_by, cp.steps[0].task);
+  EXPECT_DOUBLE_EQ(cp.gated_by_worker,
+                   cp.steps[1].duration);
+  EXPECT_DOUBLE_EQ(cp.task_time, 5.0);
+}
+
+TEST(CriticalPath, CrossProcessHandoff) {
+  // p1's long task B feeds p0's C: the chain hops processes once.
+  std::vector<Task> tasks{make_task(0, 0, 1), make_task(0, 1, 3),
+                          make_task(1, 0, 1)};
+  const TaskGraph g(std::move(tasks), {{}, {}, {0, 1}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  const CriticalPathReport cp = realized_critical_path(g, r);
+  ASSERT_EQ(cp.steps.size(), 2u);  // B then C; A is off-chain
+  EXPECT_EQ(cp.steps[0].task, 1);
+  EXPECT_EQ(cp.steps[1].task, 2);
+  EXPECT_EQ(cp.steps[1].gate, StartGate::dependency);
+  EXPECT_EQ(cp.cross_process_handoffs, 1);
+}
+
+// --- idle blame -------------------------------------------------------------
+
+TEST(IdleBlame, DependencyWait) {
+  // p0: A [0,1], then C blocked on remote B (p1, [0,3]) → C [3,4].
+  // p0's gap [1,3) is dependency-wait (it still has s0 work coming);
+  // p1's gap [3,4) is tail imbalance (it is done, waiting for makespan).
+  std::vector<Task> tasks{make_task(0, 0, 1), make_task(0, 1, 3),
+                          make_task(0, 0, 1)};
+  const TaskGraph g(std::move(tasks), {{}, {}, {1}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  ASSERT_DOUBLE_EQ(r.makespan, 4.0);
+
+  const IdleBlameReport blame = idle_blame(g, r);
+  EXPECT_EQ(blame.num_subiterations, 1);
+  EXPECT_DOUBLE_EQ(blame.total(0, IdleCause::dependency_wait), 2.0);
+  EXPECT_DOUBLE_EQ(blame.total(0, IdleCause::starvation), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(0, IdleCause::tail_imbalance), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::tail_imbalance), 1.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::dependency_wait), 0.0);
+}
+
+TEST(IdleBlame, StarvationInMiddleWindow) {
+  // Three subiterations; p1 has nothing at all in s1 — the paper's
+  // level-imbalance signature. Its mid-run silence is starvation, not
+  // tail: only idle inside the *last* window after a process's final
+  // task counts as tail imbalance.
+  std::vector<Task> tasks{
+      make_task(0, 0, 1), make_task(0, 1, 1),  // s0: A(p0), B(p1)
+      make_task(1, 0, 3),                       // s1: C(p0) ← A
+      make_task(2, 0, 1), make_task(2, 1, 1),  // s2: D(p0)←C, E(p1)←C
+  };
+  const TaskGraph g(std::move(tasks), {{}, {}, {0}, {2}, {2}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  ASSERT_DOUBLE_EQ(r.makespan, 5.0);
+
+  const IdleBlameReport blame = idle_blame(g, r);
+  ASSERT_EQ(blame.num_subiterations, 3);
+  // Windows: s0 [0,1), s1 [1,4), s2 [4,5).
+  EXPECT_DOUBLE_EQ(blame.window_end[0], 1.0);
+  EXPECT_DOUBLE_EQ(blame.window_end[1], 4.0);
+  EXPECT_DOUBLE_EQ(blame.window_end[2], 5.0);
+  EXPECT_DOUBLE_EQ(blame.at(1, 1, IdleCause::starvation), 3.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::dependency_wait), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::tail_imbalance), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(0, IdleCause::starvation), 0.0);
+  EXPECT_NEAR(blame.share(1, IdleCause::starvation), r.idle_fraction(1),
+              1e-12);
+}
+
+TEST(IdleBlame, TailImbalance) {
+  // Single subiteration, p1 finishes early: pure tail.
+  std::vector<Task> tasks{make_task(0, 0, 5), make_task(0, 1, 2)};
+  const TaskGraph g(std::move(tasks), {{}, {}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  const IdleBlameReport blame = idle_blame(g, r);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::tail_imbalance), 3.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::dependency_wait), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(1, IdleCause::starvation), 0.0);
+  EXPECT_DOUBLE_EQ(blame.total(0, IdleCause::tail_imbalance), 0.0);
+}
+
+TEST(IdleBlame, SharesSumToIdleFractionOnRandomGraphs) {
+  // Accounting identity: for every process the three blame shares sum
+  // exactly to idle_fraction(p) — all idle worker-time is attributed.
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const index_t n = 5 + static_cast<index_t>(rng() % 40);
+    const part_t nproc = 2 + static_cast<part_t>(rng() % 3);
+    const int workers = 1 + static_cast<int>(rng() % 3);
+    std::vector<Task> tasks;
+    std::vector<std::vector<index_t>> deps(static_cast<std::size_t>(n));
+    index_t sub = 0;
+    for (index_t t = 0; t < n; ++t) {
+      if (rng() % 4 == 0) ++sub;
+      tasks.push_back(make_task(sub, static_cast<part_t>(rng() % nproc),
+                                1 + static_cast<simtime_t>(rng() % 9)));
+      for (index_t p = 0; p < t; ++p)
+        if (rng() % 5 == 0) deps[static_cast<std::size_t>(t)].push_back(p);
+    }
+    std::vector<part_t> d2p(static_cast<std::size_t>(nproc));
+    for (part_t p = 0; p < nproc; ++p) d2p[static_cast<std::size_t>(p)] = p;
+    const TaskGraph g(std::move(tasks), deps);
+    const SimResult r = run(g, nproc, workers, d2p);
+    const IdleBlameReport blame = idle_blame(g, r);
+    for (part_t p = 0; p < nproc; ++p) {
+      const double sum = blame.share(p, IdleCause::dependency_wait) +
+                         blame.share(p, IdleCause::starvation) +
+                         blame.share(p, IdleCause::tail_imbalance);
+      EXPECT_NEAR(sum, r.idle_fraction(p), 1e-9)
+          << "round " << round << " process " << p;
+    }
+  }
+}
+
+// --- full report plumbing ---------------------------------------------------
+
+TEST(Doctor, CsvBreakdownIsComplete) {
+  std::vector<Task> tasks{make_task(0, 0, 1), make_task(0, 1, 3),
+                          make_task(1, 0, 1)};
+  const TaskGraph g(std::move(tasks), {{}, {}, {0, 1}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  const DoctorReport doc = diagnose(g, r);
+
+  const std::string csv = doctor_blame_csv(doc);
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "process,subiteration,dependency_wait,starvation,tail_imbalance,"
+            "idle_total,window_capacity");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4u);  // 2 processes × 2 subiterations
+}
+
+TEST(Doctor, PrintedReportNamesTheVerdict) {
+  std::vector<Task> tasks{make_task(0, 0, 5), make_task(0, 1, 2)};
+  const TaskGraph g(std::move(tasks), {{}, {}});
+  const SimResult r = run(g, 2, 1, {0, 1});
+  const DoctorReport doc = diagnose(g, r);
+  std::ostringstream os;
+  print_doctor_report(os, g, doc);
+  EXPECT_NE(os.str().find("diagnosis:"), std::string::npos);
+  EXPECT_NE(os.str().find("realized critical path"), std::string::npos);
+}
+
+// --- the paper's signature on a real mesh -----------------------------------
+
+TEST(Doctor, ScOcStarvesWhereMcTlDoesNot) {
+  // §IV/Fig 7: the single-constraint cost-only partition (SC_OC) leaves
+  // whole processes without work during low-level subiterations; the
+  // multi-criteria per-level partition (MC_TL) does not. The doctor must
+  // see that as a strictly higher starvation blame share.
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 6000;
+  const mesh::Mesh m = mesh::make_test_mesh(mesh::TestMeshKind::cube, spec);
+
+  auto starvation_share = [&](const char* strategy) {
+    partition::StrategyOptions sopts;
+    sopts.strategy = partition::parse_strategy(strategy);
+    sopts.ndomains = 16;
+    const auto dd = partition::decompose(m, sopts);
+    const auto graph = taskgraph::generate_task_graph(
+        m, dd.domain_of_cell, dd.ndomains, {});
+    const auto d2p = partition::map_domains_to_processes(
+        dd.ndomains, 4, partition::DomainMapping::block);
+    SimOptions opts;
+    opts.cluster.num_processes = 4;
+    opts.cluster.workers_per_process = 4;
+    const SimResult r = simulate(graph, d2p, opts);
+    return idle_blame(graph, r).overall_share(IdleCause::starvation);
+  };
+
+  const double sc_oc = starvation_share("sc_oc");
+  const double mc_tl = starvation_share("mc_tl");
+  EXPECT_GT(sc_oc, mc_tl);
+}
+
+}  // namespace
+}  // namespace tamp::sim

@@ -13,7 +13,9 @@
 
 #include "core/pipeline.hpp"
 #include "obs/export.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/trace_json.hpp"
 #include "support/log.hpp"
@@ -539,6 +541,164 @@ TEST_F(ObsTest, PlainSimTraceStillValidJson) {
   const std::string doc = sim::to_chrome_trace(out.graph, out.sim);
   EXPECT_TRUE(json_parses(doc));
   EXPECT_NE(doc.find("process_name"), std::string::npos);
+}
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x", "nest": {"k": -2e3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  ASSERT_TRUE(v.find("b")->is_array());
+  EXPECT_EQ(v.find("b")->as_array().size(), 3u);
+  EXPECT_TRUE(v.find("b")->as_array()[0].as_bool());
+  EXPECT_TRUE(v.find("b")->as_array()[2].is_null());
+  EXPECT_EQ(v.find("s")->as_string(), "x");
+  EXPECT_DOUBLE_EQ(v.find("nest")->number_or("k", 0), -2000.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue v = JsonValue::parse(
+      R"({"s": "a\"b\\c\n\té 😀"})");
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\n\té \U0001F600");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse("{"), runtime_failure);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), runtime_failure);
+  EXPECT_THROW((void)JsonValue::parse("{} trailing"), runtime_failure);
+  EXPECT_THROW((void)JsonValue::parse("nul"), runtime_failure);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a" 1})"), runtime_failure);
+  EXPECT_THROW((void)JsonValue::parse("").as_number(), runtime_failure);
+}
+
+TEST(JsonParser, KindMismatchThrows) {
+  const JsonValue v = JsonValue::parse("42");
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+  EXPECT_THROW((void)v.as_string(), runtime_failure);
+  EXPECT_THROW((void)v.as_object(), runtime_failure);
+}
+
+TEST(JsonParser, UnicodeEscapesBuildUtf8) {
+  const JsonValue v =
+      JsonValue::parse(R"("\u00e9 \u20ac \ud83d\ude00")");
+  EXPECT_EQ(v.as_string(), "é € \U0001F600");
+  // A lone high surrogate is malformed.
+  EXPECT_THROW((void)JsonValue::parse(R"("\ud83d")"), runtime_failure);
+}
+
+// --- tamp-metrics round trip and regression verdicts -------------------------
+
+TEST_F(ObsTest, MetricsJsonRoundTripsThroughParser) {
+  counter("rt.tasks").add(12);
+  gauge("rt.occupancy").set(0.75);
+  Histogram& h = histogram("rt.length");
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const MetricsFile file =
+      parse_metrics_json(metrics_to_json(Registry::instance().snapshot()));
+  EXPECT_DOUBLE_EQ(file.counters.at("rt.tasks"), 12.0);
+  EXPECT_DOUBLE_EQ(file.gauges.at("rt.occupancy"), 0.75);
+  const MetricsFile::Hist& hist = file.histograms.at("rt.length");
+  EXPECT_DOUBLE_EQ(hist.count, 100.0);
+  EXPECT_DOUBLE_EQ(hist.min, 1.0);
+  EXPECT_DOUBLE_EQ(hist.max, 100.0);
+  EXPECT_GT(hist.p99, hist.p50);
+
+  double out = 0;
+  EXPECT_TRUE(lookup_metric(file, "counters.rt.tasks", out));
+  EXPECT_DOUBLE_EQ(out, 12.0);
+  EXPECT_TRUE(lookup_metric(file, "histograms.rt.length.p99", out));
+  EXPECT_FALSE(lookup_metric(file, "gauges.rt.absent", out));
+  EXPECT_FALSE(lookup_metric(file, "histograms.rt.length.p17", out));
+}
+
+TEST(Report, RejectsWrongSchema) {
+  EXPECT_THROW((void)parse_metrics_json(R"({"schema": "other-v9"})"),
+               runtime_failure);
+  EXPECT_THROW((void)parse_metrics_json("not json"), runtime_failure);
+}
+
+MetricsFile doctor_metrics(double makespan, double occupancy,
+                           double starvation, double p99) {
+  MetricsFile f;
+  f.gauges["doctor.makespan"] = makespan;
+  f.gauges["doctor.occupancy"] = occupancy;
+  f.gauges["doctor.blame.starvation_share"] = starvation;
+  f.gauges["doctor.blame.dependency_wait_share"] = 0.02;
+  f.gauges["doctor.blame.tail_imbalance_share"] = 0.01;
+  f.histograms["doctor.task_length"].p99 = p99;
+  return f;
+}
+
+TEST(Report, SyntheticRegressionTripsTheGates) {
+  const MetricsFile base = doctor_metrics(1000, 0.95, 0.02, 50);
+  // 30% slower, occupancy collapsed, starvation up 20 points: regressed.
+  const MetricsFile bad = doctor_metrics(1300, 0.70, 0.22, 50);
+  const auto rules = default_doctor_rules(0.05, 0.05, 0.25, 0.05);
+  const ReportVerdict verdict = compare_metrics(base, bad, rules);
+  EXPECT_TRUE(verdict.regressed());
+
+  // Same run within tolerance: clean.
+  const MetricsFile ok = doctor_metrics(1020, 0.94, 0.03, 55);
+  EXPECT_FALSE(compare_metrics(base, ok, rules).regressed());
+
+  // Improvement in a higher-is-worse metric never regresses.
+  const MetricsFile better = doctor_metrics(700, 0.99, 0.0, 30);
+  EXPECT_FALSE(compare_metrics(base, better, rules).regressed());
+}
+
+TEST(Report, MissingMetricIsSkippedNotRegressed) {
+  const MetricsFile base = doctor_metrics(1000, 0.95, 0.02, 50);
+  MetricsFile cand = doctor_metrics(1000, 0.95, 0.02, 50);
+  cand.gauges.erase("doctor.occupancy");
+  const auto rules = default_doctor_rules(0.05, 0.05, 0.25, 0.05);
+  const ReportVerdict verdict = compare_metrics(base, cand, rules);
+  EXPECT_FALSE(verdict.regressed());
+  bool saw_missing = false;
+  for (const RuleFinding& f : verdict.findings)
+    if (f.metric == "gauges.doctor.occupancy") saw_missing = f.missing;
+  EXPECT_TRUE(saw_missing);
+}
+
+TEST(Report, VerdictJsonRoundTrips) {
+  const MetricsFile base = doctor_metrics(1000, 0.95, 0.02, 50);
+  const MetricsFile bad = doctor_metrics(1300, 0.70, 0.22, 50);
+  const auto rules = default_doctor_rules(0.05, 0.05, 0.25, 0.05);
+  const ReportVerdict verdict = compare_metrics(base, bad, rules);
+
+  const std::string json = verdict_to_json(verdict);
+  EXPECT_NE(json.find("tamp-verdict-v1"), std::string::npos);
+  const ReportVerdict back = verdict_from_json(json);
+  EXPECT_EQ(back.regressed(), verdict.regressed());
+  ASSERT_EQ(back.findings.size(), verdict.findings.size());
+  for (std::size_t i = 0; i < back.findings.size(); ++i) {
+    EXPECT_EQ(back.findings[i].metric, verdict.findings[i].metric);
+    EXPECT_DOUBLE_EQ(back.findings[i].baseline, verdict.findings[i].baseline);
+    EXPECT_DOUBLE_EQ(back.findings[i].candidate,
+                     verdict.findings[i].candidate);
+    EXPECT_DOUBLE_EQ(back.findings[i].change, verdict.findings[i].change);
+    EXPECT_EQ(back.findings[i].absolute, verdict.findings[i].absolute);
+    EXPECT_EQ(back.findings[i].regressed, verdict.findings[i].regressed);
+    EXPECT_EQ(back.findings[i].missing, verdict.findings[i].missing);
+  }
+  EXPECT_THROW((void)verdict_from_json(R"({"schema": "nope"})"),
+               runtime_failure);
+}
+
+TEST(Report, FlattenIsDeterministicAndComplete) {
+  const MetricsFile f = doctor_metrics(1000, 0.95, 0.02, 50);
+  const auto flat = flatten_metrics(f);
+  EXPECT_FALSE(flat.empty());
+  for (std::size_t i = 1; i < flat.size(); ++i)
+    EXPECT_LT(flat[i - 1].first, flat[i].first);
+  double out = 0;
+  for (const auto& [name, value] : flat) {
+    ASSERT_TRUE(lookup_metric(f, name, out)) << name;
+    EXPECT_DOUBLE_EQ(out, value) << name;
+  }
 }
 
 }  // namespace

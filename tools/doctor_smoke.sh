@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the schedule-doctor workflow:
+#
+#   flusim --doctor --metrics  →  tamp-report baseline candidate
+#
+# Runs the seed CUBE mesh under the paper's two headline strategies and
+# checks the regression gate in both directions: MC_TL as the candidate
+# against an SC_OC baseline must pass (everything improves), SC_OC as
+# the candidate against an MC_TL baseline must fail with a machine-
+# readable "regressed": true verdict. Exercises exactly what CI gates on.
+#
+#   tools/doctor_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+FLUSIM="${BUILD}/examples/flusim"
+REPORT="${BUILD}/tools/tamp-report"
+OUT="$(mktemp -d)"
+trap 'rm -rf "${OUT}"' EXIT
+
+for bin in "${FLUSIM}" "${REPORT}"; do
+  [[ -x "${bin}" ]] || { echo "doctor_smoke: missing ${bin} (build first)"; exit 2; }
+done
+
+run_flusim() { # strategy
+  "${FLUSIM}" --mesh cube --cells 8000 --partition-strategy "$1" \
+    --domains 16 --processes 4 --workers 4 \
+    --doctor --metrics "${OUT}/$1.json" \
+    --doctor-csv "${OUT}/$1.csv" --doctor-svg "${OUT}/$1.svg" \
+    > "${OUT}/$1.txt"
+}
+run_flusim mc_tl
+run_flusim sc_oc
+
+# The doctor must blame SC_OC's idleness on starvation louder than MC_TL's
+# (the paper's level-imbalance signature, §IV / Fig 7).
+starv() { grep -o '"doctor.blame.starvation_share": [0-9.eE+-]*' "$1" | awk '{print $2}'; }
+SC=$(starv "${OUT}/sc_oc.json")
+MC=$(starv "${OUT}/mc_tl.json")
+awk -v sc="${SC}" -v mc="${MC}" 'BEGIN { exit !(sc > mc) }' || {
+  echo "doctor_smoke: FAIL — SC_OC starvation share (${SC}) not above MC_TL (${MC})"
+  exit 1
+}
+
+# Direction 1: MC_TL candidate vs SC_OC baseline — strictly better, exit 0.
+# The two strategies build different task graphs, so loosen the p99
+# task-length gate (it compares aggregation grain, not schedule quality).
+if ! "${REPORT}" "${OUT}/sc_oc.json" "${OUT}/mc_tl.json" \
+    --threshold-p99 2.0 --quiet; then
+  echo "doctor_smoke: FAIL — MC_TL flagged as a regression of SC_OC"
+  exit 1
+fi
+
+# Direction 2: SC_OC candidate vs MC_TL baseline — must regress (exit 1)
+# and say so in the verdict JSON.
+if "${REPORT}" "${OUT}/mc_tl.json" "${OUT}/sc_oc.json" \
+    --threshold-p99 2.0 --quiet --verdict "${OUT}/verdict.json"; then
+  echo "doctor_smoke: FAIL — SC_OC not flagged as a regression of MC_TL"
+  exit 1
+fi
+grep -q '"regressed": true' "${OUT}/verdict.json" || {
+  echo "doctor_smoke: FAIL — verdict JSON lacks \"regressed\": true"
+  exit 1
+}
+
+# The side artifacts materialised.
+for f in mc_tl.csv mc_tl.svg sc_oc.csv sc_oc.svg; do
+  [[ -s "${OUT}/${f}" ]] || { echo "doctor_smoke: FAIL — empty ${f}"; exit 1; }
+done
+grep -q "diagnosis:" "${OUT}/sc_oc.txt" || {
+  echo "doctor_smoke: FAIL — no diagnosis line in --doctor output"
+  exit 1
+}
+
+echo "doctor_smoke: OK (starvation share sc_oc=${SC} > mc_tl=${MC})"
