@@ -1,13 +1,23 @@
 // Google-benchmark microbenchmarks of the partitioner building blocks:
 // coarsening, single bisection, recursive k-way, multi-constraint
-// overhead, and RB vs direct k-way quality/throughput.
+// overhead, RB vs direct k-way quality/throughput, and the serial-vs-
+// parallel thread sweep (run before the benchmarks; skip with
+// --no-sweep, size with --sweep-cells=N).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "graph/builder.hpp"
 #include "mesh/generators.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/partition.hpp"
 #include "partition/strategy.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -99,6 +109,96 @@ void BM_StrategyDecompose(benchmark::State& state) {
 }
 BENCHMARK(BM_StrategyDecompose)->Arg(0)->Arg(1);
 
+void BM_StrategyDecomposeThreaded(benchmark::State& state) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 50'000;
+  const auto m = mesh::make_cylinder_mesh(spec);
+  partition::StrategyOptions opts;
+  opts.strategy = partition::Strategy::mc_tl;
+  opts.ndomains = 64;
+  opts.partitioner.num_threads = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.partitioner.seed = ++seed;
+    auto dd = partition::decompose(m, opts);
+    benchmark::DoNotOptimize(dd.edge_cut);
+  }
+  state.SetLabel("MC_TL threads=" + std::to_string(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * m.num_cells());
+}
+BENCHMARK(BM_StrategyDecomposeThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Serial-vs-parallel decomposition sweep: times MC_TL on the cylinder
+/// mesh at 1/2/4/8 threads, checks every run is bit-identical to the
+/// serial one, prints the speedup table, and records the
+/// partition.decompose_seconds* gauges for the tamp-metrics-v1 snapshot.
+void run_threads_sweep(index_t cells) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = cells;
+  const auto m = mesh::make_cylinder_mesh(spec);
+  partition::StrategyOptions opts;
+  opts.strategy = partition::Strategy::mc_tl;
+  opts.ndomains = 64;
+  opts.partitioner.seed = 42;
+
+  std::cout << "--- decompose thread sweep: MC_TL, " << m.num_cells()
+            << " cells, " << opts.ndomains << " domains ---\n";
+  TablePrinter t;
+  t.header({"threads", "seconds", "speedup", "identical"});
+  std::vector<part_t> serial_cells;
+  double serial_seconds = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    opts.partitioner.num_threads = threads;
+    Stopwatch sw;
+    const auto dd = partition::decompose(m, opts);
+    const double secs = sw.seconds();
+    bool identical = true;
+    if (threads == 1) {
+      serial_cells = dd.domain_of_cell;
+      serial_seconds = secs;
+      obs::gauge("partition.decompose_seconds").set(secs);
+    } else {
+      identical = dd.domain_of_cell == serial_cells;
+    }
+    obs::gauge("partition.decompose_seconds.t" + std::to_string(threads))
+        .set(secs);
+    t.row({std::to_string(threads), fmt_double(secs, 3),
+           fmt_double(serial_seconds / secs, 2), identical ? "yes" : "NO"});
+    if (!identical) {
+      std::cerr << "micro_partitioner: --threads " << threads
+                << " decomposition differs from serial\n";
+      std::exit(1);
+    }
+  }
+  obs::gauge("partition.threads").set(8);
+  t.print(std::cout);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own flags before google-benchmark sees the rest.
+  bool sweep = true;
+  index_t sweep_cells = 50'000;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else if (std::strncmp(argv[i], "--sweep-cells=", 14) == 0) {
+      sweep_cells = static_cast<index_t>(std::atoi(argv[i] + 14));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int nargs = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  if (sweep) run_threads_sweep(sweep_cells);
+
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tamp::bench::dump_bench_metrics("micro_partitioner");
+  return 0;
+}

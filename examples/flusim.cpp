@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
   cli.option("partition-strategy", "mc_tl",
              "strategy when partitioning on the fly");
   cli.option("domains", "16", "domains when partitioning on the fly");
+  cli.option("threads", "0",
+             "partitioner threads; 0 = TAMP_PARTITION_THREADS env (default "
+             "serial). Any value gives a bit-identical decomposition");
   cli.option("processes", "4", "emulated MPI processes");
   cli.option("workers", "4", "workers per process; 0 = unbounded");
   cli.option("policy", "eager", "eager | lifo | cp | random");
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
       sopts.strategy =
           partition::parse_strategy(cli.get("partition-strategy"));
       sopts.ndomains = static_cast<part_t>(cli.get_int("domains"));
+      sopts.partitioner.num_threads = static_cast<int>(cli.get_int("threads"));
       const auto dd = partition::decompose(m, sopts);
       ndomains = dd.ndomains;
       domain_of_cell = dd.domain_of_cell;

@@ -40,6 +40,7 @@ RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config) {
     sopts.nprocesses = config.nprocesses;
     sopts.partitioner.tolerance = config.partition_tolerance;
     sopts.partitioner.seed = config.seed;
+    sopts.partitioner.num_threads = config.partition_threads;
     out.decomposition = partition::decompose(mesh, sopts);
   }
   if (config.repair_fragments) {

@@ -31,6 +31,10 @@ struct RunConfig {
   bool repair_fragments = false;
   int num_iterations = 1;
   double partition_tolerance = 0.05;
+  /// Worker threads for the decomposition (partition::Options::num_threads):
+  /// >0 = that many, 0 = TAMP_PARTITION_THREADS env (default serial). The
+  /// decomposition is bit-identical at every thread count.
+  int partition_threads = 0;
   std::uint64_t seed = 1;
 };
 

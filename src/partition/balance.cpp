@@ -6,20 +6,46 @@
 namespace tamp::partition {
 
 BalanceSpec::BalanceSpec(const graph::Csr& g, double fraction0,
-                         double tolerance) {
+                         double tolerance, ThreadPool* pool) {
   TAMP_EXPECTS(fraction0 > 0.0 && fraction0 < 1.0,
                "side-0 fraction must be in (0,1)");
   TAMP_EXPECTS(tolerance >= 0.0, "tolerance must be non-negative");
-  total_ = g.total_weights();
-  const int nc = ncon();
+  const index_t n = g.num_vertices();
+  const int nc = g.num_constraints();
 
-  // One max vertex weight of absolute slack per constraint.
+  // One pass computes per-constraint totals plus one max vertex weight of
+  // absolute slack. Chunk partials are integers combined in chunk order,
+  // so the parallel result is bit-identical to the serial scan.
+  constexpr std::int64_t kGrain = 16384;
+  const std::int64_t nchunks =
+      n > 0 ? (static_cast<std::int64_t>(n) + kGrain - 1) / kGrain : 0;
+  std::vector<weight_t> partial_total(
+      static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(nc), 0);
+  std::vector<weight_t> partial_slack(
+      static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(nc), 0);
+  parallel_for(pool, 0, n, kGrain, [&](std::int64_t b, std::int64_t e) {
+    const auto chunk = static_cast<std::size_t>(b / kGrain);
+    weight_t* tot = partial_total.data() + chunk * static_cast<std::size_t>(nc);
+    weight_t* slk = partial_slack.data() + chunk * static_cast<std::size_t>(nc);
+    for (std::int64_t v = b; v < e; ++v) {
+      const auto w = g.vertex_weights(static_cast<index_t>(v));
+      for (int c = 0; c < nc; ++c) {
+        tot[c] += w[static_cast<std::size_t>(c)];
+        slk[c] = std::max(slk[c], w[static_cast<std::size_t>(c)]);
+      }
+    }
+  });
+  total_.assign(static_cast<std::size_t>(nc), 0);
   std::vector<weight_t> slack(static_cast<std::size_t>(nc), 0);
-  for (index_t v = 0; v < g.num_vertices(); ++v) {
-    const auto w = g.vertex_weights(v);
-    for (int c = 0; c < nc; ++c)
+  for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+    for (int c = 0; c < nc; ++c) {
+      const auto idx = static_cast<std::size_t>(chunk) *
+                           static_cast<std::size_t>(nc) +
+                       static_cast<std::size_t>(c);
+      total_[static_cast<std::size_t>(c)] += partial_total[idx];
       slack[static_cast<std::size_t>(c)] =
-          std::max(slack[static_cast<std::size_t>(c)], w[static_cast<std::size_t>(c)]);
+          std::max(slack[static_cast<std::size_t>(c)], partial_slack[idx]);
+    }
   }
 
   target0_.resize(static_cast<std::size_t>(nc));

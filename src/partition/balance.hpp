@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "support/thread_pool.hpp"
 #include "support/types.hpp"
 
 namespace tamp::partition {
@@ -22,8 +23,11 @@ namespace tamp::partition {
 /// Balance targets for one 2-way split.
 class BalanceSpec {
 public:
-  /// Derive targets from a graph's totals and the side-0 fraction.
-  BalanceSpec(const graph::Csr& g, double fraction0, double tolerance);
+  /// Derive targets from a graph's totals and the side-0 fraction. The
+  /// O(n·ncon) total/slack accounting runs on `pool` when one is given
+  /// (per-chunk integer partials — bit-identical to the serial scan).
+  BalanceSpec(const graph::Csr& g, double fraction0, double tolerance,
+              ThreadPool* pool = nullptr);
 
   [[nodiscard]] int ncon() const { return static_cast<int>(total_.size()); }
   [[nodiscard]] weight_t total(int c) const {

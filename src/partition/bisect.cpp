@@ -12,7 +12,7 @@ namespace tamp::partition {
 
 std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
                                       const Options& opts, Rng& rng,
-                                      weight_t& cut_out) {
+                                      weight_t& cut_out, ThreadPool* pool) {
   TAMP_EXPECTS(g.num_vertices() >= 2, "cannot bisect fewer than 2 vertices");
   TAMP_TRACE_SCOPE("partition/bisect");
 
@@ -25,7 +25,7 @@ std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
     TAMP_TRACE_SCOPE("partition/coarsen");
     const graph::Csr* current = &g;
     while (current->num_vertices() > opts.coarsen_to && ladder.size() < 64) {
-      CoarseLevel level = coarsen_once(*current, rng);
+      CoarseLevel level = coarsen_once(*current, rng, pool);
       // Stalled matching (< 2 % reduction) means further levels are wasted
       // work: discard this level and partition what we have.
       if (static_cast<double>(level.graph.num_vertices()) >
@@ -38,7 +38,7 @@ std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
 
   // --- initial partitioning at the coarsest level --------------------------
   const graph::Csr& coarsest = ladder.empty() ? g : ladder.back().graph;
-  BalanceSpec coarse_spec(coarsest, fraction0, opts.tolerance);
+  BalanceSpec coarse_spec(coarsest, fraction0, opts.tolerance, pool);
   std::vector<part_t> part;
   {
     TAMP_TRACE_SCOPE("partition/initial");
@@ -55,11 +55,15 @@ std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
       const std::vector<index_t>& f2c = ladder[li].fine_to_coarse;
       std::vector<part_t> fine_part(
           static_cast<std::size_t>(fine.num_vertices()));
-      for (index_t v = 0; v < fine.num_vertices(); ++v)
-        fine_part[static_cast<std::size_t>(v)] =
-            part[static_cast<std::size_t>(f2c[static_cast<std::size_t>(v)])];
+      parallel_for(pool, 0, fine.num_vertices(), 16384,
+                   [&](std::int64_t b, std::int64_t e) {
+                     for (std::int64_t v = b; v < e; ++v)
+                       fine_part[static_cast<std::size_t>(v)] = part
+                           [static_cast<std::size_t>(
+                               f2c[static_cast<std::size_t>(v)])];
+                   });
       part = std::move(fine_part);
-      BalanceSpec spec(fine, fraction0, opts.tolerance);
+      BalanceSpec spec(fine, fraction0, opts.tolerance, pool);
       fm_refine_bisection(fine, part, spec, rng, opts.refine_passes);
     }
   }

@@ -4,13 +4,20 @@
 #include <vector>
 
 #include "partition/partition.hpp"
+#include "support/thread_pool.hpp"
 
 namespace tamp::partition {
 
 /// Bisect g, assigning `fraction0` of every constraint's weight to side 0.
 /// Returns the 0/1 part vector; `cut_out` receives the final edge cut.
+///
+/// With a pool, the data-parallel stages (contraction, balance totals,
+/// uncoarsening projection) run on it; matching, initial partitioning and
+/// FM refinement stay sequential because their visit order is part of the
+/// deterministic RNG stream. The result is bit-identical for any pool.
 std::vector<part_t> multilevel_bisect(const graph::Csr& g, double fraction0,
                                       const Options& opts, Rng& rng,
-                                      weight_t& cut_out);
+                                      weight_t& cut_out,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace tamp::partition

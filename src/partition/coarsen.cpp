@@ -1,6 +1,7 @@
 #include "partition/coarsen.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace tamp::partition {
 
@@ -33,12 +34,78 @@ std::vector<index_t> heavy_edge_matching(const graph::Csr& g, Rng& rng) {
   return match;
 }
 
-CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match) {
+namespace {
+
+/// Timestamped neighbour→slot scratch table (classic METIS technique;
+/// avoids clearing between rows). One instance per thread: rows are
+/// processed by exactly one thread, so the table never needs sharing.
+struct SlotScratch {
+  std::vector<index_t> slot;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+
+  void ensure(index_t ncoarse) {
+    if (slot.size() < static_cast<std::size_t>(ncoarse)) {
+      slot.resize(static_cast<std::size_t>(ncoarse));
+      stamp.resize(static_cast<std::size_t>(ncoarse), 0);
+    }
+  }
+};
+
+SlotScratch& local_scratch() {
+  thread_local SlotScratch scratch;
+  return scratch;
+}
+
+/// Build the merged coarse adjacency rows for cv ∈ [cv_begin, cv_end)
+/// into `adjncy`/`adjwgt` (appended) and record per-row sizes in `deg`.
+/// Row content depends only on the matching (member order), never on the
+/// chunking or thread schedule.
+void build_rows(const graph::Csr& g, const std::vector<index_t>& fine_to_coarse,
+                const std::vector<index_t>& members,
+                const std::vector<eindex_t>& member_xadj, index_t ncoarse,
+                index_t cv_begin, index_t cv_end, std::vector<index_t>& adjncy,
+                std::vector<weight_t>& adjwgt, eindex_t* deg) {
+  SlotScratch& scratch = local_scratch();
+  scratch.ensure(ncoarse);
+  for (index_t cv = cv_begin; cv < cv_end; ++cv) {
+    ++scratch.epoch;
+    const auto row_begin = static_cast<eindex_t>(adjncy.size());
+    for (eindex_t m = member_xadj[static_cast<std::size_t>(cv)];
+         m < member_xadj[static_cast<std::size_t>(cv) + 1]; ++m) {
+      const index_t v = members[static_cast<std::size_t>(m)];
+      const auto nbrs = g.neighbors(v);
+      const auto wgts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const index_t cu = fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+        if (cu == cv) continue;  // internal edge disappears
+        if (scratch.stamp[static_cast<std::size_t>(cu)] != scratch.epoch) {
+          scratch.stamp[static_cast<std::size_t>(cu)] = scratch.epoch;
+          scratch.slot[static_cast<std::size_t>(cu)] =
+              static_cast<index_t>(adjncy.size() - row_begin);
+          adjncy.push_back(cu);
+          adjwgt.push_back(wgts[i]);
+        } else {
+          adjwgt[static_cast<std::size_t>(
+              row_begin + scratch.slot[static_cast<std::size_t>(cu)])] +=
+              wgts[i];
+        }
+      }
+    }
+    deg[cv - cv_begin] = static_cast<eindex_t>(adjncy.size()) - row_begin;
+  }
+}
+
+}  // namespace
+
+CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match,
+                     ThreadPool* pool) {
   const index_t n = g.num_vertices();
   TAMP_EXPECTS(match.size() == static_cast<std::size_t>(n),
                "matching size mismatch");
   const int ncon = g.num_constraints();
 
+  // Coarse numbering is order-dependent and stays sequential.
   CoarseLevel level;
   level.fine_to_coarse.assign(static_cast<std::size_t>(n), invalid_index);
   index_t ncoarse = 0;
@@ -51,28 +118,7 @@ CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match) {
     ++ncoarse;
   }
 
-  // Sum vertex weight vectors into coarse vertices.
-  std::vector<weight_t> vwgt(
-      static_cast<std::size_t>(ncoarse) * static_cast<std::size_t>(ncon), 0);
-  for (index_t v = 0; v < n; ++v) {
-    const index_t cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
-    const auto w = g.vertex_weights(v);
-    for (int c = 0; c < ncon; ++c)
-      vwgt[static_cast<std::size_t>(cv) * ncon + static_cast<std::size_t>(c)] +=
-          w[static_cast<std::size_t>(c)];
-  }
-
-  // Build coarse adjacency, merging parallel edges with a timestamped
-  // scratch table (classic METIS technique; avoids per-vertex hashing).
-  std::vector<eindex_t> xadj;
-  std::vector<index_t> adjncy;
-  std::vector<weight_t> adjwgt;
-  xadj.reserve(static_cast<std::size_t>(ncoarse) + 1);
-  xadj.push_back(0);
-
-  std::vector<index_t> slot_of(static_cast<std::size_t>(ncoarse),
-                               invalid_index);
-  // Fine vertices grouped by coarse id.
+  // Fine vertices grouped by coarse id (counting sort; cheap and serial).
   std::vector<index_t> members(static_cast<std::size_t>(n));
   std::vector<eindex_t> member_xadj(static_cast<std::size_t>(ncoarse) + 1, 0);
   for (index_t v = 0; v < n; ++v)
@@ -91,33 +137,67 @@ CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match) {
     }
   }
 
-  std::vector<index_t> touched;
-  for (index_t cv = 0; cv < ncoarse; ++cv) {
-    touched.clear();
-    const auto row_begin = static_cast<eindex_t>(adjncy.size());
-    for (eindex_t m = member_xadj[static_cast<std::size_t>(cv)];
-         m < member_xadj[static_cast<std::size_t>(cv) + 1]; ++m) {
-      const index_t v = members[static_cast<std::size_t>(m)];
-      const auto nbrs = g.neighbors(v);
-      const auto wgts = g.edge_weights(v);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const index_t cu =
-            level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
-        if (cu == cv) continue;  // internal edge disappears
-        index_t& slot = slot_of[static_cast<std::size_t>(cu)];
-        if (slot == invalid_index) {
-          slot = static_cast<index_t>(adjncy.size() - row_begin);
-          adjncy.push_back(cu);
-          adjwgt.push_back(wgts[i]);
-          touched.push_back(cu);
-        } else {
-          adjwgt[static_cast<std::size_t>(row_begin + slot)] += wgts[i];
-        }
+  // Sum vertex weight vectors into coarse vertices: each coarse vertex
+  // owns its output slot, so chunks over cv parallelize race-free.
+  std::vector<weight_t> vwgt(
+      static_cast<std::size_t>(ncoarse) * static_cast<std::size_t>(ncon), 0);
+  parallel_for(pool, 0, ncoarse, 8192, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t cv = b; cv < e; ++cv) {
+      weight_t* out = vwgt.data() +
+                      static_cast<std::size_t>(cv) * static_cast<std::size_t>(ncon);
+      for (eindex_t m = member_xadj[static_cast<std::size_t>(cv)];
+           m < member_xadj[static_cast<std::size_t>(cv) + 1]; ++m) {
+        const auto w = g.vertex_weights(members[static_cast<std::size_t>(m)]);
+        for (int c = 0; c < ncon; ++c) out[c] += w[static_cast<std::size_t>(c)];
       }
     }
-    for (const index_t cu : touched)
-      slot_of[static_cast<std::size_t>(cu)] = invalid_index;
-    xadj.push_back(static_cast<eindex_t>(adjncy.size()));
+  });
+
+  // Merged coarse adjacency. Serial: append rows directly. Parallel:
+  // chunks of coarse vertices build rows into chunk-local buffers, a
+  // serial prefix sum places them, and a second sweep copies — the
+  // concatenation order is the cv order, so both paths emit identical
+  // arrays.
+  std::vector<eindex_t> xadj(static_cast<std::size_t>(ncoarse) + 1, 0);
+  std::vector<index_t> adjncy;
+  std::vector<weight_t> adjwgt;
+
+  if (pool == nullptr) {
+    build_rows(g, level.fine_to_coarse, members, member_xadj, ncoarse, 0,
+               ncoarse, adjncy, adjwgt, xadj.data() + 1);
+    for (index_t cv = 0; cv < ncoarse; ++cv)
+      xadj[static_cast<std::size_t>(cv) + 1] +=
+          xadj[static_cast<std::size_t>(cv)];
+  } else {
+    constexpr std::int64_t kGrain = 2048;
+    const std::int64_t nchunks =
+        (static_cast<std::int64_t>(ncoarse) + kGrain - 1) / kGrain;
+    std::vector<std::vector<index_t>> chunk_adjncy(
+        static_cast<std::size_t>(nchunks));
+    std::vector<std::vector<weight_t>> chunk_adjwgt(
+        static_cast<std::size_t>(nchunks));
+    pool->parallel_for(0, ncoarse, kGrain, [&](std::int64_t b, std::int64_t e) {
+      const auto chunk = static_cast<std::size_t>(b / kGrain);
+      build_rows(g, level.fine_to_coarse, members, member_xadj, ncoarse,
+                 static_cast<index_t>(b), static_cast<index_t>(e),
+                 chunk_adjncy[chunk], chunk_adjwgt[chunk],
+                 xadj.data() + b + 1);
+    });
+    for (index_t cv = 0; cv < ncoarse; ++cv)
+      xadj[static_cast<std::size_t>(cv) + 1] +=
+          xadj[static_cast<std::size_t>(cv)];
+    adjncy.resize(static_cast<std::size_t>(xadj[static_cast<std::size_t>(ncoarse)]));
+    adjwgt.resize(adjncy.size());
+    pool->parallel_for(0, nchunks, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t c = b; c < e; ++c) {
+        const auto off = static_cast<std::size_t>(
+            xadj[static_cast<std::size_t>(c * kGrain)]);
+        const auto& src_a = chunk_adjncy[static_cast<std::size_t>(c)];
+        const auto& src_w = chunk_adjwgt[static_cast<std::size_t>(c)];
+        std::copy(src_a.begin(), src_a.end(), adjncy.begin() + static_cast<std::ptrdiff_t>(off));
+        std::copy(src_w.begin(), src_w.end(), adjwgt.begin() + static_cast<std::ptrdiff_t>(off));
+      }
+    });
   }
 
   level.graph = graph::Csr(ncoarse, ncon, std::move(xadj), std::move(adjncy),
@@ -125,8 +205,8 @@ CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match) {
   return level;
 }
 
-CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng) {
-  return contract(g, heavy_edge_matching(g, rng));
+CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng, ThreadPool* pool) {
+  return contract(g, heavy_edge_matching(g, rng), pool);
 }
 
 }  // namespace tamp::partition

@@ -12,6 +12,7 @@
 
 #include "graph/csr.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace tamp::partition {
 
@@ -25,10 +26,17 @@ struct CoarseLevel {
 /// itself when unmatched.
 std::vector<index_t> heavy_edge_matching(const graph::Csr& g, Rng& rng);
 
-/// Contract a matching into a coarse graph.
-CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match);
+/// Contract a matching into a coarse graph. With a pool, coarse rows are
+/// built in parallel over chunks of coarse vertices; the merged-edge
+/// order within a row depends only on the matching, so the parallel
+/// output is bit-identical to the serial one.
+CoarseLevel contract(const graph::Csr& g, const std::vector<index_t>& match,
+                     ThreadPool* pool = nullptr);
 
-/// Convenience: one HEM + contraction step.
-CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng);
+/// Convenience: one HEM + contraction step. The matching itself stays
+/// sequential (its greedy visit order is part of the deterministic RNG
+/// stream); only the contraction is parallelized.
+CoarseLevel coarsen_once(const graph::Csr& g, Rng& rng,
+                         ThreadPool* pool = nullptr);
 
 }  // namespace tamp::partition

@@ -41,6 +41,13 @@ struct Options {
   /// FM refinement passes per uncoarsening level.
   int refine_passes = 6;
   std::uint64_t seed = 1;
+  /// Worker threads for the decomposition: >0 = that many, 0 = read the
+  /// TAMP_PARTITION_THREADS environment variable (absent → 1), 1 = serial.
+  /// Every thread count produces bit-identical partitions: each subtree of
+  /// the recursive bisection draws from its own RNG derived from
+  /// (seed, part_base, k), and the data-parallel loops combine per-chunk
+  /// integer partials in a fixed order.
+  int num_threads = 0;
 };
 
 /// Result of a partitioning run.

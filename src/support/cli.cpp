@@ -1,8 +1,10 @@
 #include "support/cli.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <sstream>
-#include <stdexcept>
+#include <string_view>
 
 #include "support/check.hpp"
 
@@ -84,30 +86,48 @@ const std::string& CliParser::get(const std::string& name) const {
   return it->second;
 }
 
+namespace {
+
+/// std::from_chars rejects an explicit '+' sign; accept it here (it is
+/// common on the command line) by skipping it when a digit or '.' follows.
+std::string_view strip_plus(const std::string& v) {
+  std::string_view sv = v;
+  if (sv.size() > 1 && sv.front() == '+' &&
+      (std::isdigit(static_cast<unsigned char>(sv[1])) != 0 || sv[1] == '.'))
+    sv.remove_prefix(1);
+  return sv;
+}
+
+}  // namespace
+
 long long CliParser::get_int(const std::string& name) const {
-  const std::string& v = get(name);
-  try {
-    std::size_t pos = 0;
-    const long long out = std::stoll(v, &pos);
-    TAMP_EXPECTS(pos == v.size(), "trailing characters in --" + name);
-    return out;
-  } catch (const std::invalid_argument&) {
+  // from_chars, unlike stoll, consumes no leading whitespace, never throws
+  // out_of_range, and makes trailing garbage ("4x") an explicit error.
+  const std::string& raw = get(name);
+  const std::string_view v = strip_plus(raw);
+  long long out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc::result_out_of_range)
+    throw precondition_error("option --" + name + " value out of range: '" +
+                             raw + "'");
+  if (ec != std::errc{} || ptr != v.data() + v.size())
     throw precondition_error("option --" + name + " expects an integer, got '" +
-                             v + "'");
-  }
+                             raw + "'");
+  return out;
 }
 
 double CliParser::get_double(const std::string& name) const {
-  const std::string& v = get(name);
-  try {
-    std::size_t pos = 0;
-    const double out = std::stod(v, &pos);
-    TAMP_EXPECTS(pos == v.size(), "trailing characters in --" + name);
-    return out;
-  } catch (const std::invalid_argument&) {
+  const std::string& raw = get(name);
+  const std::string_view v = strip_plus(raw);
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc::result_out_of_range)
+    throw precondition_error("option --" + name + " value out of range: '" +
+                             raw + "'");
+  if (ec != std::errc{} || ptr != v.data() + v.size())
     throw precondition_error("option --" + name + " expects a number, got '" +
-                             v + "'");
-  }
+                             raw + "'");
+  return out;
 }
 
 bool CliParser::get_flag(const std::string& name) const {

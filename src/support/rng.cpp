@@ -48,6 +48,15 @@ Rng Rng::split() {
   return child;
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t sa = a;
+  std::uint64_t sb = b;
+  std::uint64_t x = seed ^ splitmix64(sa);
+  x = splitmix64(x);
+  x ^= splitmix64(sb);
+  return splitmix64(x);
+}
+
 std::vector<index_t> random_permutation(index_t n, Rng& rng) {
   std::vector<index_t> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), index_t{0});

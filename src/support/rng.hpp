@@ -74,4 +74,12 @@ private:
 /// A vector [0, n) in random order.
 std::vector<index_t> random_permutation(index_t n, Rng& rng);
 
+/// Deterministically mix two words into a base seed (splitmix64
+/// finalizers). Used to derive independent RNG streams whose identity
+/// depends only on (seed, a, b) — e.g. one stream per recursive-bisection
+/// subtree keyed by (part_base, k) — so stochastic choices are
+/// reproducible regardless of thread schedule.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
+                       std::uint64_t b = 0);
+
 }  // namespace tamp

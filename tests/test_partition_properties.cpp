@@ -6,7 +6,9 @@
 #include <tuple>
 
 #include "graph/builder.hpp"
+#include "mesh/generators.hpp"
 #include "partition/partition.hpp"
+#include "partition/strategy.hpp"
 #include "support/rng.hpp"
 
 namespace tamp::partition {
@@ -152,6 +154,51 @@ TEST(PartitionFuzz, RandomGraphsKeepInvariants) {
     std::set<part_t> used(r.part.begin(), r.part.end());
     EXPECT_EQ(used.size(), static_cast<std::size_t>(o.nparts));
     EXPECT_EQ(r.edge_cut, edge_cut(g, r.part));
+  }
+}
+
+// --- thread-count determinism ----------------------------------------------
+// The parallel decomposition promises bit-identical output at any thread
+// count: subtree RNGs depend on (seed, part_base, k) and every parallel
+// loop combines chunk partials in a fixed order.
+
+TEST(PartitionDeterminism, ThreadCountNeverChangesPartitionGraph) {
+  const auto g = graph::make_grid_graph(48, 32);
+  for (const Method method :
+       {Method::recursive_bisection, Method::kway_direct}) {
+    Options o;
+    o.nparts = 16;
+    o.method = method;
+    o.seed = 42;
+    o.num_threads = 1;
+    const Result serial = partition_graph(g, o);
+    for (const int t : {2, 4, 8}) {
+      o.num_threads = t;
+      const Result r = partition_graph(g, o);
+      EXPECT_EQ(r.part, serial.part)
+          << "threads=" << t << " method=" << static_cast<int>(method);
+      EXPECT_EQ(r.edge_cut, serial.edge_cut);
+      EXPECT_EQ(r.loads, serial.loads);
+    }
+  }
+}
+
+TEST(PartitionDeterminism, ThreadCountNeverChangesDecompose) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 6000;
+  const auto m = mesh::make_test_mesh(mesh::TestMeshKind::cube, spec);
+  for (const Strategy s :
+       {Strategy::sc_oc, Strategy::mc_tl, Strategy::hybrid}) {
+    StrategyOptions opts;
+    opts.strategy = s;
+    opts.ndomains = 16;
+    opts.nprocesses = 4;
+    opts.partitioner.num_threads = 1;
+    const auto serial = decompose(m, opts);
+    opts.partitioner.num_threads = 4;
+    const auto threaded = decompose(m, opts);
+    EXPECT_EQ(threaded.domain_of_cell, serial.domain_of_cell) << to_string(s);
+    EXPECT_EQ(threaded.edge_cut, serial.edge_cut) << to_string(s);
   }
 }
 

@@ -173,6 +173,43 @@ TEST(Cli, RejectsNonNumeric) {
   EXPECT_THROW((void)cli.get_int("n"), precondition_error);
 }
 
+TEST(Cli, RejectsTrailingGarbageInNumbers) {
+  CliParser cli("test");
+  cli.option("threads", "1", "count").option("tol", "0.1", "tolerance");
+  const char* argv[] = {"prog", "--threads", "4x", "--tol", "0.5.3"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_THROW((void)cli.get_int("threads"), precondition_error);
+  EXPECT_THROW((void)cli.get_double("tol"), precondition_error);
+}
+
+TEST(Cli, RejectsOutOfRangeAndWhitespaceNumbers) {
+  CliParser cli("test");
+  cli.option("n", "1", "count").option("x", "0", "value");
+  const char* argv[] = {"prog", "--n", "99999999999999999999", "--x", " 7"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  // Overflow used to escape as a raw std::out_of_range from stoll.
+  EXPECT_THROW((void)cli.get_int("n"), precondition_error);
+  EXPECT_THROW((void)cli.get_int("x"), precondition_error);
+  EXPECT_THROW((void)cli.get_double("x"), precondition_error);
+}
+
+TEST(Cli, AcceptsSignedNumbers) {
+  CliParser cli("test");
+  cli.option("a", "0", "").option("b", "0", "").option("c", "0", "");
+  const char* argv[] = {"prog", "--a", "-12", "--b", "+34", "--c", "+0.5"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(cli.get_int("a"), -12);
+  EXPECT_EQ(cli.get_int("b"), 34);
+  EXPECT_DOUBLE_EQ(cli.get_double("c"), 0.5);
+  // A bare or doubled sign is not a number.
+  const char* argv2[] = {"prog", "--a", "+", "--b", "+-3"};
+  CliParser cli2("test");
+  cli2.option("a", "0", "").option("b", "0", "");
+  ASSERT_TRUE(cli2.parse(5, argv2));
+  EXPECT_THROW((void)cli2.get_int("a"), precondition_error);
+  EXPECT_THROW((void)cli2.get_int("b"), precondition_error);
+}
+
 TEST(Cli, HelpReturnsFalse) {
   CliParser cli("test");
   const char* argv[] = {"prog", "--help"};

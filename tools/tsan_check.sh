@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrency-sensitive pieces: the
-# lock-free trace buffers / metrics registry (test_obs) and the worker
-# pool (test_runtime). Uses a separate build tree so it never disturbs
-# the main ./build directory.
+# lock-free trace buffers / metrics registry (test_obs), the simulator's
+# worker pool (test_runtime), the partitioner's work-stealing pool
+# (test_thread_pool), and the parallel decomposition itself — the
+# partition test binaries plus the doctor smoke workflow run with
+# TAMP_PARTITION_THREADS=4 so every pool code path executes under TSan.
+# Uses a separate build tree so it never disturbs the main ./build
+# directory.
 #
 #   tools/tsan_check.sh [extra cmake args...]
 set -euo pipefail
@@ -15,12 +19,22 @@ cmake -S "${ROOT}" -B "${BUILD}" \
   -DTAMP_TSAN=ON \
   -DTAMP_ENABLE_TRACING=ON \
   "$@"
-cmake --build "${BUILD}" -j "$(nproc)" --target test_obs test_runtime
+cmake --build "${BUILD}" -j "$(nproc)" --target \
+  test_obs test_runtime test_thread_pool test_partition \
+  test_partition_properties flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/tests/test_obs"
 "${BUILD}/tests/test_runtime"
+"${BUILD}/tests/test_thread_pool"
+
+# Force the pool under every partition test, then through the full
+# flusim → tamp-report smoke; bit-identical output keeps those passing.
+export TAMP_PARTITION_THREADS=4
+"${BUILD}/tests/test_partition"
+"${BUILD}/tests/test_partition_properties"
+"${ROOT}/tools/doctor_smoke.sh" "${BUILD}"
 
 echo "tsan_check: OK"
