@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 
 namespace tamp::runtime {
@@ -66,6 +67,8 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
                         const RuntimeConfig& config, const TaskBody& body) {
   TAMP_EXPECTS(config.num_processes >= 1, "need at least one process");
   TAMP_EXPECTS(config.workers_per_process >= 1, "need at least one worker");
+  TAMP_EXPECTS(config.adversarial.max_delay_seconds >= 0,
+               "negative adversarial delay");
   TAMP_TRACE_SCOPE("runtime/execute");
   const index_t n = graph.num_tasks();
 
@@ -121,8 +124,14 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
   obs::Histogram& task_seconds_hist = obs::histogram("runtime.task.seconds");
 #endif
 
+  const AdversarialSchedule& adv = config.adversarial;
+
   auto worker_main = [&](part_t p, int w) {
     ProcessQueue& q = queues[static_cast<std::size_t>(p)];
+    // Per-worker stream: the schedule explored depends only on
+    // (seed, process, worker), never on thread start-up order.
+    Rng rng(mix_seed(adv.seed, static_cast<std::uint64_t>(p),
+                     static_cast<std::uint64_t>(w)));
     while (true) {
       index_t t = invalid_index;
       {
@@ -137,8 +146,21 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
         });
         if (failed.load(std::memory_order_acquire)) return;
         if (q.ready.empty()) return;  // done
-        t = q.ready.front();
-        q.ready.pop_front();
+        if (adv.enabled) {
+          const auto pick = static_cast<std::size_t>(
+              rng.below(static_cast<std::uint64_t>(q.ready.size())));
+          t = q.ready[pick];
+          q.ready.erase(q.ready.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else {
+          t = q.ready.front();
+          q.ready.pop_front();
+        }
+      }
+      if (adv.enabled && adv.max_delay_seconds > 0) {
+        // Jitter before the span starts: the delay reads as idle time,
+        // not as task work, so occupancy stays honest.
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            rng.uniform(0.0, adv.max_delay_seconds)));
       }
 
       ExecutionReport::Span& span = report.spans[static_cast<std::size_t>(t)];

@@ -13,6 +13,7 @@
 // can be derived (paper Fig 5: FLUSEPA trace vs FLUSIM trace).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -21,9 +22,25 @@
 
 namespace tamp::runtime {
 
+/// Hostile-schedule knobs for race hunting (src/verify): seeded random
+/// ready-task selection replaces FIFO dequeue order, and each dequeue may
+/// be followed by a random delay before the body runs, so repeated runs
+/// sweep very different interleavings while still respecting the DAG.
+/// Per-worker RNG streams derive deterministically from (seed, process,
+/// worker), so a given (config, machine-timing-independent body) pair is
+/// reproducible in which orders it *offers*, though not in which the OS
+/// realises.
+struct AdversarialSchedule {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// Uniform pre-task delay in [0, max_delay_seconds); 0 disables jitter.
+  double max_delay_seconds = 0;
+};
+
 struct RuntimeConfig {
   part_t num_processes = 1;
   int workers_per_process = 1;
+  AdversarialSchedule adversarial;
 };
 
 /// Wall-clock record of one executed graph.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "support/stopwatch.hpp"
 #include "taskgraph/scheme.hpp"
+#include "verify/access.hpp"
 
 namespace tamp::solver {
 
@@ -142,11 +144,19 @@ void EulerSolver::flux_face(index_t f, double dtf) {
   const auto sa = static_cast<std::size_t>(a);
   const State ua{u_[0][sa], u_[1][sa], u_[2][sa], u_[3][sa], u_[4][sa]};
   const Vec3 n = mesh_.face_normal(f);
+  // Access annotations for the race verifier (no-ops when no
+  // TaskRecordScope is active): a face flux reads both adjacent cell
+  // states and writes both accumulator sides of its face.
+  verify::record_read(verify::ObjectKind::cell_state, a);
+  verify::record_write(verify::ObjectKind::face_acc_side0, f);
+  verify::record_write(verify::ObjectKind::face_acc_side1, f);
   State flux;
   if (mesh_.is_boundary_face(f)) {
     flux = wall_flux(ua, n);
   } else {
-    const auto sb = static_cast<std::size_t>(mesh_.face_cell(f, 1));
+    const index_t b = mesh_.face_cell(f, 1);
+    verify::record_read(verify::ObjectKind::cell_state, b);
+    const auto sb = static_cast<std::size_t>(b);
     const State ub{u_[0][sb], u_[1][sb], u_[2][sb], u_[3][sb], u_[4][sb]};
     flux = interior_flux(ua, ub, n);
   }
@@ -162,9 +172,15 @@ void EulerSolver::flux_face(index_t f, double dtf) {
 void EulerSolver::update_cell(index_t c, double /*dtc*/) {
   const auto scell = static_cast<std::size_t>(c);
   const double inv_v = 1.0 / mesh_.cell_volume(c);
+  // A cell update reads+writes its own state and gathers-and-resets its
+  // side of every adjacent face accumulator (writes subsume the reads).
+  verify::record_write(verify::ObjectKind::cell_state, c);
   for (const index_t f : mesh_.cell_faces(c)) {
     const auto sf = static_cast<std::size_t>(f);
     const int side = mesh_.face_cell(f, 0) == c ? 0 : 1;
+    verify::record_write(side == 0 ? verify::ObjectKind::face_acc_side0
+                                   : verify::ObjectKind::face_acc_side1,
+                         f);
     const double sign = side == 0 ? -1.0 : 1.0;
     auto& acc = acc_[static_cast<std::size_t>(side)];
     for (int v = 0; v < kNumVars; ++v) {
@@ -192,34 +208,59 @@ void EulerSolver::run_iteration() {
   }
 }
 
+EulerSolver::IterationTasks EulerSolver::make_iteration_tasks(
+    const std::vector<part_t>& domain_of_cell, part_t ndomains) {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  auto classes = std::make_shared<taskgraph::ClassMap>();
+  taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
+      mesh_, domain_of_cell, ndomains, {}, classes.get());
+
+  // Per-task execution plan, self-contained so the body outlives both the
+  // returned struct and the graph copy the caller keeps.
+  struct Plan {
+    double dt;
+    index_t cls;
+    bool face;
+  };
+  auto plans = std::make_shared<std::vector<Plan>>();
+  plans->reserve(static_cast<std::size_t>(graph.num_tasks()));
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const taskgraph::Task& task = graph.task(t);
+    plans->push_back(
+        {dt0_ * std::exp2(static_cast<double>(task.level)),
+         classes->task_class[static_cast<std::size_t>(t)],
+         task.type == taskgraph::ObjectType::face});
+  }
+  auto body = [this, classes, plans](index_t t) {
+    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    if (plan.face) {
+      for (const index_t f :
+           classes->class_faces[static_cast<std::size_t>(plan.cls)])
+        flux_face(f, plan.dt);
+    } else {
+      for (const index_t c :
+           classes->class_cells[static_cast<std::size_t>(plan.cls)])
+        update_cell(c, plan.dt);
+    }
+  };
+  return {std::move(graph), std::move(body)};
+}
+
+void EulerSolver::note_tasks_complete() {
+  const taskgraph::TemporalScheme scheme(
+      static_cast<level_t>(mesh_.max_level() + 1));
+  time_ += dt0_ * static_cast<double>(scheme.num_subiterations());
+}
+
 runtime::ExecutionReport EulerSolver::run_iteration_tasks(
     const std::vector<part_t>& domain_of_cell, part_t ndomains,
     const std::vector<part_t>& domain_to_process,
     const runtime::RuntimeConfig& runtime_config) {
-  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
-  taskgraph::ClassMap class_map;
-  const taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
-      mesh_, domain_of_cell, ndomains, {}, &class_map);
-
-  auto body = [&](index_t t) {
-    const taskgraph::Task& task = graph.task(t);
-    const index_t cid = class_map.task_class[static_cast<std::size_t>(t)];
-    const double dt_tau = dt0_ * std::exp2(static_cast<double>(task.level));
-    if (task.type == taskgraph::ObjectType::face) {
-      for (const index_t f :
-           class_map.class_faces[static_cast<std::size_t>(cid)])
-        flux_face(f, dt_tau);
-    } else {
-      for (const index_t c :
-           class_map.class_cells[static_cast<std::size_t>(cid)])
-        update_cell(c, dt_tau);
-    }
-  };
+  const IterationTasks iter = make_iteration_tasks(domain_of_cell, ndomains);
   runtime::ExecutionReport report =
-      runtime::execute(graph, domain_to_process, runtime_config, body);
-  const taskgraph::TemporalScheme scheme(
-      static_cast<level_t>(mesh_.max_level() + 1));
-  time_ += dt0_ * static_cast<double>(scheme.num_subiterations());
+      runtime::execute(iter.graph, domain_to_process, runtime_config,
+                       iter.body);
+  note_tasks_complete();
   return report;
 }
 

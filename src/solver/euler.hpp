@@ -85,6 +85,24 @@ public:
       const std::vector<part_t>& domain_to_process,
       const runtime::RuntimeConfig& runtime_config);
 
+  /// One iteration as a reusable (graph, body) pair for custom execution
+  /// — the race verifier, adversarial-schedule sweeps, per-subiteration
+  /// slicing. Running `body` once per task in any DAG-consistent order
+  /// advances this solver exactly like run_iteration_tasks(); call
+  /// note_tasks_complete() afterwards to advance the clock. The body
+  /// shares ownership of its object lists and stays valid as long as the
+  /// solver does, independent of the struct or graph.
+  struct IterationTasks {
+    taskgraph::TaskGraph graph;
+    runtime::TaskBody body;
+  };
+  IterationTasks make_iteration_tasks(
+      const std::vector<part_t>& domain_of_cell, part_t ndomains);
+
+  /// Advance the solver clock after an externally-executed iteration's
+  /// tasks all ran.
+  void note_tasks_complete();
+
   /// Synchronous second-order Heun iteration; requires a single-level
   /// mesh (used by accuracy tests).
   void run_iteration_heun();
@@ -98,6 +116,11 @@ public:
 
   [[nodiscard]] double cell_density(index_t c) const {
     return u_[0][static_cast<std::size_t>(c)];
+  }
+  /// Raw conserved state of one cell (for bitwise-equality assertions).
+  [[nodiscard]] State cell_state(index_t c) const {
+    const auto sc = static_cast<std::size_t>(c);
+    return {u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
   }
   [[nodiscard]] double cell_pressure(index_t c) const;
   [[nodiscard]] mesh::Vec3 cell_velocity(index_t c) const;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "taskgraph/scheme.hpp"
+#include "verify/access.hpp"
 
 namespace tamp::solver {
 
@@ -77,6 +79,11 @@ void TransportSolver::flux_face(index_t f, double dtf) {
   const double area = mesh_.face_area(f);
   const double phi_a = phi_[static_cast<std::size_t>(a)];
   const double un = dot(config_.velocity, n);
+  // Race-verifier annotations (no-ops unless instrumented). boundary_net_
+  // is deliberately NOT recorded: it is an atomic counter shared across
+  // otherwise-unordered boundary face tasks by design.
+  verify::record_read(verify::ObjectKind::cell_state, a);
+  verify::record_write(verify::ObjectKind::face_acc_side0, f);
 
   if (mesh_.is_boundary_face(f)) {
     // Upwind inflow/outflow; no diffusive wall flux (insulated).
@@ -88,6 +95,8 @@ void TransportSolver::flux_face(index_t f, double dtf) {
   }
 
   const index_t b = mesh_.face_cell(f, 1);
+  verify::record_read(verify::ObjectKind::cell_state, b);
+  verify::record_write(verify::ObjectKind::face_acc_side1, f);
   const double phi_b = phi_[static_cast<std::size_t>(b)];
   // Upwind convection along the face normal.
   double flux = un * (un >= 0 ? phi_a : phi_b);
@@ -106,9 +115,13 @@ void TransportSolver::flux_face(index_t f, double dtf) {
 void TransportSolver::update_cell(index_t c) {
   const auto sc = static_cast<std::size_t>(c);
   const double inv_v = 1.0 / mesh_.cell_volume(c);
+  verify::record_write(verify::ObjectKind::cell_state, c);
   for (const index_t f : mesh_.cell_faces(c)) {
     const auto sf = static_cast<std::size_t>(f);
     const int side = mesh_.face_cell(f, 0) == c ? 0 : 1;
+    verify::record_write(side == 0 ? verify::ObjectKind::face_acc_side0
+                                   : verify::ObjectKind::face_acc_side1,
+                         f);
     const double sign = side == 0 ? -1.0 : 1.0;
     phi_[sc] += sign * acc_[static_cast<std::size_t>(side)][sf] * inv_v;
     acc_[static_cast<std::size_t>(side)][sf] = 0.0;
@@ -132,33 +145,56 @@ void TransportSolver::run_iteration() {
   }
 }
 
+TransportSolver::IterationTasks TransportSolver::make_iteration_tasks(
+    const std::vector<part_t>& domain_of_cell, part_t ndomains) {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  auto classes = std::make_shared<taskgraph::ClassMap>();
+  taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
+      mesh_, domain_of_cell, ndomains, {}, classes.get());
+  struct Plan {
+    double dt;
+    index_t cls;
+    bool face;
+  };
+  auto plans = std::make_shared<std::vector<Plan>>();
+  plans->reserve(static_cast<std::size_t>(graph.num_tasks()));
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const taskgraph::Task& task = graph.task(t);
+    plans->push_back(
+        {dt0_ * std::exp2(static_cast<double>(task.level)),
+         classes->task_class[static_cast<std::size_t>(t)],
+         task.type == taskgraph::ObjectType::face});
+  }
+  auto body = [this, classes, plans](index_t t) {
+    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    if (plan.face) {
+      for (const index_t f :
+           classes->class_faces[static_cast<std::size_t>(plan.cls)])
+        flux_face(f, plan.dt);
+    } else {
+      for (const index_t c :
+           classes->class_cells[static_cast<std::size_t>(plan.cls)])
+        update_cell(c);
+    }
+  };
+  return {std::move(graph), std::move(body)};
+}
+
+void TransportSolver::note_tasks_complete() {
+  const taskgraph::TemporalScheme scheme(
+      static_cast<level_t>(mesh_.max_level() + 1));
+  time_ += dt0_ * static_cast<double>(scheme.num_subiterations());
+}
+
 runtime::ExecutionReport TransportSolver::run_iteration_tasks(
     const std::vector<part_t>& domain_of_cell, part_t ndomains,
     const std::vector<part_t>& domain_to_process,
     const runtime::RuntimeConfig& runtime_config) {
-  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
-  taskgraph::ClassMap class_map;
-  const taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
-      mesh_, domain_of_cell, ndomains, {}, &class_map);
-  auto body = [&](index_t t) {
-    const taskgraph::Task& task = graph.task(t);
-    const index_t cid = class_map.task_class[static_cast<std::size_t>(t)];
-    const double dt_tau = dt0_ * std::exp2(static_cast<double>(task.level));
-    if (task.type == taskgraph::ObjectType::face) {
-      for (const index_t f :
-           class_map.class_faces[static_cast<std::size_t>(cid)])
-        flux_face(f, dt_tau);
-    } else {
-      for (const index_t c :
-           class_map.class_cells[static_cast<std::size_t>(cid)])
-        update_cell(c);
-    }
-  };
+  const IterationTasks iter = make_iteration_tasks(domain_of_cell, ndomains);
   runtime::ExecutionReport report =
-      runtime::execute(graph, domain_to_process, runtime_config, body);
-  const taskgraph::TemporalScheme scheme(
-      static_cast<level_t>(mesh_.max_level() + 1));
-  time_ += dt0_ * static_cast<double>(scheme.num_subiterations());
+      runtime::execute(iter.graph, domain_to_process, runtime_config,
+                       iter.body);
+  note_tasks_complete();
   return report;
 }
 

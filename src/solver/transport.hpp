@@ -64,6 +64,17 @@ public:
       const std::vector<part_t>& domain_to_process,
       const runtime::RuntimeConfig& runtime_config);
 
+  /// One iteration as a reusable (graph, body) pair — same contract as
+  /// EulerSolver::make_iteration_tasks (verification, adversarial
+  /// sweeps). Follow external execution with note_tasks_complete().
+  struct IterationTasks {
+    taskgraph::TaskGraph graph;
+    runtime::TaskBody body;
+  };
+  IterationTasks make_iteration_tasks(
+      const std::vector<part_t>& domain_of_cell, part_t ndomains);
+  void note_tasks_complete();
+
   /// Σ V·φ corrected by in-flight accumulators (scalar pending on a
   /// boundary face counts as already departed).
   [[nodiscard]] double total_scalar() const;

@@ -1,0 +1,85 @@
+#include "verify/access.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tamp::verify {
+
+namespace {
+
+std::uint64_t next_log_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of the buffer registered with one specific log.
+struct BufferCache {
+  std::uint64_t log_id = 0;
+  std::vector<Access>* buffer = nullptr;
+};
+thread_local BufferCache tl_buffer_cache;
+
+}  // namespace
+
+AccessLog::AccessLog(index_t num_tasks)
+    : num_tasks_(num_tasks), id_(next_log_id()) {
+  TAMP_EXPECTS(num_tasks >= 0, "negative task count");
+}
+
+const char* to_string(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::cell_state: return "cell_state";
+    case ObjectKind::face_acc_side0: return "face_acc_side0";
+    case ObjectKind::face_acc_side1: return "face_acc_side1";
+  }
+  return "?";
+}
+
+std::size_t AccessLog::num_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->size();
+  return n;
+}
+
+std::vector<Access> AccessLog::merged() const {
+  std::vector<Access> all;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& b : buffers_) all.insert(all.end(), b->begin(), b->end());
+  }
+  for (const Access& a : all)
+    TAMP_ENSURE(a.task >= 0 && a.task < num_tasks_,
+                "access record with task id outside the log's graph");
+  std::sort(all.begin(), all.end(), [](const Access& a, const Access& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.object != b.object) return a.object < b.object;
+    if (a.task != b.task) return a.task < b.task;
+    return a.mode < b.mode;
+  });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::size_t AccessLog::num_worker_buffers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+std::vector<Access>& AccessLog::thread_buffer() {
+  BufferCache& cache = tl_buffer_cache;
+  if (cache.log_id == id_) return *cache.buffer;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<std::vector<Access>>());
+  cache = {id_, buffers_.back().get()};
+  return *cache.buffer;
+}
+
+runtime::TaskBody instrument(runtime::TaskBody body, AccessLog& log) {
+  return [body = std::move(body), &log](index_t t) {
+    const TaskRecordScope scope(log, t);
+    body(t);
+  };
+}
+
+}  // namespace tamp::verify

@@ -1,0 +1,64 @@
+#include "verify/graph_edit.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace tamp::verify {
+
+std::vector<std::pair<index_t, index_t>> dependency_edges(
+    const taskgraph::TaskGraph& graph) {
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<std::size_t>(graph.num_dependencies()));
+  for (index_t t = 0; t < graph.num_tasks(); ++t)
+    for (const index_t p : graph.predecessors(t)) edges.emplace_back(p, t);
+  return edges;
+}
+
+taskgraph::TaskGraph remove_dependency(const taskgraph::TaskGraph& graph,
+                                       index_t from, index_t to) {
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(from >= 0 && from < n && to >= 0 && to < n,
+               "task id out of range");
+  std::vector<std::vector<index_t>> deps(static_cast<std::size_t>(n));
+  bool found = false;
+  for (index_t t = 0; t < n; ++t) {
+    for (const index_t p : graph.predecessors(t)) {
+      if (t == to && p == from) {
+        found = true;
+        continue;
+      }
+      deps[static_cast<std::size_t>(t)].push_back(p);
+    }
+  }
+  TAMP_EXPECTS(found, "dependency edge not present in the graph");
+  return taskgraph::TaskGraph(graph.tasks(), deps);
+}
+
+InducedSubgraph filter_tasks(const taskgraph::TaskGraph& graph,
+                             const std::vector<char>& keep) {
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(keep.size() == static_cast<std::size_t>(n),
+               "keep mask size must equal task count");
+  InducedSubgraph out;
+  std::vector<index_t> new_id(static_cast<std::size_t>(n), invalid_index);
+  std::vector<taskgraph::Task> tasks;
+  for (index_t t = 0; t < n; ++t) {
+    if (!keep[static_cast<std::size_t>(t)]) continue;
+    new_id[static_cast<std::size_t>(t)] =
+        static_cast<index_t>(out.original_task.size());
+    out.original_task.push_back(t);
+    tasks.push_back(graph.task(t));
+  }
+  std::vector<std::vector<index_t>> deps(out.original_task.size());
+  for (std::size_t i = 0; i < out.original_task.size(); ++i) {
+    for (const index_t p : graph.predecessors(out.original_task[i])) {
+      const index_t np = new_id[static_cast<std::size_t>(p)];
+      if (np != invalid_index) deps[i].push_back(np);
+    }
+  }
+  out.graph = taskgraph::TaskGraph(std::move(tasks), deps);
+  return out;
+}
+
+}  // namespace tamp::verify

@@ -1,0 +1,35 @@
+// Surgical TaskGraph edits for the verifier's own test harness:
+// mutation testing (drop one dependency edge and prove the checker sees
+// the hole) and per-subiteration slicing (execute one subiteration's
+// induced subgraph at a time so invariants can be probed at the
+// boundaries of a genuinely parallel run).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::verify {
+
+/// Every dependency edge of `graph` as (predecessor, successor) pairs.
+[[nodiscard]] std::vector<std::pair<index_t, index_t>> dependency_edges(
+    const taskgraph::TaskGraph& graph);
+
+/// A copy of `graph` without the dependency edge from → to. Throws
+/// precondition_error if the edge does not exist.
+[[nodiscard]] taskgraph::TaskGraph remove_dependency(
+    const taskgraph::TaskGraph& graph, index_t from, index_t to);
+
+/// Induced subgraph over the tasks with keep[t] != 0: kept tasks,
+/// renumbered densely, with the dependencies among them; edges to or
+/// from dropped tasks disappear. `original_task[new_id]` maps back.
+struct InducedSubgraph {
+  taskgraph::TaskGraph graph;
+  std::vector<index_t> original_task;
+};
+[[nodiscard]] InducedSubgraph filter_tasks(const taskgraph::TaskGraph& graph,
+                                           const std::vector<char>& keep);
+
+}  // namespace tamp::verify

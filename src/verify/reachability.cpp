@@ -1,0 +1,136 @@
+#include "verify/reachability.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace tamp::verify {
+
+Reachability::Reachability(const taskgraph::TaskGraph& graph, int num_labels,
+                           std::uint64_t seed)
+    : graph_(&graph), num_labels_(num_labels) {
+  TAMP_EXPECTS(num_labels >= 1, "need at least one interval labelling");
+  const index_t n = graph.num_tasks();
+  const auto sn = static_cast<std::size_t>(n);
+
+  const std::vector<index_t> topo = graph.topological_order();
+  topo_pos_.resize(sn);
+  for (std::size_t i = 0; i < sn; ++i)
+    topo_pos_[static_cast<std::size_t>(topo[i])] = static_cast<index_t>(i);
+
+  rank_.assign(static_cast<std::size_t>(num_labels) * sn, 0);
+  low_.assign(static_cast<std::size_t>(num_labels) * sn, 0);
+  mark_.assign(sn, -1);
+
+  std::vector<index_t> roots;
+  for (index_t t = 0; t < n; ++t)
+    if (graph.predecessors(t).empty()) roots.push_back(t);
+
+  // DFS scratch: visit state + per-node child cursor over a shuffled copy
+  // of the successor list.
+  std::vector<char> done(sn);
+  std::vector<std::pair<index_t, std::size_t>> dfs;  // (node, next child)
+  std::vector<std::vector<index_t>> children(sn);
+
+  for (int l = 0; l < num_labels_; ++l) {
+    index_t* rank = rank_.data() + static_cast<std::size_t>(l) * sn;
+    index_t* low = low_.data() + static_cast<std::size_t>(l) * sn;
+    Rng rng(mix_seed(seed, static_cast<std::uint64_t>(l)));
+
+    std::fill(done.begin(), done.end(), char{0});
+    std::vector<index_t> order = roots;
+    rng.shuffle(order);
+    index_t next_rank = 0;
+    for (const index_t root : order) {
+      if (done[static_cast<std::size_t>(root)]) continue;
+      dfs.emplace_back(root, 0);
+      done[static_cast<std::size_t>(root)] = 1;
+      while (!dfs.empty()) {
+        auto& [v, cursor] = dfs.back();
+        const auto sv = static_cast<std::size_t>(v);
+        if (cursor == 0) {
+          children[sv].assign(graph.successors(v).begin(),
+                              graph.successors(v).end());
+          rng.shuffle(children[sv]);
+        }
+        if (cursor < children[sv].size()) {
+          const index_t c = children[sv][cursor++];
+          if (!done[static_cast<std::size_t>(c)]) {
+            done[static_cast<std::size_t>(c)] = 1;
+            dfs.emplace_back(c, 0);
+          }
+        } else {
+          rank[sv] = next_rank++;
+          children[sv].clear();
+          children[sv].shrink_to_fit();
+          dfs.pop_back();
+        }
+      }
+    }
+    TAMP_ENSURE(next_rank == n, "postorder labelling missed tasks");
+
+    // low(v) = min rank over everything reachable from v: propagate in
+    // reverse topological order so successors are final first.
+    for (index_t t = 0; t < n; ++t) low[static_cast<std::size_t>(t)] = rank[t];
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const index_t v = *it;
+      for (const index_t s : graph.successors(v))
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     low[static_cast<std::size_t>(s)]);
+    }
+  }
+}
+
+bool Reachability::labels_admit(index_t from, index_t to) const {
+  const auto n = static_cast<std::size_t>(graph_->num_tasks());
+  for (int l = 0; l < num_labels_; ++l) {
+    const index_t* rank = rank_.data() + static_cast<std::size_t>(l) * n;
+    const index_t* low = low_.data() + static_cast<std::size_t>(l) * n;
+    const auto sf = static_cast<std::size_t>(from);
+    const auto st = static_cast<std::size_t>(to);
+    if (!(low[sf] <= low[st] && rank[st] < rank[sf])) return false;
+  }
+  return true;
+}
+
+bool Reachability::reachable(index_t from, index_t to) const {
+  const index_t n = graph_->num_tasks();
+  TAMP_EXPECTS(from >= 0 && from < n && to >= 0 && to < n,
+               "task id out of range");
+  ++queries_;
+  if (from == to) return false;  // strict: a task trivially orders itself
+  if (topo_pos_[static_cast<std::size_t>(from)] >
+      topo_pos_[static_cast<std::size_t>(to)])
+    return false;
+  if (!labels_admit(from, to)) return false;
+
+  // Direct edge: successor lists are sorted ascending by construction.
+  const auto succ = graph_->successors(from);
+  if (std::binary_search(succ.begin(), succ.end(), to)) return true;
+
+  // Labels say "maybe": settle with a pruned DFS.
+  ++fallbacks_;
+  ++epoch_;
+  const index_t target_pos = topo_pos_[static_cast<std::size_t>(to)];
+  stack_.clear();
+  stack_.push_back(from);
+  mark_[static_cast<std::size_t>(from)] = epoch_;
+  while (!stack_.empty()) {
+    const index_t v = stack_.back();
+    stack_.pop_back();
+    for (const index_t s : graph_->successors(v)) {
+      if (s == to) return true;
+      const auto ss = static_cast<std::size_t>(s);
+      if (mark_[ss] == epoch_) continue;
+      if (topo_pos_[ss] >= target_pos) continue;  // cannot lead to `to`
+      if (!labels_admit(s, to)) continue;
+      mark_[ss] = epoch_;
+      stack_.push_back(s);
+    }
+  }
+  return false;
+}
+
+}  // namespace tamp::verify

@@ -1,0 +1,63 @@
+// Happens-before checker — the judging half of the race verifier.
+//
+// Input: a TaskGraph and an AccessLog recorded by instrumented task
+// bodies (access.hpp). Two accesses *conflict* when different tasks
+// touch the same (kind, object) and at least one writes. The checker
+// replays the deduplicated log against DAG reachability
+// (reachability.hpp) and reports every conflicting task pair that no
+// dependency path orders — i.e. every schedule-dependent outcome the
+// declared dependencies fail to rule out. A clean report is the proof
+// behind euler.hpp's "data-race-free under parallel task execution"
+// claim: every accumulator side and every cell state has its writers and
+// readers totally ordered by the graph.
+//
+// The verdict is schedule-independent: it only needs the access sets,
+// not the interleaving that produced them, so logs may come from a
+// serial replay (collect_serial) or from any number of real parallel /
+// adversarial executions merged into one log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/access.hpp"
+
+namespace tamp::verify {
+
+/// One unordered conflicting task pair (aggregated over all objects of
+/// one kind the pair races on).
+struct Conflict {
+  index_t first = invalid_index;   ///< lower task id of the pair
+  index_t second = invalid_index;  ///< higher task id
+  ObjectKind kind = ObjectKind::cell_state;
+  AccessMode first_mode = AccessMode::read;
+  AccessMode second_mode = AccessMode::read;
+  index_t object = invalid_index;  ///< first witness object id
+  index_t occurrences = 0;         ///< objects of `kind` this pair races on
+};
+
+struct RaceReport {
+  std::vector<Conflict> conflicts;
+  std::size_t accesses = 0;       ///< deduplicated access records
+  std::size_t pairs_checked = 0;  ///< distinct (pair, kind) orderings probed
+  std::size_t dfs_fallbacks = 0;  ///< reachability queries past the labels
+
+  [[nodiscard]] bool clean() const { return conflicts.empty(); }
+  /// Human-readable report: task labels, object class, witness object,
+  /// and the missing edge, one line per conflict.
+  [[nodiscard]] std::string summary(const taskgraph::TaskGraph& graph) const;
+};
+
+/// Check every conflicting access pair in `log` against `graph`'s
+/// reachability. `log.num_tasks()` must match the graph.
+[[nodiscard]] RaceReport check_races(const taskgraph::TaskGraph& graph,
+                                     const AccessLog& log);
+
+/// Record `body`'s accesses by running every task serially in
+/// topological order — collection does not need real threads, because
+/// the checker's verdict depends only on the access sets. Appends into
+/// `log` (which must be sized for `graph`).
+void collect_serial(const taskgraph::TaskGraph& graph,
+                    const runtime::TaskBody& body, AccessLog& log);
+
+}  // namespace tamp::verify

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 
 #include "runtime/runtime.hpp"
@@ -151,6 +152,93 @@ TEST(Runtime, MultiProcessGraphCompletes) {
   cfg.workers_per_process = 2;
   execute(g, {0, 1, 2, 3}, cfg, [&](index_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 40);
+}
+
+TEST(Runtime, AdversarialScheduleRunsEveryTaskInOrder) {
+  // Random dequeue + jitter must still execute each task once and never
+  // start a task before its predecessors finished.
+  const TaskGraph g = make_graph({0, 0, 0, 0, 0, 0},
+                                 {{}, {0}, {0}, {1, 2}, {3}, {3}});
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    std::atomic<int> clock{0};
+    std::vector<int> started(6), finished(6);
+    RuntimeConfig cfg;
+    cfg.workers_per_process = 3;
+    cfg.adversarial.enabled = true;
+    cfg.adversarial.seed = seed;
+    cfg.adversarial.max_delay_seconds = 100e-6;
+    std::vector<std::atomic<int>> ran(6);
+    execute(g, {0}, cfg, [&](index_t t) {
+      started[static_cast<std::size_t>(t)] = clock.fetch_add(1);
+      ran[static_cast<std::size_t>(t)].fetch_add(1);
+      finished[static_cast<std::size_t>(t)] = clock.fetch_add(1);
+    });
+    for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+    for (index_t t = 0; t < 6; ++t)
+      for (const index_t p : g.predecessors(t))
+        EXPECT_LT(finished[static_cast<std::size_t>(p)],
+                  started[static_cast<std::size_t>(t)])
+            << "seed " << seed;
+  }
+}
+
+TEST(Runtime, AdversarialExceptionStillPropagates) {
+  const TaskGraph g = make_graph({0, 0, 0, 0}, {{}, {0}, {0}, {1, 2}});
+  RuntimeConfig cfg;
+  cfg.workers_per_process = 4;
+  cfg.adversarial.enabled = true;
+  cfg.adversarial.seed = 9;
+  cfg.adversarial.max_delay_seconds = 50e-6;
+  EXPECT_THROW(execute(g, {0}, cfg,
+                       [](index_t t) {
+                         if (t == 2) throw std::runtime_error("kernel failed");
+                       }),
+               std::runtime_error);
+}
+
+TEST(Runtime, RejectsNegativeAdversarialDelay) {
+  const TaskGraph g = make_graph({0}, {{}});
+  RuntimeConfig cfg;
+  cfg.adversarial.max_delay_seconds = -1.0;
+  EXPECT_THROW(execute(g, {0}, cfg, [](index_t) {}), precondition_error);
+}
+
+TEST(Runtime, MoreWorkersThanReadyTasksCompletes) {
+  // A 3-task chain on 8 workers: most workers only ever see an empty
+  // queue and must still shut down cleanly.
+  const TaskGraph g = make_graph({0, 0, 0}, {{}, {0}, {1}});
+  std::atomic<int> count{0};
+  RuntimeConfig cfg;
+  cfg.workers_per_process = 8;
+  execute(g, {0}, cfg, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Runtime, EmptyGraphCompletesImmediately) {
+  const TaskGraph g = make_graph({}, {});
+  RuntimeConfig cfg;
+  cfg.workers_per_process = 2;
+  const ExecutionReport rep = execute(g, {0}, cfg, [](index_t) {
+    FAIL() << "no task should run";
+  });
+  EXPECT_TRUE(rep.spans.empty());
+  EXPECT_EQ(rep.total_busy_seconds(), 0.0);
+}
+
+TEST(Runtime, SingleTaskGraphCompletes) {
+  const TaskGraph g = make_graph({0}, {{}});
+  std::atomic<int> count{0};
+  RuntimeConfig cfg;
+  cfg.adversarial.enabled = true;  // degenerate pick-from-one
+  execute(g, {0}, cfg, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Runtime, OccupancyIsZeroOnZeroWallClock) {
+  // A default report has no capacity; occupancy must not divide by zero.
+  const ExecutionReport rep;
+  EXPECT_EQ(rep.occupancy(), 0.0);
+  EXPECT_EQ(rep.total_busy_seconds(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,374 @@
+// Unit tests of the race-verifier machinery: access recording,
+// interval reachability (against brute force), the happens-before
+// checker on hand-built conflicts, and the graph-surgery helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "verify/graph_edit.hpp"
+#include "verify/reachability.hpp"
+#include "verify/verifier.hpp"
+
+namespace tamp::verify {
+namespace {
+
+using taskgraph::Task;
+using taskgraph::TaskGraph;
+
+TaskGraph make_graph(index_t n, const std::vector<std::vector<index_t>>& deps) {
+  std::vector<Task> tasks(static_cast<std::size_t>(n));
+  for (auto& t : tasks) {
+    t.domain = 0;
+    t.cost = 1;
+    t.num_objects = 1;
+  }
+  return TaskGraph(std::move(tasks), deps);
+}
+
+// --- access recording ---------------------------------------------------------
+
+TEST(AccessLog, RecordsAreTaggedWithTheScopedTask) {
+  AccessLog log(3);
+  {
+    const TaskRecordScope scope(log, 1);
+    record_write(ObjectKind::cell_state, 7);
+    record_read(ObjectKind::face_acc_side0, 9);
+  }
+  {
+    const TaskRecordScope scope(log, 2);
+    record_write(ObjectKind::cell_state, 7);
+  }
+  const std::vector<Access> merged = log.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(std::count(merged.begin(), merged.end(),
+                         Access{1, 7, ObjectKind::cell_state,
+                                AccessMode::write}) == 1);
+  EXPECT_TRUE(std::count(merged.begin(), merged.end(),
+                         Access{1, 9, ObjectKind::face_acc_side0,
+                                AccessMode::read}) == 1);
+  EXPECT_TRUE(std::count(merged.begin(), merged.end(),
+                         Access{2, 7, ObjectKind::cell_state,
+                                AccessMode::write}) == 1);
+}
+
+TEST(AccessLog, RecordingIsDisabledOutsideAScope) {
+  AccessLog log(1);
+  EXPECT_FALSE(recording_active());
+  record_write(ObjectKind::cell_state, 0);  // must be a no-op
+  {
+    const TaskRecordScope scope(log, 0);
+    EXPECT_TRUE(recording_active());
+  }
+  EXPECT_FALSE(recording_active());
+  record_read(ObjectKind::cell_state, 0);  // no-op again
+  EXPECT_EQ(log.num_records(), 0u);
+}
+
+TEST(AccessLog, ScopesNestAndRestore) {
+  AccessLog outer(2), inner(2);
+  const TaskRecordScope a(outer, 0);
+  {
+    const TaskRecordScope b(inner, 1);
+    record_write(ObjectKind::cell_state, 5);
+  }
+  record_write(ObjectKind::cell_state, 6);
+  ASSERT_EQ(inner.merged().size(), 1u);
+  EXPECT_EQ(inner.merged()[0].task, 1);
+  EXPECT_EQ(inner.merged()[0].object, 5);
+  ASSERT_EQ(outer.merged().size(), 1u);
+  EXPECT_EQ(outer.merged()[0].task, 0);
+  EXPECT_EQ(outer.merged()[0].object, 6);
+}
+
+TEST(AccessLog, MergedDeduplicatesButKeepsReadAndWrite) {
+  AccessLog log(1);
+  const TaskRecordScope scope(log, 0);
+  for (int i = 0; i < 5; ++i) record_write(ObjectKind::face_acc_side1, 3);
+  record_read(ObjectKind::face_acc_side1, 3);
+  EXPECT_EQ(log.num_records(), 6u);
+  const std::vector<Access> merged = log.merged();
+  ASSERT_EQ(merged.size(), 2u);  // one read + one write survive
+  EXPECT_NE(merged[0].mode, merged[1].mode);
+}
+
+TEST(AccessLog, BuffersArePerThreadAndPerLog) {
+  AccessLog log(4);
+  std::vector<std::thread> threads;
+  for (index_t t = 0; t < 4; ++t)
+    threads.emplace_back([&log, t] {
+      const TaskRecordScope scope(log, t);
+      record_write(ObjectKind::cell_state, t);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.num_worker_buffers(), 4u);
+  EXPECT_EQ(log.merged().size(), 4u);
+  // A second log on this thread gets a fresh buffer, not the stale cache.
+  AccessLog other(1);
+  {
+    const TaskRecordScope scope(other, 0);
+    record_read(ObjectKind::cell_state, 0);
+  }
+  EXPECT_EQ(other.merged().size(), 1u);
+  EXPECT_EQ(log.merged().size(), 4u);
+}
+
+TEST(AccessLog, InstrumentTagsEachTask) {
+  const TaskGraph g = make_graph(3, {{}, {0}, {1}});
+  AccessLog log(3);
+  const runtime::TaskBody body = instrument(
+      [](index_t t) { record_write(ObjectKind::cell_state, t * 10); }, log);
+  for (index_t t = 0; t < 3; ++t) body(t);
+  const std::vector<Access> merged = log.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  for (const Access& a : merged) EXPECT_EQ(a.object, a.task * 10);
+}
+
+TEST(AccessLog, RejectsOutOfRangeTask) {
+  AccessLog log(2);
+  EXPECT_THROW(TaskRecordScope(log, 2), precondition_error);
+  EXPECT_THROW(TaskRecordScope(log, -1), precondition_error);
+}
+
+// --- reachability ------------------------------------------------------------
+
+TEST(Reachability, HandBuiltDiamond) {
+  //    0 -> 1 -> 3
+  //    0 -> 2 -> 3     4 isolated
+  const TaskGraph g = make_graph(5, {{}, {0}, {0}, {1, 2}, {}});
+  const Reachability r(g);
+  EXPECT_TRUE(r.reachable(0, 1));
+  EXPECT_TRUE(r.reachable(0, 3));
+  EXPECT_TRUE(r.reachable(1, 3));
+  EXPECT_TRUE(r.reachable(2, 3));
+  EXPECT_FALSE(r.reachable(1, 2));
+  EXPECT_FALSE(r.reachable(2, 1));
+  EXPECT_FALSE(r.reachable(3, 0));
+  EXPECT_FALSE(r.reachable(0, 0));  // strict: no empty path
+  for (index_t t = 0; t < 4; ++t) {
+    EXPECT_FALSE(r.reachable(4, t));
+    EXPECT_FALSE(r.reachable(t, 4));
+  }
+}
+
+TEST(Reachability, MatchesBruteForceOnRandomDags) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    const index_t n = 30 + static_cast<index_t>(rng.below(30));
+    std::vector<std::vector<index_t>> deps(static_cast<std::size_t>(n));
+    for (index_t j = 1; j < n; ++j)
+      for (index_t i = 0; i < j; ++i)
+        if (rng.below(100) < 8) deps[static_cast<std::size_t>(j)].push_back(i);
+    const TaskGraph g = make_graph(n, deps);
+
+    // Brute force: DAG transitive closure in dependency order.
+    std::vector<std::vector<char>> closure(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(n), 0));
+    for (index_t j = 0; j < n; ++j)
+      for (const index_t i : g.predecessors(j)) {
+        closure[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+        for (index_t k = 0; k < n; ++k)
+          if (closure[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)])
+            closure[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
+                1;
+      }
+
+    const Reachability r(g, 2, seed);
+    for (index_t u = 0; u < n; ++u)
+      for (index_t v = 0; v < n; ++v)
+        EXPECT_EQ(r.reachable(u, v),
+                  closure[static_cast<std::size_t>(u)]
+                         [static_cast<std::size_t>(v)] != 0)
+            << "seed " << seed << " pair " << u << " -> " << v;
+  }
+}
+
+TEST(Reachability, CountsQueries) {
+  const TaskGraph g = make_graph(3, {{}, {0}, {1}});
+  const Reachability r(g);
+  (void)r.reachable(0, 2);
+  (void)r.reachable(2, 0);
+  EXPECT_EQ(r.queries(), 2u);
+  EXPECT_LE(r.dfs_fallbacks(), r.queries());
+}
+
+// --- happens-before checker --------------------------------------------------
+
+TEST(CheckRaces, UnorderedWriteWriteIsFlagged) {
+  // 1 and 2 both depend on 0 but not on each other.
+  const TaskGraph g = make_graph(3, {{}, {0}, {0}});
+  AccessLog log(3);
+  {
+    const TaskRecordScope s(log, 1);
+    record_write(ObjectKind::cell_state, 4);
+    record_write(ObjectKind::cell_state, 5);
+  }
+  {
+    const TaskRecordScope s(log, 2);
+    record_write(ObjectKind::cell_state, 4);
+    record_write(ObjectKind::cell_state, 5);
+  }
+  const RaceReport report = check_races(g, log);
+  ASSERT_EQ(report.conflicts.size(), 1u);  // aggregated over both objects
+  const Conflict& c = report.conflicts[0];
+  EXPECT_EQ(c.first, 1);
+  EXPECT_EQ(c.second, 2);
+  EXPECT_EQ(c.kind, ObjectKind::cell_state);
+  EXPECT_EQ(c.occurrences, 2);
+  EXPECT_TRUE(c.object == 4 || c.object == 5);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(CheckRaces, UnorderedReadWriteIsFlagged) {
+  const TaskGraph g = make_graph(2, {{}, {}});
+  AccessLog log(2);
+  {
+    const TaskRecordScope s(log, 0);
+    record_read(ObjectKind::face_acc_side0, 1);
+  }
+  {
+    const TaskRecordScope s(log, 1);
+    record_write(ObjectKind::face_acc_side0, 1);
+  }
+  const RaceReport report = check_races(g, log);
+  ASSERT_EQ(report.conflicts.size(), 1u);
+  EXPECT_EQ(report.conflicts[0].kind, ObjectKind::face_acc_side0);
+}
+
+TEST(CheckRaces, OrderedConflictIsClean) {
+  const TaskGraph g = make_graph(3, {{}, {0}, {1}});
+  AccessLog log(3);
+  {
+    const TaskRecordScope s(log, 0);
+    record_write(ObjectKind::cell_state, 0);
+  }
+  {
+    const TaskRecordScope s(log, 2);  // ordered via 0 -> 1 -> 2
+    record_write(ObjectKind::cell_state, 0);
+  }
+  const RaceReport report = check_races(g, log);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.pairs_checked, 0u);
+}
+
+TEST(CheckRaces, ReadReadIsNotAConflict) {
+  const TaskGraph g = make_graph(2, {{}, {}});
+  AccessLog log(2);
+  {
+    const TaskRecordScope s(log, 0);
+    record_read(ObjectKind::cell_state, 3);
+  }
+  {
+    const TaskRecordScope s(log, 1);
+    record_read(ObjectKind::cell_state, 3);
+  }
+  EXPECT_TRUE(check_races(g, log).clean());
+}
+
+TEST(CheckRaces, EmptyLogAndEmptyGraphAreClean) {
+  const TaskGraph g = make_graph(2, {{}, {}});
+  const AccessLog log(2);
+  EXPECT_TRUE(check_races(g, log).clean());
+  const TaskGraph empty = make_graph(0, {});
+  const AccessLog empty_log(0);
+  EXPECT_TRUE(check_races(empty, empty_log).clean());
+}
+
+TEST(CheckRaces, MismatchedLogIsRejected) {
+  const TaskGraph g = make_graph(2, {{}, {}});
+  const AccessLog log(3);
+  EXPECT_THROW((void)check_races(g, log), precondition_error);
+}
+
+TEST(CheckRaces, SummaryNamesTasksAndTheMissingEdge) {
+  const TaskGraph g = make_graph(2, {{}, {}});
+  AccessLog log(2);
+  {
+    const TaskRecordScope s(log, 0);
+    record_write(ObjectKind::face_acc_side1, 8);
+  }
+  {
+    const TaskRecordScope s(log, 1);
+    record_write(ObjectKind::face_acc_side1, 8);
+  }
+  const RaceReport report = check_races(g, log);
+  const std::string text = report.summary(g);
+  EXPECT_NE(text.find("missing edge"), std::string::npos);
+  EXPECT_NE(text.find("t0"), std::string::npos);
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find(to_string(ObjectKind::face_acc_side1)),
+            std::string::npos);
+}
+
+TEST(CheckRaces, CollectSerialVisitsEveryTaskInTopoOrder) {
+  const TaskGraph g = make_graph(4, {{}, {0}, {0}, {1, 2}});
+  AccessLog log(4);
+  std::vector<index_t> order;
+  collect_serial(
+      g,
+      [&](index_t t) {
+        order.push_back(t);
+        record_write(ObjectKind::cell_state, t);
+      },
+      log);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<index_t> pos(4);
+  for (index_t i = 0; i < 4; ++i)
+    pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  for (index_t t = 0; t < 4; ++t)
+    for (const index_t p : g.predecessors(t))
+      EXPECT_LT(pos[static_cast<std::size_t>(p)],
+                pos[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(log.merged().size(), 4u);
+}
+
+// --- graph surgery -----------------------------------------------------------
+
+TEST(GraphEdit, DependencyEdgesListsEveryEdgeOnce) {
+  const TaskGraph g = make_graph(4, {{}, {0}, {0}, {1, 2}});
+  auto edges = dependency_edges(g);
+  std::sort(edges.begin(), edges.end());
+  const std::vector<std::pair<index_t, index_t>> expected{
+      {0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(GraphEdit, RemoveDependencyDropsExactlyOneEdge) {
+  const TaskGraph g = make_graph(4, {{}, {0}, {0}, {1, 2}});
+  const TaskGraph cut = remove_dependency(g, 1, 3);
+  EXPECT_EQ(cut.num_tasks(), g.num_tasks());
+  EXPECT_EQ(cut.num_dependencies(), g.num_dependencies() - 1);
+  auto edges = dependency_edges(cut);
+  std::sort(edges.begin(), edges.end());
+  const std::vector<std::pair<index_t, index_t>> expected{
+      {0, 1}, {0, 2}, {2, 3}};
+  EXPECT_EQ(edges, expected);
+  // The cut pair is now unordered.
+  const Reachability r(cut);
+  EXPECT_FALSE(r.reachable(1, 3));
+}
+
+TEST(GraphEdit, RemoveDependencyRejectsMissingEdge) {
+  const TaskGraph g = make_graph(3, {{}, {0}, {1}});
+  EXPECT_THROW((void)remove_dependency(g, 0, 2), precondition_error);
+}
+
+TEST(GraphEdit, FilterTasksKeepsInducedEdges) {
+  //  0 -> 1 -> 2 -> 3, plus 0 -> 3. Keep {0, 1, 3}.
+  const TaskGraph g = make_graph(4, {{}, {0}, {1}, {2, 0}});
+  const InducedSubgraph sub = filter_tasks(g, {1, 1, 0, 1});
+  ASSERT_EQ(sub.graph.num_tasks(), 3);
+  EXPECT_EQ(sub.original_task, (std::vector<index_t>{0, 1, 3}));
+  auto edges = dependency_edges(sub.graph);
+  std::sort(edges.begin(), edges.end());
+  // 0->1 survives, 0->3 becomes 0->2; the path through dropped task 2
+  // disappears (the slicer never drops interior path nodes in practice).
+  const std::vector<std::pair<index_t, index_t>> expected{{0, 1}, {0, 2}};
+  EXPECT_EQ(edges, expected);
+}
+
+}  // namespace
+}  // namespace tamp::verify

@@ -2,8 +2,10 @@
 # ThreadSanitizer pass over the concurrency-sensitive pieces: the
 # lock-free trace buffers / metrics registry (test_obs), the simulator's
 # worker pool (test_runtime), the partitioner's work-stealing pool
-# (test_thread_pool), and the parallel decomposition itself — the
-# partition test binaries plus the doctor smoke workflow run with
+# (test_thread_pool), the race verifier's instrumented solver runs under
+# adversarial schedules (test_verify, test_verify_solver, flusim
+# --verify-races), and the parallel decomposition itself — the partition
+# test binaries plus the doctor smoke workflow run with
 # TAMP_PARTITION_THREADS=4 so every pool code path executes under TSan.
 # Uses a separate build tree so it never disturbs the main ./build
 # directory.
@@ -21,7 +23,7 @@ cmake -S "${ROOT}" -B "${BUILD}" \
   "$@"
 cmake --build "${BUILD}" -j "$(nproc)" --target \
   test_obs test_runtime test_thread_pool test_partition \
-  test_partition_properties flusim tamp_report
+  test_partition_properties test_verify test_verify_solver flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
@@ -29,6 +31,14 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/tests/test_obs"
 "${BUILD}/tests/test_runtime"
 "${BUILD}/tests/test_thread_pool"
+"${BUILD}/tests/test_verify"
+"${BUILD}/tests/test_verify_solver"
+
+# The DAG-level race check itself, with the per-worker access buffers
+# exercised by real threads + jitter: TSan watches the recorder while the
+# checker proves the graph ordered every conflicting pair.
+"${BUILD}/examples/flusim" --mesh nozzle --cells 4000 \
+  --verify-races --verify-schedules 2 --verify-delay-us 20
 
 # Force the pool under every partition test, then through the full
 # flusim → tamp-report smoke; bit-identical output keeps those passing.
