@@ -1,0 +1,124 @@
+#include "mesh/reorder.hpp"
+
+#include <algorithm>
+
+namespace tamp::mesh {
+
+bool is_permutation(const std::vector<index_t>& perm) {
+  const auto n = static_cast<index_t>(perm.size());
+  std::vector<char> seen(perm.size(), 0);
+  for (const index_t p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  TAMP_EXPECTS(is_permutation(perm), "vector is not a permutation of [0, n)");
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  return inv;
+}
+
+MeshPermutation identity_permutation(const Mesh& mesh) {
+  MeshPermutation p;
+  p.cell_old_to_new.resize(static_cast<std::size_t>(mesh.num_cells()));
+  p.face_old_to_new.resize(static_cast<std::size_t>(mesh.num_faces()));
+  for (index_t c = 0; c < mesh.num_cells(); ++c)
+    p.cell_old_to_new[static_cast<std::size_t>(c)] = c;
+  for (index_t f = 0; f < mesh.num_faces(); ++f)
+    p.face_old_to_new[static_cast<std::size_t>(f)] = f;
+  p.cell_new_to_old = p.cell_old_to_new;
+  p.face_new_to_old = p.face_old_to_new;
+  return p;
+}
+
+void validate_permutation(const Mesh& mesh, const MeshPermutation& perm) {
+  TAMP_EXPECTS(perm.cell_old_to_new.size() ==
+                   static_cast<std::size_t>(mesh.num_cells()),
+               "cell permutation size must equal cell count");
+  TAMP_EXPECTS(perm.face_old_to_new.size() ==
+                   static_cast<std::size_t>(mesh.num_faces()),
+               "face permutation size must equal face count");
+  TAMP_EXPECTS(is_permutation(perm.cell_old_to_new),
+               "cell_old_to_new is not a permutation");
+  TAMP_EXPECTS(is_permutation(perm.face_old_to_new),
+               "face_old_to_new is not a permutation");
+  TAMP_EXPECTS(perm.cell_new_to_old.size() == perm.cell_old_to_new.size() &&
+                   perm.face_new_to_old.size() == perm.face_old_to_new.size(),
+               "inverse permutation size mismatch");
+  for (std::size_t i = 0; i < perm.cell_old_to_new.size(); ++i)
+    TAMP_EXPECTS(perm.cell_new_to_old[static_cast<std::size_t>(
+                     perm.cell_old_to_new[i])] == static_cast<index_t>(i),
+                 "cell_new_to_old is not the inverse of cell_old_to_new");
+  for (std::size_t i = 0; i < perm.face_old_to_new.size(); ++i)
+    TAMP_EXPECTS(perm.face_new_to_old[static_cast<std::size_t>(
+                     perm.face_old_to_new[i])] == static_cast<index_t>(i),
+                 "face_new_to_old is not the inverse of face_old_to_new");
+}
+
+Mesh permute_mesh(const Mesh& mesh, const MeshPermutation& perm) {
+  validate_permutation(mesh, perm);
+  const auto ncells = static_cast<std::size_t>(mesh.num_cells());
+  const auto nfaces = static_cast<std::size_t>(mesh.num_faces());
+
+  Mesh out;
+  out.num_cells_ = mesh.num_cells_;
+  out.num_interior_ = mesh.num_interior_;
+  out.max_level_ = mesh.max_level_;
+
+  out.cell_volume_.resize(ncells);
+  out.cell_centroid_.resize(ncells);
+  out.cell_level_.resize(ncells);
+  for (std::size_t n = 0; n < ncells; ++n) {
+    const auto o = static_cast<std::size_t>(perm.cell_new_to_old[n]);
+    out.cell_volume_[n] = mesh.cell_volume_[o];
+    out.cell_centroid_[n] = mesh.cell_centroid_[o];
+    out.cell_level_[n] = mesh.cell_level_[o];
+  }
+
+  out.face_area_.resize(nfaces);
+  out.face_normal_.resize(nfaces);
+  out.face_cells_.resize(2 * nfaces);
+  for (std::size_t n = 0; n < nfaces; ++n) {
+    const auto o = static_cast<std::size_t>(perm.face_new_to_old[n]);
+    out.face_area_[n] = mesh.face_area_[o];
+    out.face_normal_[n] = mesh.face_normal_[o];
+    // Side order is preserved: the normal keeps pointing side 0 → side 1.
+    const index_t a = mesh.face_cells_[2 * o];
+    const index_t b = mesh.face_cells_[2 * o + 1];
+    out.face_cells_[2 * n] =
+        perm.cell_old_to_new[static_cast<std::size_t>(a)];
+    out.face_cells_[2 * n + 1] =
+        b == invalid_index
+            ? invalid_index
+            : perm.cell_old_to_new[static_cast<std::size_t>(b)];
+  }
+
+  // Cell → face adjacency: copy each cell's list in its ORIGINAL order
+  // with face ids mapped, rather than rebuilding by counting sort. The
+  // solver's accumulator gather follows this list, and floating-point
+  // addition is order-sensitive — preserving the order is what makes the
+  // permuted solver bitwise-equal to the reference.
+  out.cell_face_xadj_.assign(ncells + 1, 0);
+  for (std::size_t n = 0; n < ncells; ++n) {
+    const auto o = static_cast<std::size_t>(perm.cell_new_to_old[n]);
+    out.cell_face_xadj_[n + 1] =
+        out.cell_face_xadj_[n] +
+        (mesh.cell_face_xadj_[o + 1] - mesh.cell_face_xadj_[o]);
+  }
+  out.cell_face_.resize(static_cast<std::size_t>(out.cell_face_xadj_.back()));
+  for (std::size_t n = 0; n < ncells; ++n) {
+    const auto o = static_cast<std::size_t>(perm.cell_new_to_old[n]);
+    auto cursor = static_cast<std::size_t>(out.cell_face_xadj_[n]);
+    for (auto i = static_cast<std::size_t>(mesh.cell_face_xadj_[o]);
+         i < static_cast<std::size_t>(mesh.cell_face_xadj_[o + 1]); ++i)
+      out.cell_face_[cursor++] = perm.face_old_to_new[static_cast<std::size_t>(
+          mesh.cell_face_[i])];
+  }
+  return out;
+}
+
+}  // namespace tamp::mesh

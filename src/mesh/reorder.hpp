@@ -1,0 +1,70 @@
+// Mesh renumbering mechanics: apply a cell/face permutation to a Mesh.
+//
+// The locality layer (partition/reorder.hpp decides the *order*, this
+// header applies it) renumbers cells and faces so that every
+// (domain, temporal-class) object list becomes one contiguous
+// [begin, end) range and the solver kernels can stream instead of
+// gather. This file is pure mechanics: a permutation is data, applying
+// it is topology-preserving relabelling.
+//
+// Contract (see DESIGN.md "Locality layout"): a permutation maps
+// ORIGINAL ids to RENUMBERED ids (`old_to_new`) and back (`new_to_old`).
+// `permute_mesh` preserves, for every cell, the relative order of its
+// face list — the solver's per-cell accumulator gather is a sequence of
+// floating-point additions, so preserving gather order is what makes a
+// permuted run bitwise-identical to the reference after mapping ids
+// through the inverse permutation.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace tamp::mesh {
+
+/// A paired cell + face renumbering of one mesh. All four vectors are
+/// bijections; `new_to_old` entries are the inverses of `old_to_new`.
+struct MeshPermutation {
+  std::vector<index_t> cell_old_to_new;
+  std::vector<index_t> cell_new_to_old;
+  std::vector<index_t> face_old_to_new;
+  std::vector<index_t> face_new_to_old;
+};
+
+/// Is `perm` a bijection of [0, n)? O(n) check, no throw.
+[[nodiscard]] bool is_permutation(const std::vector<index_t>& perm);
+
+/// Invert a bijection of [0, n): result[perm[i]] = i. Throws
+/// precondition_error if `perm` is not a permutation.
+[[nodiscard]] std::vector<index_t> invert_permutation(
+    const std::vector<index_t>& perm);
+
+/// Identity permutation sized for `mesh` (the `--reorder none` layout).
+[[nodiscard]] MeshPermutation identity_permutation(const Mesh& mesh);
+
+/// Throws precondition_error unless `perm` is a consistent pair of
+/// cell/face bijections sized for `mesh`.
+void validate_permutation(const Mesh& mesh, const MeshPermutation& perm);
+
+/// Build the renumbered mesh: cell/face geometry, temporal levels and
+/// adjacency relabelled through `perm`. Face orientation (which adjacent
+/// cell is side 0) and each cell's face-list order are preserved, so
+/// per-object solver arithmetic is bitwise-identical to the original
+/// mesh modulo the id mapping.
+[[nodiscard]] Mesh permute_mesh(const Mesh& mesh, const MeshPermutation& perm);
+
+/// Relabel a per-cell attribute vector: result[new_id] = values[old_id].
+template <class T>
+[[nodiscard]] std::vector<T> permute_cell_values(
+    const std::vector<T>& values, const MeshPermutation& perm) {
+  TAMP_EXPECTS(values.size() == perm.cell_new_to_old.size(),
+               "value vector size must equal cell count");
+  std::vector<T> out(values.size());
+  for (std::size_t n = 0; n < out.size(); ++n)
+    out[n] = values[static_cast<std::size_t>(perm.cell_new_to_old[n])];
+  return out;
+}
+
+}  // namespace tamp::mesh

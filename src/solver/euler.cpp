@@ -22,17 +22,13 @@ double kinetic(const State& u) {
 }  // namespace
 
 EulerSolver::EulerSolver(mesh::Mesh& mesh, SolverConfig config)
-    : mesh_(mesh), config_(config) {
+    : mesh_(mesh), config_(config), geom_(build_kernel_geometry(mesh)),
+      u_(mesh.num_cells(), kNumVars),
+      acc_{PaddedVars(mesh.num_faces(), kNumVars),
+           PaddedVars(mesh.num_faces(), kNumVars)} {
   TAMP_EXPECTS(config.gamma > 1.0, "gamma must exceed 1");
   TAMP_EXPECTS(config.cfl > 0.0 && config.cfl <= 1.0, "CFL must be in (0,1]");
   TAMP_EXPECTS(config.max_levels >= 1, "need at least one temporal level");
-  const auto n = static_cast<std::size_t>(mesh.num_cells());
-  const auto m = static_cast<std::size_t>(mesh.num_faces());
-  for (int v = 0; v < kNumVars; ++v) {
-    u_[static_cast<std::size_t>(v)].assign(n, 0.0);
-    acc_[0][static_cast<std::size_t>(v)].assign(m, 0.0);
-    acc_[1][static_cast<std::size_t>(v)].assign(m, 0.0);
-  }
 }
 
 void EulerSolver::initialize_uniform(double rho, Vec3 velocity,
@@ -42,18 +38,14 @@ void EulerSolver::initialize_uniform(double rho, Vec3 velocity,
       pressure / (config_.gamma - 1.0) +
       0.5 * rho * dot(velocity, velocity);
   for (index_t c = 0; c < mesh_.num_cells(); ++c) {
-    const auto sc = static_cast<std::size_t>(c);
-    u_[0][sc] = rho;
-    u_[1][sc] = rho * velocity.x;
-    u_[2][sc] = rho * velocity.y;
-    u_[3][sc] = rho * velocity.z;
-    u_[4][sc] = energy;
+    u_.at(0, c) = rho;
+    u_.at(1, c) = rho * velocity.x;
+    u_.at(2, c) = rho * velocity.y;
+    u_.at(3, c) = rho * velocity.z;
+    u_.at(4, c) = energy;
   }
-  for (int side = 0; side < 2; ++side)
-    for (int v = 0; v < kNumVars; ++v)
-      std::fill(acc_[static_cast<std::size_t>(side)][static_cast<std::size_t>(v)].begin(),
-                acc_[static_cast<std::size_t>(side)][static_cast<std::size_t>(v)].end(),
-                0.0);
+  acc_[0].fill(0.0);
+  acc_[1].fill(0.0);
   time_ = 0.0;
 }
 
@@ -61,15 +53,14 @@ void EulerSolver::add_pulse(Vec3 center, double radius,
                             double relative_amplitude) {
   TAMP_EXPECTS(radius > 0, "pulse radius must be positive");
   for (index_t c = 0; c < mesh_.num_cells(); ++c) {
-    const auto sc = static_cast<std::size_t>(c);
     const double d = distance(mesh_.cell_centroid(c), center);
     const double bump =
         relative_amplitude * std::exp(-(d * d) / (radius * radius));
     if (bump == 0.0) continue;
     // Scale density and energy together (roughly isentropic perturbation).
     const double factor = 1.0 + bump;
-    u_[0][sc] *= factor;
-    u_[4][sc] *= factor;
+    u_.at(0, c) *= factor;
+    u_.at(4, c) *= factor;
   }
 }
 
@@ -89,7 +80,7 @@ std::vector<level_t> EulerSolver::assign_temporal_levels() {
   double dt_min = std::numeric_limits<double>::max();
   for (index_t c = 0; c < n; ++c) {
     const auto sc = static_cast<std::size_t>(c);
-    State u{u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
+    State u{u_.at(0, c), u_.at(1, c), u_.at(2, c), u_.at(3, c), u_.at(4, c)};
     const double h = std::cbrt(mesh_.cell_volume(c));
     dt_cell[sc] = config_.cfl * h / wave_speed(u);
     dt_min = std::min(dt_min, dt_cell[sc]);
@@ -141,8 +132,8 @@ State EulerSolver::wall_flux(const State& inside, Vec3 n) const {
 void EulerSolver::flux_face(index_t f, double dtf) {
   const auto sf = static_cast<std::size_t>(f);
   const index_t a = mesh_.face_cell(f, 0);
-  const auto sa = static_cast<std::size_t>(a);
-  const State ua{u_[0][sa], u_[1][sa], u_[2][sa], u_[3][sa], u_[4][sa]};
+  const State ua{u_.at(0, a), u_.at(1, a), u_.at(2, a), u_.at(3, a),
+                 u_.at(4, a)};
   const Vec3 n = mesh_.face_normal(f);
   // Access annotations for the race verifier (no-ops when no
   // TaskRecordScope is active): a face flux reads both adjacent cell
@@ -156,16 +147,61 @@ void EulerSolver::flux_face(index_t f, double dtf) {
   } else {
     const index_t b = mesh_.face_cell(f, 1);
     verify::record_read(verify::ObjectKind::cell_state, b);
-    const auto sb = static_cast<std::size_t>(b);
-    const State ub{u_[0][sb], u_[1][sb], u_[2][sb], u_[3][sb], u_[4][sb]};
+    const State ub{u_.at(0, b), u_.at(1, b), u_.at(2, b), u_.at(3, b),
+                   u_.at(4, b)};
     flux = interior_flux(ua, ub, n);
   }
   const double scale = mesh_.face_area(f) * dtf;
   for (int v = 0; v < kNumVars; ++v) {
-    const auto sv = static_cast<std::size_t>(v);
-    const double amount = flux[sv] * scale;
-    acc_[0][sv][sf] += amount;
-    acc_[1][sv][sf] += amount;
+    const double amount = flux[static_cast<std::size_t>(v)] * scale;
+    acc_[0].var(v)[sf] += amount;
+    acc_[1].var(v)[sf] += amount;
+  }
+}
+
+void EulerSolver::flux_faces_interior(index_t begin, index_t end, double dtf) {
+  const double* u0 = u_.var(0);
+  const double* u1 = u_.var(1);
+  const double* u2 = u_.var(2);
+  const double* u3 = u_.var(3);
+  const double* u4 = u_.var(4);
+  for (index_t f = begin; f < end; ++f) {
+    const auto sf = static_cast<std::size_t>(f);
+    const auto sa = static_cast<std::size_t>(geom_.face_a[sf]);
+    const auto sb = static_cast<std::size_t>(geom_.face_b[sf]);
+    const State ua{u0[sa], u1[sa], u2[sa], u3[sa], u4[sa]};
+    const State ub{u0[sb], u1[sb], u2[sb], u3[sb], u4[sb]};
+    const Vec3 n{geom_.nx[sf], geom_.ny[sf], geom_.nz[sf]};
+    const State flux = interior_flux(ua, ub, n);
+    const double scale = geom_.area[sf] * dtf;
+    for (int v = 0; v < kNumVars; ++v) {
+      const double amount = flux[static_cast<std::size_t>(v)] * scale;
+      acc_[0].var(v)[sf] += amount;
+      acc_[1].var(v)[sf] += amount;
+    }
+  }
+}
+
+void EulerSolver::flux_faces_boundary(index_t begin, index_t end, double dtf) {
+  const double* u0 = u_.var(0);
+  const double* u1 = u_.var(1);
+  const double* u2 = u_.var(2);
+  const double* u3 = u_.var(3);
+  const double* u4 = u_.var(4);
+  for (index_t f = begin; f < end; ++f) {
+    const auto sf = static_cast<std::size_t>(f);
+    const auto sa = static_cast<std::size_t>(geom_.face_a[sf]);
+    const State ua{u0[sa], u1[sa], u2[sa], u3[sa], u4[sa]};
+    const Vec3 n{geom_.nx[sf], geom_.ny[sf], geom_.nz[sf]};
+    const State flux = wall_flux(ua, n);
+    const double scale = geom_.area[sf] * dtf;
+    // Both sides, exactly like flux_face: the unconsumed side-1 deposit
+    // of a boundary face is inert (no cell gathers it).
+    for (int v = 0; v < kNumVars; ++v) {
+      const double amount = flux[static_cast<std::size_t>(v)] * scale;
+      acc_[0].var(v)[sf] += amount;
+      acc_[1].var(v)[sf] += amount;
+    }
   }
 }
 
@@ -182,11 +218,29 @@ void EulerSolver::update_cell(index_t c, double /*dtc*/) {
                                    : verify::ObjectKind::face_acc_side1,
                          f);
     const double sign = side == 0 ? -1.0 : 1.0;
-    auto& acc = acc_[static_cast<std::size_t>(side)];
+    PaddedVars& acc = acc_[static_cast<std::size_t>(side)];
     for (int v = 0; v < kNumVars; ++v) {
-      const auto sv = static_cast<std::size_t>(v);
-      u_[sv][scell] += sign * acc[sv][sf] * inv_v;
-      acc[sv][sf] = 0.0;
+      u_.var(v)[scell] += sign * acc.var(v)[sf] * inv_v;
+      acc.var(v)[sf] = 0.0;
+    }
+  }
+}
+
+void EulerSolver::update_cells_range(index_t begin, index_t end) {
+  for (index_t c = begin; c < end; ++c) {
+    const auto scell = static_cast<std::size_t>(c);
+    const double inv_v = geom_.inv_vol[scell];
+    const auto kb = static_cast<std::size_t>(geom_.gather_xadj[scell]);
+    const auto ke = static_cast<std::size_t>(geom_.gather_xadj[scell + 1]);
+    for (std::size_t k = kb; k < ke; ++k) {
+      const auto sf = static_cast<std::size_t>(geom_.gather_face[k]);
+      const int side = geom_.gather_side[k];
+      const double sign = side == 0 ? -1.0 : 1.0;
+      PaddedVars& acc = acc_[static_cast<std::size_t>(side)];
+      for (int v = 0; v < kNumVars; ++v) {
+        u_.var(v)[scell] += sign * acc.var(v)[sf] * inv_v;
+        acc.var(v)[sf] = 0.0;
+      }
     }
   }
 }
@@ -214,33 +268,59 @@ EulerSolver::IterationTasks EulerSolver::make_iteration_tasks(
   auto classes = std::make_shared<taskgraph::ClassMap>();
   taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
       mesh_, domain_of_cell, ndomains, {}, classes.get());
+  auto access = std::make_shared<ClassAccessTable>(build_class_access_ranges(
+      mesh_, *classes, /*boundary_writes_side1=*/true));
 
   // Per-task execution plan, self-contained so the body outlives both the
-  // returned struct and the graph copy the caller keeps.
+  // returned struct and the graph copy the caller keeps. A task whose
+  // class list is one contiguous id run carries the run and streams it;
+  // scattered classes keep the per-object list walk.
   struct Plan {
     double dt;
     index_t cls;
     bool face;
+    bool ranged;
+    index_t begin, mid, end;  ///< faces: [begin,mid) interior, [mid,end) boundary
   };
   auto plans = std::make_shared<std::vector<Plan>>();
   plans->reserve(static_cast<std::size_t>(graph.num_tasks()));
   for (index_t t = 0; t < graph.num_tasks(); ++t) {
     const taskgraph::Task& task = graph.task(t);
-    plans->push_back(
-        {dt0_ * std::exp2(static_cast<double>(task.level)),
-         classes->task_class[static_cast<std::size_t>(t)],
-         task.type == taskgraph::ObjectType::face});
-  }
-  auto body = [this, classes, plans](index_t t) {
-    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    const index_t cls = classes->task_class[static_cast<std::size_t>(t)];
+    Plan plan{dt0_ * std::exp2(static_cast<double>(task.level)), cls,
+              task.type == taskgraph::ObjectType::face, false, 0, 0, 0};
     if (plan.face) {
-      for (const index_t f :
-           classes->class_faces[static_cast<std::size_t>(plan.cls)])
-        flux_face(f, plan.dt);
+      const auto& r = classes->face_range[static_cast<std::size_t>(cls)];
+      if (r.valid())
+        plan = {plan.dt, cls, true, true, r.begin, r.boundary_begin, r.end};
     } else {
-      for (const index_t c :
-           classes->class_cells[static_cast<std::size_t>(plan.cls)])
-        update_cell(c, plan.dt);
+      const auto& r = classes->cell_range[static_cast<std::size_t>(cls)];
+      if (r.valid()) plan = {plan.dt, cls, false, true, r.begin, r.end, r.end};
+    }
+    plans->push_back(plan);
+  }
+  auto body = [this, classes, plans, access](index_t t) {
+    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    const auto scls = static_cast<std::size_t>(plan.cls);
+    if (plan.face) {
+      if (plan.ranged) {
+        if (verify::recording_active())
+          record_class_ranges(access->face[scls], /*face_task=*/true);
+        flux_faces_interior(plan.begin, plan.mid, plan.dt);
+        flux_faces_boundary(plan.mid, plan.end, plan.dt);
+      } else {
+        for (const index_t f : classes->class_faces[scls])
+          flux_face(f, plan.dt);
+      }
+    } else {
+      if (plan.ranged) {
+        if (verify::recording_active())
+          record_class_ranges(access->cell[scls], /*face_task=*/false);
+        update_cells_range(plan.begin, plan.end);
+      } else {
+        for (const index_t c : classes->class_cells[scls])
+          update_cell(c, plan.dt);
+      }
     }
   };
   return {std::move(graph), std::move(body)};
@@ -271,23 +351,24 @@ void EulerSolver::run_iteration_heun() {
   const index_t n = mesh_.num_cells();
 
   // L(U): net flux divergence divided by volume; synchronous evaluation.
-  auto rhs = [&](const std::array<std::vector<double>, kNumVars>& state,
+  auto rhs = [&](const PaddedVars& state,
                  std::array<std::vector<double>, kNumVars>& out) {
     for (int v = 0; v < kNumVars; ++v)
       out[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(n), 0.0);
     for (index_t f = 0; f < mesh_.num_faces(); ++f) {
       const index_t a = mesh_.face_cell(f, 0);
       const auto sa = static_cast<std::size_t>(a);
-      const State ua{state[0][sa], state[1][sa], state[2][sa], state[3][sa],
-                     state[4][sa]};
+      const State ua{state.at(0, a), state.at(1, a), state.at(2, a),
+                     state.at(3, a), state.at(4, a)};
       const Vec3 nrm = mesh_.face_normal(f);
       State flux;
       std::size_t sb = 0;
       const bool interior = !mesh_.is_boundary_face(f);
       if (interior) {
-        sb = static_cast<std::size_t>(mesh_.face_cell(f, 1));
-        const State ub{state[0][sb], state[1][sb], state[2][sb], state[3][sb],
-                       state[4][sb]};
+        const index_t b = mesh_.face_cell(f, 1);
+        sb = static_cast<std::size_t>(b);
+        const State ub{state.at(0, b), state.at(1, b), state.at(2, b),
+                       state.at(3, b), state.at(4, b)};
         flux = interior_flux(ua, ub, nrm);
       } else {
         flux = wall_flux(ua, nrm);
@@ -306,22 +387,20 @@ void EulerSolver::run_iteration_heun() {
     }
   };
 
-  std::array<std::vector<double>, kNumVars> k1, k2, predictor;
+  std::array<std::vector<double>, kNumVars> k1, k2;
   rhs(u_, k1);
+  PaddedVars predictor(n, kNumVars);
   for (int v = 0; v < kNumVars; ++v) {
     const auto sv = static_cast<std::size_t>(v);
-    predictor[sv].resize(static_cast<std::size_t>(n));
-    for (index_t c = 0; c < n; ++c) {
-      const auto sc = static_cast<std::size_t>(c);
-      predictor[sv][sc] = u_[sv][sc] + dt0_ * k1[sv][sc];
-    }
+    for (index_t c = 0; c < n; ++c)
+      predictor.at(v, c) = u_.at(v, c) + dt0_ * k1[sv][static_cast<std::size_t>(c)];
   }
   rhs(predictor, k2);
   for (int v = 0; v < kNumVars; ++v) {
     const auto sv = static_cast<std::size_t>(v);
     for (index_t c = 0; c < n; ++c) {
       const auto sc = static_cast<std::size_t>(c);
-      u_[sv][sc] += 0.5 * dt0_ * (k1[sv][sc] + k2[sv][sc]);
+      u_.at(v, c) += 0.5 * dt0_ * (k1[sv][sc] + k2[sv][sc]);
     }
   }
   time_ += dt0_;
@@ -330,48 +409,44 @@ void EulerSolver::run_iteration_heun() {
 State EulerSolver::conserved_totals() const {
   State total{};
   for (index_t c = 0; c < mesh_.num_cells(); ++c) {
-    const auto sc = static_cast<std::size_t>(c);
     const double vol = mesh_.cell_volume(c);
     for (int v = 0; v < kNumVars; ++v)
-      total[static_cast<std::size_t>(v)] +=
-          vol * u_[static_cast<std::size_t>(v)][sc];
+      total[static_cast<std::size_t>(v)] += vol * u_.at(v, c);
   }
   // In-flight flux: deposited but not yet consumed. Side 0 will subtract
   // its accumulator; side 1 will add its own.
   for (index_t f = 0; f < mesh_.num_faces(); ++f) {
-    const auto sf = static_cast<std::size_t>(f);
     const bool interior = !mesh_.is_boundary_face(f);
     for (int v = 0; v < kNumVars; ++v) {
-      const auto sv = static_cast<std::size_t>(v);
-      total[sv] -= acc_[0][sv][sf];
-      if (interior) total[sv] += acc_[1][sv][sf];
+      total[static_cast<std::size_t>(v)] -= acc_[0].at(v, f);
+      if (interior) total[static_cast<std::size_t>(v)] += acc_[1].at(v, f);
     }
   }
   return total;
 }
 
 double EulerSolver::cell_pressure(index_t c) const {
-  const auto sc = static_cast<std::size_t>(c);
-  const State u{u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
+  const State u{u_.at(0, c), u_.at(1, c), u_.at(2, c), u_.at(3, c),
+                u_.at(4, c)};
   return (config_.gamma - 1.0) * (u[4] - kinetic(u));
 }
 
 Vec3 EulerSolver::cell_velocity(index_t c) const {
-  const auto sc = static_cast<std::size_t>(c);
-  const double rho = std::max(u_[0][sc], 1e-12);
-  return {u_[1][sc] / rho, u_[2][sc] / rho, u_[3][sc] / rho};
+  const double rho = std::max(u_.at(0, c), 1e-12);
+  return {u_.at(1, c) / rho, u_.at(2, c) / rho, u_.at(3, c) / rho};
 }
 
 double EulerSolver::max_density() const {
   double m = 0;
-  for (const double d : u_[0]) m = std::max(m, d);
+  for (index_t c = 0; c < mesh_.num_cells(); ++c)
+    m = std::max(m, u_.at(0, c));
   return m;
 }
 
 bool EulerSolver::state_is_finite() const {
   for (int v = 0; v < kNumVars; ++v)
-    for (const double x : u_[static_cast<std::size_t>(v)])
-      if (!std::isfinite(x)) return false;
+    for (index_t c = 0; c < mesh_.num_cells(); ++c)
+      if (!std::isfinite(u_.at(v, c))) return false;
   return true;
 }
 

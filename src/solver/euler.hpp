@@ -26,6 +26,7 @@
 
 #include "mesh/mesh.hpp"
 #include "runtime/runtime.hpp"
+#include "solver/layout.hpp"
 #include "taskgraph/generate.hpp"
 
 namespace tamp::solver {
@@ -114,13 +115,10 @@ public:
   /// momentum through wall pressure).
   [[nodiscard]] State conserved_totals() const;
 
-  [[nodiscard]] double cell_density(index_t c) const {
-    return u_[0][static_cast<std::size_t>(c)];
-  }
+  [[nodiscard]] double cell_density(index_t c) const { return u_.at(0, c); }
   /// Raw conserved state of one cell (for bitwise-equality assertions).
   [[nodiscard]] State cell_state(index_t c) const {
-    const auto sc = static_cast<std::size_t>(c);
-    return {u_[0][sc], u_[1][sc], u_[2][sc], u_[3][sc], u_[4][sc]};
+    return {u_.at(0, c), u_.at(1, c), u_.at(2, c), u_.at(3, c), u_.at(4, c)};
   }
   [[nodiscard]] double cell_pressure(index_t c) const;
   [[nodiscard]] mesh::Vec3 cell_velocity(index_t c) const;
@@ -135,8 +133,18 @@ public:
   [[nodiscard]] taskgraph::CostModel measure_cost_model(int repetitions = 3);
 
 private:
+  // Per-object reference kernels (serial path, scattered-class fallback;
+  // record their accesses inline when instrumented).
   void flux_face(index_t f, double dtf);
   void update_cell(index_t c, double dtc);
+  // Streaming range kernels over class-contiguous id runs: identical
+  // arithmetic to the per-object kernels (asserted bitwise by the
+  // layout property tests) with the boundary branch hoisted out and no
+  // inline access records — ranged task bodies record their class's
+  // ranges up front instead.
+  void flux_faces_interior(index_t begin, index_t end, double dtf);
+  void flux_faces_boundary(index_t begin, index_t end, double dtf);
+  void update_cells_range(index_t begin, index_t end);
   State wall_flux(const State& inside, mesh::Vec3 n) const;
   State interior_flux(const State& left, const State& right,
                       mesh::Vec3 n) const;
@@ -144,12 +152,13 @@ private:
 
   mesh::Mesh& mesh_;
   SolverConfig config_;
+  KernelGeometry geom_;
   double dt0_ = 0;
   double time_ = 0;
-  /// Conserved state, SoA: u_[var][cell].
-  std::array<std::vector<double>, kNumVars> u_;
-  /// Per-side face accumulators: acc_[side][var][face].
-  std::array<std::array<std::vector<double>, kNumVars>, 2> acc_;
+  /// Conserved state, padded SoA: u_.var(v)[cell].
+  PaddedVars u_;
+  /// Per-side face accumulators: acc_[side].var(v)[face].
+  std::array<PaddedVars, 2> acc_;
 };
 
 }  // namespace tamp::solver

@@ -12,7 +12,7 @@ namespace tamp::solver {
 using mesh::Vec3;
 
 TransportSolver::TransportSolver(mesh::Mesh& mesh, TransportConfig config)
-    : mesh_(mesh), config_(config) {
+    : mesh_(mesh), config_(config), geom_(build_kernel_geometry(mesh)) {
   TAMP_EXPECTS(config.diffusivity >= 0, "diffusivity must be non-negative");
   TAMP_EXPECTS(config.cfl > 0 && config.cfl <= 1.0, "CFL must be in (0,1]");
   TAMP_EXPECTS(config.max_levels >= 1, "need at least one temporal level");
@@ -128,6 +128,65 @@ void TransportSolver::update_cell(index_t c) {
   }
 }
 
+void TransportSolver::flux_faces_interior(index_t begin, index_t end,
+                                          double dtf) {
+  const double* phi = phi_.data();
+  double* acc0 = acc_[0].data();
+  double* acc1 = acc_[1].data();
+  const double diffusivity = config_.diffusivity;
+  for (index_t f = begin; f < end; ++f) {
+    const auto sf = static_cast<std::size_t>(f);
+    const Vec3 n{geom_.nx[sf], geom_.ny[sf], geom_.nz[sf]};
+    const double un = dot(config_.velocity, n);
+    const double phi_a = phi[static_cast<std::size_t>(geom_.face_a[sf])];
+    const double phi_b = phi[static_cast<std::size_t>(geom_.face_b[sf])];
+    double flux = un * (un >= 0 ? phi_a : phi_b);
+    if (diffusivity > 0)
+      flux -= diffusivity * (phi_b - phi_a) / geom_.dist[sf];
+    const double amount = flux * geom_.area[sf] * dtf;
+    acc0[sf] += amount;
+    acc1[sf] += amount;
+  }
+}
+
+void TransportSolver::flux_faces_boundary(index_t begin, index_t end,
+                                          double dtf) {
+  const double* phi = phi_.data();
+  double* acc0 = acc_[0].data();
+  double net = 0.0;
+  for (index_t f = begin; f < end; ++f) {
+    const auto sf = static_cast<std::size_t>(f);
+    const Vec3 n{geom_.nx[sf], geom_.ny[sf], geom_.nz[sf]};
+    const double un = dot(config_.velocity, n);
+    const double phi_a = phi[static_cast<std::size_t>(geom_.face_a[sf])];
+    const double flux = un * (un >= 0 ? phi_a : config_.ambient);
+    const double amount = flux * geom_.area[sf] * dtf;
+    acc0[sf] += amount;
+    net += amount;
+  }
+  // One atomic add for the whole sub-range (boundary_net_ is a
+  // diagnostic total, compared with tolerance, never bitwise).
+  if (begin < end) boundary_net_.fetch_add(net, std::memory_order_relaxed);
+}
+
+void TransportSolver::update_cells_range(index_t begin, index_t end) {
+  double* phi = phi_.data();
+  double* acc[2] = {acc_[0].data(), acc_[1].data()};
+  for (index_t c = begin; c < end; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const double inv_v = geom_.inv_vol[sc];
+    const auto kb = static_cast<std::size_t>(geom_.gather_xadj[sc]);
+    const auto ke = static_cast<std::size_t>(geom_.gather_xadj[sc + 1]);
+    for (std::size_t k = kb; k < ke; ++k) {
+      const auto sf = static_cast<std::size_t>(geom_.gather_face[k]);
+      const int side = geom_.gather_side[k];
+      const double sign = side == 0 ? -1.0 : 1.0;
+      phi[sc] += sign * acc[side][sf] * inv_v;
+      acc[side][sf] = 0.0;
+    }
+  }
+}
+
 void TransportSolver::run_iteration() {
   TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
   const taskgraph::TemporalScheme scheme(
@@ -151,30 +210,56 @@ TransportSolver::IterationTasks TransportSolver::make_iteration_tasks(
   auto classes = std::make_shared<taskgraph::ClassMap>();
   taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
       mesh_, domain_of_cell, ndomains, {}, classes.get());
+  auto access = std::make_shared<ClassAccessTable>(build_class_access_ranges(
+      mesh_, *classes, /*boundary_writes_side1=*/false));
+  // Same ranged-vs-scattered plan split as the Euler solver (see
+  // euler.cpp): contiguous class lists stream, the rest walk the list.
   struct Plan {
     double dt;
     index_t cls;
     bool face;
+    bool ranged;
+    index_t begin, mid, end;
   };
   auto plans = std::make_shared<std::vector<Plan>>();
   plans->reserve(static_cast<std::size_t>(graph.num_tasks()));
   for (index_t t = 0; t < graph.num_tasks(); ++t) {
     const taskgraph::Task& task = graph.task(t);
-    plans->push_back(
-        {dt0_ * std::exp2(static_cast<double>(task.level)),
-         classes->task_class[static_cast<std::size_t>(t)],
-         task.type == taskgraph::ObjectType::face});
-  }
-  auto body = [this, classes, plans](index_t t) {
-    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    const index_t cls = classes->task_class[static_cast<std::size_t>(t)];
+    Plan plan{dt0_ * std::exp2(static_cast<double>(task.level)), cls,
+              task.type == taskgraph::ObjectType::face, false, 0, 0, 0};
     if (plan.face) {
-      for (const index_t f :
-           classes->class_faces[static_cast<std::size_t>(plan.cls)])
-        flux_face(f, plan.dt);
+      const auto& r = classes->face_range[static_cast<std::size_t>(cls)];
+      if (r.valid())
+        plan = {plan.dt, cls, true, true, r.begin, r.boundary_begin, r.end};
     } else {
-      for (const index_t c :
-           classes->class_cells[static_cast<std::size_t>(plan.cls)])
-        update_cell(c);
+      const auto& r = classes->cell_range[static_cast<std::size_t>(cls)];
+      if (r.valid()) plan = {plan.dt, cls, false, true, r.begin, r.end, r.end};
+    }
+    plans->push_back(plan);
+  }
+  auto body = [this, classes, plans, access](index_t t) {
+    const Plan& plan = (*plans)[static_cast<std::size_t>(t)];
+    const auto scls = static_cast<std::size_t>(plan.cls);
+    if (plan.face) {
+      if (plan.ranged) {
+        if (verify::recording_active())
+          record_class_ranges(access->face[scls], /*face_task=*/true);
+        flux_faces_interior(plan.begin, plan.mid, plan.dt);
+        flux_faces_boundary(plan.mid, plan.end, plan.dt);
+      } else {
+        for (const index_t f : classes->class_faces[scls])
+          flux_face(f, plan.dt);
+      }
+    } else {
+      if (plan.ranged) {
+        if (verify::recording_active())
+          record_class_ranges(access->cell[scls], /*face_task=*/false);
+        update_cells_range(plan.begin, plan.end);
+      } else {
+        for (const index_t c : classes->class_cells[scls])
+          update_cell(c);
+      }
     }
   };
   return {std::move(graph), std::move(body)};

@@ -23,6 +23,7 @@
 
 #include "mesh/mesh.hpp"
 #include "runtime/runtime.hpp"
+#include "solver/layout.hpp"
 #include "taskgraph/generate.hpp"
 
 namespace tamp::solver {
@@ -91,11 +92,19 @@ public:
   [[nodiscard]] bool values_finite() const;
 
 private:
+  // Per-object reference kernels (serial path, scattered-class fallback).
   void flux_face(index_t f, double dtf);
   void update_cell(index_t c);
+  // Streaming range kernels over class-contiguous id runs, bitwise
+  // identical to the per-object kernels (boundary branch hoisted, no
+  // inline access records — ranged tasks record class ranges up front).
+  void flux_faces_interior(index_t begin, index_t end, double dtf);
+  void flux_faces_boundary(index_t begin, index_t end, double dtf);
+  void update_cells_range(index_t begin, index_t end);
 
   mesh::Mesh& mesh_;
   TransportConfig config_;
+  KernelGeometry geom_;
   double dt0_ = 0;
   double time_ = 0;
   std::vector<double> phi_;

@@ -103,6 +103,37 @@ TaskGraph generate_task_graph(const mesh::Mesh& mesh,
       class_map->class_faces[static_cast<std::size_t>(face_class(f))]
           .push_back(f);
     class_map->task_class.clear();
+
+    // Contiguity detection: on a locality-renumbered mesh every class
+    // list is a consecutive id run (faces additionally with all interior
+    // faces before all boundary faces), and the solvers switch to
+    // streaming range kernels. Lists are built in ascending id order, so
+    // one span check per class suffices.
+    class_map->cell_range.assign(static_cast<std::size_t>(cls.count()), {});
+    class_map->face_range.assign(static_cast<std::size_t>(cls.count()), {});
+    for (std::size_t k = 0; k < static_cast<std::size_t>(cls.count()); ++k) {
+      const auto& cells = class_map->class_cells[k];
+      if (!cells.empty() &&
+          cells.back() - cells.front() + 1 ==
+              static_cast<index_t>(cells.size()))
+        class_map->cell_range[k] = {cells.front(),
+                                    cells.back() + 1};
+      const auto& faces = class_map->class_faces[k];
+      if (faces.empty() || faces.back() - faces.front() + 1 !=
+                               static_cast<index_t>(faces.size()))
+        continue;
+      std::size_t ninterior = 0;
+      while (ninterior < faces.size() &&
+             !mesh.is_boundary_face(faces[ninterior]))
+        ++ninterior;
+      bool partitioned = true;
+      for (std::size_t i = ninterior; i < faces.size(); ++i)
+        partitioned &= mesh.is_boundary_face(faces[i]);
+      if (partitioned)
+        class_map->face_range[k] = {
+            faces.front(), faces.front() + static_cast<index_t>(ninterior),
+            faces.back() + 1};
+    }
   }
 
   // --- class adjacency (face class ↔ cell class) ------------------------------

@@ -15,7 +15,7 @@ std::uint64_t next_log_id() {
 /// Per-thread cache of the buffer registered with one specific log.
 struct BufferCache {
   std::uint64_t log_id = 0;
-  std::vector<Access>* buffer = nullptr;
+  AccessLog::WorkerBuffers* buffer = nullptr;
 };
 thread_local BufferCache tl_buffer_cache;
 
@@ -38,7 +38,7 @@ const char* to_string(ObjectKind kind) {
 std::size_t AccessLog::num_records() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
-  for (const auto& b : buffers_) n += b->size();
+  for (const auto& b : buffers_) n += b->accesses.size() + b->ranges.size();
   return n;
 }
 
@@ -46,7 +46,17 @@ std::vector<Access> AccessLog::merged() const {
   std::vector<Access> all;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& b : buffers_) all.insert(all.end(), b->begin(), b->end());
+    for (const auto& b : buffers_)
+      all.insert(all.end(), b->accesses.begin(), b->accesses.end());
+    // Expand range records into the per-object form the checker
+    // consumes: a RangeAccess is by definition its objects' accesses.
+    for (const auto& b : buffers_)
+      for (const RangeAccess& r : b->ranges) {
+        TAMP_ENSURE(r.begin >= 0 && r.begin <= r.end,
+                    "malformed range access record");
+        for (index_t o = r.begin; o < r.end; ++o)
+          all.push_back(Access{r.task, o, r.kind, r.mode});
+      }
   }
   for (const Access& a : all)
     TAMP_ENSURE(a.task >= 0 && a.task < num_tasks_,
@@ -66,11 +76,11 @@ std::size_t AccessLog::num_worker_buffers() const {
   return buffers_.size();
 }
 
-std::vector<Access>& AccessLog::thread_buffer() {
+AccessLog::WorkerBuffers& AccessLog::thread_buffer() {
   BufferCache& cache = tl_buffer_cache;
   if (cache.log_id == id_) return *cache.buffer;
   const std::lock_guard<std::mutex> lock(mutex_);
-  buffers_.push_back(std::make_unique<std::vector<Access>>());
+  buffers_.push_back(std::make_unique<WorkerBuffers>());
   cache = {id_, buffers_.back().get()};
   return *cache.buffer;
 }

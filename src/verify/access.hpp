@@ -49,6 +49,22 @@ struct Access {
   friend bool operator==(const Access&, const Access&) = default;
 };
 
+/// One recorded range access: task `task` touched every object of `kind`
+/// in [begin, end). The range form exists for the contiguous streaming
+/// sweeps of the locality layout: annotating a range-valued task costs
+/// O(1) per range instead of O(objects). Semantically a RangeAccess is
+/// exactly the per-object records it expands to — AccessLog::merged()
+/// performs the expansion, so the happens-before checker is unchanged.
+struct RangeAccess {
+  index_t task = invalid_index;
+  index_t begin = 0;
+  index_t end = 0;  ///< exclusive
+  ObjectKind kind = ObjectKind::cell_state;
+  AccessMode mode = AccessMode::read;
+
+  friend bool operator==(const RangeAccess&, const RangeAccess&) = default;
+};
+
 /// Accumulates the accesses of one (or several, for multi-schedule
 /// sweeps) instrumented executions. Thread-safe on the recording side via
 /// per-thread buffers; analysis-side methods must not run concurrently
@@ -61,7 +77,8 @@ public:
 
   [[nodiscard]] index_t num_tasks() const { return num_tasks_; }
 
-  /// Raw records across all worker buffers (duplicates included).
+  /// Raw records across all worker buffers (duplicates included; a range
+  /// record counts once, not per object).
   [[nodiscard]] std::size_t num_records() const;
 
   /// All records merged, deduplicated on (task, kind, object, mode) and
@@ -69,11 +86,16 @@ public:
   /// wrote an object keeps both records.
   [[nodiscard]] std::vector<Access> merged() const;
 
-  /// The calling worker's buffer, registered on first use and cached
-  /// thread-locally (keyed by a process-unique log id, so a cache entry
-  /// can never outlive its log into a look-alike successor). Used by
-  /// TaskRecordScope; exposed for tests.
-  std::vector<Access>& thread_buffer();
+  /// The calling worker's buffer pair (per-object + range records),
+  /// registered on first use and cached thread-locally (keyed by a
+  /// process-unique log id, so a cache entry can never outlive its log
+  /// into a look-alike successor). Used by TaskRecordScope; exposed for
+  /// tests.
+  struct WorkerBuffers {
+    std::vector<Access> accesses;
+    std::vector<RangeAccess> ranges;
+  };
+  WorkerBuffers& thread_buffer();
 
   /// Number of per-worker buffers registered so far.
   [[nodiscard]] std::size_t num_worker_buffers() const;
@@ -82,13 +104,13 @@ private:
   index_t num_tasks_;
   std::uint64_t id_;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<std::vector<Access>>> buffers_;
+  std::vector<std::unique_ptr<WorkerBuffers>> buffers_;
 };
 
 namespace detail {
 /// Thread-local recording state: null buffer = recording disabled.
 struct ThreadRecorder {
-  std::vector<Access>* buffer = nullptr;
+  AccessLog::WorkerBuffers* buffer = nullptr;
   index_t task = invalid_index;
 };
 inline thread_local ThreadRecorder tl_recorder;
@@ -104,13 +126,29 @@ inline thread_local ThreadRecorder tl_recorder;
 inline void record_access(ObjectKind kind, index_t object, AccessMode mode) {
   detail::ThreadRecorder& r = detail::tl_recorder;
   if (r.buffer == nullptr) return;
-  r.buffer->push_back(Access{r.task, object, kind, mode});
+  r.buffer->accesses.push_back(Access{r.task, object, kind, mode});
 }
 inline void record_read(ObjectKind kind, index_t object) {
   record_access(kind, object, AccessMode::read);
 }
 inline void record_write(ObjectKind kind, index_t object) {
   record_access(kind, object, AccessMode::write);
+}
+
+/// Record one access covering every object of `kind` in [begin, end) —
+/// O(1) however many objects the range spans. Equivalent to calling
+/// record_access once per object; empty ranges are dropped.
+inline void record_access_range(ObjectKind kind, index_t begin, index_t end,
+                                AccessMode mode) {
+  detail::ThreadRecorder& r = detail::tl_recorder;
+  if (r.buffer == nullptr || begin >= end) return;
+  r.buffer->ranges.push_back(RangeAccess{r.task, begin, end, kind, mode});
+}
+inline void record_read_range(ObjectKind kind, index_t begin, index_t end) {
+  record_access_range(kind, begin, end, AccessMode::read);
+}
+inline void record_write_range(ObjectKind kind, index_t begin, index_t end) {
+  record_access_range(kind, begin, end, AccessMode::write);
 }
 
 /// RAII: route this thread's record_* calls into `log` under `task`'s id

@@ -1,0 +1,375 @@
+// Locality renumbering: permutation mechanics, class-range contiguity on
+// a renumbered mesh, and the layout's central promise — the permuted
+// solvers (serial reference AND the streaming range-kernel task path)
+// produce bitwise the same physics as the unpermuted reference once ids
+// are mapped through the permutation, with conserved totals intact at
+// every subiteration boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "mesh/generators.hpp"
+#include "mesh/reorder.hpp"
+#include "partition/reorder.hpp"
+#include "partition/strategy.hpp"
+#include "solver/euler.hpp"
+#include "solver/layout.hpp"
+#include "solver/transport.hpp"
+#include "taskgraph/generate.hpp"
+
+namespace tamp {
+namespace {
+
+using mesh::MeshPermutation;
+using solver::EulerSolver;
+using solver::State;
+using solver::TransportSolver;
+
+std::vector<part_t> decompose(mesh::Mesh& m, partition::Strategy strategy,
+                              part_t ndomains) {
+  partition::StrategyOptions sopts;
+  sopts.strategy = strategy;
+  sopts.ndomains = ndomains;
+  return partition::decompose(m, sopts).domain_of_cell;
+}
+
+// --- permutation mechanics ----------------------------------------------------
+
+TEST(Reorder, PermutationHelpers) {
+  EXPECT_TRUE(mesh::is_permutation({2, 0, 1}));
+  EXPECT_FALSE(mesh::is_permutation({0, 0, 1}));
+  EXPECT_FALSE(mesh::is_permutation({0, 3, 1}));
+  EXPECT_TRUE(mesh::is_permutation({}));
+
+  const std::vector<index_t> inv = mesh::invert_permutation({2, 0, 1});
+  EXPECT_EQ(inv, (std::vector<index_t>{1, 2, 0}));
+  EXPECT_THROW(mesh::invert_permutation({0, 0}), precondition_error);
+}
+
+TEST(Reorder, CompressToRanges) {
+  using solver::IdRange;
+  EXPECT_TRUE(solver::compress_to_ranges({}).empty());
+  EXPECT_EQ(solver::compress_to_ranges({5, 3, 4}),
+            (std::vector<IdRange>{{3, 6}}));
+  EXPECT_EQ(solver::compress_to_ranges({1, 9, 2, 2, 7, 8}),
+            (std::vector<IdRange>{{1, 3}, {7, 10}}));
+}
+
+TEST(Reorder, PaddedVarsLayout) {
+  EXPECT_EQ(solver::padded_stride(0), 0u);
+  EXPECT_EQ(solver::padded_stride(1), 8u);
+  EXPECT_EQ(solver::padded_stride(8), 8u);
+  EXPECT_EQ(solver::padded_stride(9), 16u);
+  solver::PaddedVars v(10, 3);
+  EXPECT_EQ(v.stride(), 16u);
+  EXPECT_EQ(v.var(2) - v.var(0), 32);
+  v.at(1, 9) = 4.5;
+  EXPECT_EQ(v.at(1, 9), 4.5);
+  EXPECT_EQ(v.at(2, 0), 0.0);
+}
+
+TEST(Reorder, IdentityPermutationPreservesMesh) {
+  mesh::Mesh m = mesh::make_graded_box_mesh(5, 4, 3, 1.3);
+  const MeshPermutation id = mesh::identity_permutation(m);
+  mesh::validate_permutation(m, id);
+  const mesh::Mesh p = mesh::permute_mesh(m, id);
+  p.validate();
+  ASSERT_EQ(p.num_cells(), m.num_cells());
+  ASSERT_EQ(p.num_faces(), m.num_faces());
+  for (index_t f = 0; f < m.num_faces(); ++f) {
+    EXPECT_EQ(p.face_cell(f, 0), m.face_cell(f, 0));
+    EXPECT_EQ(p.face_cell(f, 1), m.face_cell(f, 1));
+    EXPECT_EQ(p.face_area(f), m.face_area(f));
+  }
+  for (index_t c = 0; c < m.num_cells(); ++c) {
+    EXPECT_EQ(p.cell_volume(c), m.cell_volume(c));
+    const auto pf = p.cell_faces(c);
+    const auto mf = m.cell_faces(c);
+    ASSERT_TRUE(std::equal(pf.begin(), pf.end(), mf.begin(), mf.end()));
+  }
+}
+
+TEST(Reorder, ValidateRejectsMalformedPermutations) {
+  mesh::Mesh m = mesh::make_lattice_mesh(3, 3, 3);
+  MeshPermutation p = mesh::identity_permutation(m);
+  p.cell_old_to_new.pop_back();
+  EXPECT_THROW(mesh::validate_permutation(m, p), precondition_error);
+  p = mesh::identity_permutation(m);
+  std::swap(p.cell_old_to_new[0], p.cell_old_to_new[1]);  // inverse now stale
+  EXPECT_THROW(mesh::validate_permutation(m, p), precondition_error);
+}
+
+TEST(Reorder, PermuteMeshPreservesGatherOrderAndOrientation) {
+  mesh::Mesh m = mesh::make_graded_box_mesh(6, 5, 4, 1.25);
+  EulerSolver levels(m);
+  levels.initialize_uniform(1.0, {0.2, 0.0, 0.0}, 1.0);
+  levels.assign_temporal_levels();
+  const auto domains = decompose(m, partition::Strategy::mc_tl, 4);
+  const MeshPermutation perm =
+      partition::build_locality_permutation(m, domains, 4);
+  const mesh::Mesh p = mesh::permute_mesh(m, perm);
+  p.validate();
+
+  for (index_t c = 0; c < m.num_cells(); ++c) {
+    const index_t pc = perm.cell_old_to_new[static_cast<std::size_t>(c)];
+    EXPECT_EQ(p.cell_level(pc), m.cell_level(c));
+    EXPECT_EQ(p.cell_volume(pc), m.cell_volume(c));
+    // Same face list, same order, ids mapped.
+    const auto orig = m.cell_faces(c);
+    const auto mapped = p.cell_faces(pc);
+    ASSERT_EQ(mapped.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+      EXPECT_EQ(mapped[i],
+                perm.face_old_to_new[static_cast<std::size_t>(orig[i])]);
+  }
+  for (index_t f = 0; f < m.num_faces(); ++f) {
+    const index_t pf = perm.face_old_to_new[static_cast<std::size_t>(f)];
+    // Orientation preserved: side 0 stays side 0, normal unchanged.
+    EXPECT_EQ(p.face_cell(pf, 0),
+              perm.cell_old_to_new[static_cast<std::size_t>(m.face_cell(f, 0))]);
+    const mesh::Vec3 a = p.face_normal(pf), b = m.face_normal(f);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.z, b.z);
+  }
+}
+
+// --- class-range contiguity ---------------------------------------------------
+
+/// After locality renumbering, every non-empty class list must be one
+/// consecutive run, the face runs must split interior-then-boundary, and
+/// the runs must tile [0, n) exactly.
+void expect_contiguous_classes(mesh::Mesh& permuted,
+                               const std::vector<part_t>& domains,
+                               part_t ndomains, const std::string& what) {
+  taskgraph::ClassMap cm;
+  taskgraph::generate_task_graph(permuted, domains, ndomains, {}, &cm);
+  std::vector<solver::IdRange> cell_runs, face_runs;
+  for (std::size_t k = 0; k < cm.class_cells.size(); ++k) {
+    if (!cm.class_cells[k].empty()) {
+      ASSERT_TRUE(cm.cell_range[k].valid()) << what << " cell class " << k;
+      cell_runs.push_back({cm.cell_range[k].begin, cm.cell_range[k].end});
+    }
+    if (!cm.class_faces[k].empty()) {
+      ASSERT_TRUE(cm.face_range[k].valid()) << what << " face class " << k;
+      const auto& r = cm.face_range[k];
+      for (index_t f = r.begin; f < r.boundary_begin; ++f)
+        ASSERT_FALSE(permuted.is_boundary_face(f)) << what << " face " << f;
+      for (index_t f = r.boundary_begin; f < r.end; ++f)
+        ASSERT_TRUE(permuted.is_boundary_face(f)) << what << " face " << f;
+      face_runs.push_back({r.begin, r.end});
+    }
+  }
+  auto tiles = [](std::vector<solver::IdRange> runs, index_t n) {
+    std::sort(runs.begin(), runs.end(),
+              [](const auto& a, const auto& b) { return a.begin < b.begin; });
+    index_t cursor = 0;
+    for (const auto& r : runs) {
+      if (r.begin != cursor) return false;
+      cursor = r.end;
+    }
+    return cursor == n;
+  };
+  EXPECT_TRUE(tiles(cell_runs, permuted.num_cells())) << what;
+  EXPECT_TRUE(tiles(face_runs, permuted.num_faces())) << what;
+}
+
+TEST(Reorder, ClassListsBecomeContiguousRanges) {
+  const partition::Strategy strategies[] = {partition::Strategy::sc_oc,
+                                            partition::Strategy::mc_tl,
+                                            partition::Strategy::hybrid};
+  int combo = 0;
+  for (const auto strategy : strategies) {
+    mesh::Mesh m = combo == 0   ? mesh::make_graded_box_mesh(8, 6, 5, 1.25)
+                   : combo == 1 ? mesh::make_lattice_mesh(6, 5, 4)
+                                : mesh::make_graded_box_mesh(6, 6, 6, 1.35);
+    EulerSolver s(m);
+    s.initialize_uniform(1.0, {0.1, 0.05, 0.0}, 1.0);
+    s.add_pulse({1.0, 1.0, 0.8}, 0.8, 0.25);
+    s.assign_temporal_levels();
+    const auto domains = decompose(m, strategy, 4);
+    auto rd = partition::reorder_for_locality(m, domains, 4);
+    expect_contiguous_classes(rd.mesh, rd.domain_of_cell, 4,
+                              std::string("combo ") +
+                                  partition::to_string(strategy));
+    ++combo;
+  }
+}
+
+// --- bitwise equivalence ------------------------------------------------------
+
+/// Run `iters` iterations on the reference mesh (serial) and on the
+/// locality-renumbered twin (serial reference kernels AND the ranged
+/// task path), asserting per-cell bitwise equality through the inverse
+/// permutation after every iteration.
+void expect_euler_equivalence(mesh::Mesh m, partition::Strategy strategy,
+                              part_t ndomains, const std::string& what) {
+  mesh::Mesh mref = m;
+  EulerSolver ref(mref);
+  ref.initialize_uniform(1.0, {0.1, 0.05, 0.02}, 1.0);
+  ref.add_pulse({1.2, 1.0, 0.8}, 0.8, 0.25);
+  ref.assign_temporal_levels();
+
+  // Levels feed the class structure, so assign them before decomposing
+  // and renumbering.
+  {
+    EulerSolver tmp(m);
+    tmp.initialize_uniform(1.0, {0.1, 0.05, 0.02}, 1.0);
+    tmp.add_pulse({1.2, 1.0, 0.8}, 0.8, 0.25);
+    tmp.assign_temporal_levels();
+  }
+  const auto domains = decompose(m, strategy, ndomains);
+  auto rd = partition::reorder_for_locality(m, domains, ndomains);
+
+  EulerSolver serial(rd.mesh), tasked(rd.mesh);
+  for (EulerSolver* s : {&serial, &tasked}) {
+    s->initialize_uniform(1.0, {0.1, 0.05, 0.02}, 1.0);
+    s->add_pulse({1.2, 1.0, 0.8}, 0.8, 0.25);
+    s->assign_temporal_levels();
+  }
+  ASSERT_EQ(serial.dt0(), ref.dt0()) << what;
+
+  for (int it = 0; it < 2; ++it) {
+    ref.run_iteration();
+    serial.run_iteration();
+    const auto iter =
+        tasked.make_iteration_tasks(rd.domain_of_cell, ndomains);
+    for (index_t t = 0; t < iter.graph.num_tasks(); ++t) iter.body(t);
+    tasked.note_tasks_complete();
+    for (index_t c = 0; c < mref.num_cells(); ++c) {
+      const index_t pc =
+          rd.permutation.cell_old_to_new[static_cast<std::size_t>(c)];
+      const State want = ref.cell_state(c);
+      const State got_serial = serial.cell_state(pc);
+      const State got_ranged = tasked.cell_state(pc);
+      for (int v = 0; v < solver::kNumVars; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        ASSERT_EQ(got_serial[sv], want[sv])
+            << what << " serial iter " << it << " cell " << c << " var " << v;
+        ASSERT_EQ(got_ranged[sv], want[sv])
+            << what << " ranged iter " << it << " cell " << c << " var " << v;
+      }
+    }
+  }
+}
+
+TEST(Reorder, EulerBitwiseEquivalenceAcrossMeshesAndStrategies) {
+  expect_euler_equivalence(mesh::make_graded_box_mesh(8, 6, 5, 1.25),
+                           partition::Strategy::mc_tl, 4,
+                           "graded_box(8,6,5) mc_tl");
+  expect_euler_equivalence(mesh::make_lattice_mesh(6, 5, 4),
+                           partition::Strategy::sc_oc, 3,
+                           "lattice(6,5,4) sc_oc");
+  expect_euler_equivalence(mesh::make_graded_box_mesh(6, 6, 6, 1.35),
+                           partition::Strategy::hybrid, 6,
+                           "graded_box(6,6,6) hybrid");
+  mesh::TestMeshSpec spec;
+  spec.target_cells = 700;
+  spec.seed = 11;
+  expect_euler_equivalence(
+      mesh::make_test_mesh(mesh::parse_test_mesh_kind("nozzle"), spec),
+      partition::Strategy::mc_tl, 4, "nozzle(700) mc_tl");
+}
+
+void expect_transport_equivalence(mesh::Mesh m, partition::Strategy strategy,
+                                  part_t ndomains, const std::string& what) {
+  solver::TransportConfig tc;
+  tc.velocity = {0.8, 0.3, 0.1};
+  tc.diffusivity = 0.02;
+  mesh::Mesh mref = m;
+  TransportSolver ref(mref, tc);
+  ref.initialize_uniform(0.1);
+  ref.add_blob({1.0, 1.0, 0.8}, 0.7, 1.0);
+  ref.assign_temporal_levels();
+
+  {
+    TransportSolver tmp(m, tc);
+    tmp.initialize_uniform(0.1);
+    tmp.add_blob({1.0, 1.0, 0.8}, 0.7, 1.0);
+    tmp.assign_temporal_levels();
+  }
+  const auto domains = decompose(m, strategy, ndomains);
+  auto rd = partition::reorder_for_locality(m, domains, ndomains);
+
+  TransportSolver serial(rd.mesh, tc), tasked(rd.mesh, tc);
+  for (TransportSolver* s : {&serial, &tasked}) {
+    s->initialize_uniform(0.1);
+    s->add_blob({1.0, 1.0, 0.8}, 0.7, 1.0);
+    s->assign_temporal_levels();
+  }
+
+  for (int it = 0; it < 2; ++it) {
+    ref.run_iteration();
+    serial.run_iteration();
+    const auto iter =
+        tasked.make_iteration_tasks(rd.domain_of_cell, ndomains);
+    for (index_t t = 0; t < iter.graph.num_tasks(); ++t) iter.body(t);
+    tasked.note_tasks_complete();
+    for (index_t c = 0; c < mref.num_cells(); ++c) {
+      const index_t pc =
+          rd.permutation.cell_old_to_new[static_cast<std::size_t>(c)];
+      ASSERT_EQ(serial.value(pc), ref.value(c))
+          << what << " serial iter " << it << " cell " << c;
+      ASSERT_EQ(tasked.value(pc), ref.value(c))
+          << what << " ranged iter " << it << " cell " << c;
+    }
+    // The boundary ledger changes association order (one local sum per
+    // ranged task), so it is conserved but not bitwise.
+    EXPECT_NEAR(tasked.total_scalar() + tasked.net_boundary_outflow(),
+                ref.total_scalar() + ref.net_boundary_outflow(),
+                1e-12 * std::max(1.0, std::abs(ref.total_scalar()))) << what;
+  }
+}
+
+TEST(Reorder, TransportBitwiseEquivalenceAcrossMeshesAndStrategies) {
+  expect_transport_equivalence(mesh::make_graded_box_mesh(7, 6, 5, 1.3),
+                               partition::Strategy::sc_oc, 4,
+                               "graded_box(7,6,5) sc_oc");
+  expect_transport_equivalence(mesh::make_lattice_mesh(6, 5, 4),
+                               partition::Strategy::mc_tl, 3,
+                               "lattice(6,5,4) mc_tl");
+  expect_transport_equivalence(mesh::make_graded_box_mesh(6, 6, 6, 1.35),
+                               partition::Strategy::hybrid, 4,
+                               "graded_box(6,6,6) hybrid");
+}
+
+TEST(Reorder, ConservationHoldsAtSubiterationBoundariesOnRenumberedMesh) {
+  // Slice the renumbered (ranged-kernel) iteration per subiteration and
+  // probe the conservation invariant between slices.
+  mesh::Mesh m = mesh::make_graded_box_mesh(8, 8, 6, 1.25);
+  {
+    EulerSolver tmp(m);
+    tmp.initialize_uniform(1.0, {0.1, 0.0, 0.0}, 1.0);
+    tmp.add_pulse({1.2, 1.2, 0.9}, 0.9, 0.3);
+    tmp.assign_temporal_levels();
+  }
+  const auto domains = decompose(m, partition::Strategy::hybrid, 4);
+  auto rd = partition::reorder_for_locality(m, domains, 4);
+  EulerSolver s(rd.mesh);
+  s.initialize_uniform(1.0, {0.1, 0.0, 0.0}, 1.0);
+  s.add_pulse({1.2, 1.2, 0.9}, 0.9, 0.3);
+  s.assign_temporal_levels();
+  const State start = s.conserved_totals();
+
+  const auto iter = s.make_iteration_tasks(rd.domain_of_cell, 4);
+  index_t nsub = 0;
+  for (index_t t = 0; t < iter.graph.num_tasks(); ++t)
+    nsub = std::max(nsub, iter.graph.task(t).subiteration + 1);
+  ASSERT_GE(nsub, 2);
+  for (index_t sub = 0; sub < nsub; ++sub) {
+    for (index_t t = 0; t < iter.graph.num_tasks(); ++t)
+      if (iter.graph.task(t).subiteration == sub) iter.body(t);
+    const State now = s.conserved_totals();
+    EXPECT_NEAR(now[0], start[0], 1e-10 * std::abs(start[0]))
+        << "subiteration " << sub;
+    EXPECT_NEAR(now[4], start[4], 1e-10 * std::abs(start[4]))
+        << "subiteration " << sub;
+  }
+  s.note_tasks_complete();
+}
+
+}  // namespace
+}  // namespace tamp

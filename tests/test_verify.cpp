@@ -94,6 +94,66 @@ TEST(AccessLog, MergedDeduplicatesButKeepsReadAndWrite) {
   EXPECT_NE(merged[0].mode, merged[1].mode);
 }
 
+TEST(AccessLog, RangeRecordsExpandToPerObjectAccesses) {
+  // One range record is one buffer entry but merges to its objects'
+  // per-object accesses — exactly what per-object recording would have
+  // produced (dedup included).
+  AccessLog ranged(2), scalar(2);
+  {
+    const TaskRecordScope scope(ranged, 0);
+    record_write_range(ObjectKind::cell_state, 4, 8);
+    record_read_range(ObjectKind::face_acc_side0, 2, 4);
+    record_write_range(ObjectKind::cell_state, 6, 10);  // overlaps the first
+  }
+  EXPECT_EQ(ranged.num_records(), 3u);
+  {
+    const TaskRecordScope scope(scalar, 0);
+    for (index_t o = 4; o < 10; ++o) record_write(ObjectKind::cell_state, o);
+    for (index_t o = 2; o < 4; ++o) record_read(ObjectKind::face_acc_side0, o);
+  }
+  EXPECT_EQ(ranged.merged(), scalar.merged());
+}
+
+TEST(AccessLog, EmptyRangeIsDropped) {
+  AccessLog log(1);
+  {
+    const TaskRecordScope scope(log, 0);
+    record_write_range(ObjectKind::cell_state, 5, 5);
+    record_read_range(ObjectKind::cell_state, 7, 3);
+  }
+  EXPECT_EQ(log.num_records(), 0u);
+  EXPECT_TRUE(log.merged().empty());
+}
+
+TEST(AccessLog, RangeRecordingIsDisabledOutsideAScope) {
+  AccessLog log(1);
+  record_write_range(ObjectKind::cell_state, 0, 4);  // must be a no-op
+  {
+    const TaskRecordScope scope(log, 0);
+    record_write_range(ObjectKind::cell_state, 0, 2);
+  }
+  record_write_range(ObjectKind::cell_state, 2, 4);  // scope gone again
+  EXPECT_EQ(log.merged().size(), 2u);
+}
+
+TEST(CheckRaces, RangeAndScalarRecordsConflictAcrossTasks) {
+  // Task 0 writes [0,4) as a range, task 1 writes object 2 per-object;
+  // no dependency orders them, so the checker must flag the pair.
+  const TaskGraph g = make_graph(2, {{}, {}});
+  AccessLog log(2);
+  {
+    const TaskRecordScope scope(log, 0);
+    record_write_range(ObjectKind::cell_state, 0, 4);
+  }
+  {
+    const TaskRecordScope scope(log, 1);
+    record_write(ObjectKind::cell_state, 2);
+  }
+  const RaceReport report = check_races(g, log);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.conflicts[0].object, 2);
+}
+
 TEST(AccessLog, BuffersArePerThreadAndPerLog) {
   AccessLog log(4);
   std::vector<std::thread> threads;

@@ -23,7 +23,8 @@ cmake -S "${ROOT}" -B "${BUILD}" \
   "$@"
 cmake --build "${BUILD}" -j "$(nproc)" --target \
   test_obs test_runtime test_thread_pool test_partition \
-  test_partition_properties test_verify test_verify_solver flusim tamp_report
+  test_partition_properties test_reorder test_verify test_verify_solver \
+  flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
@@ -31,13 +32,18 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/tests/test_obs"
 "${BUILD}/tests/test_runtime"
 "${BUILD}/tests/test_thread_pool"
+"${BUILD}/tests/test_reorder"
 "${BUILD}/tests/test_verify"
 "${BUILD}/tests/test_verify_solver"
 
 # The DAG-level race check itself, with the per-worker access buffers
 # exercised by real threads + jitter: TSan watches the recorder while the
-# checker proves the graph ordered every conflicting pair.
+# checker proves the graph ordered every conflicting pair. Run both data
+# layouts — the locality pass covers the range-annotated streaming
+# kernels on the renumbered mesh.
 "${BUILD}/examples/flusim" --mesh nozzle --cells 4000 \
+  --verify-races --verify-schedules 2 --verify-delay-us 20
+"${BUILD}/examples/flusim" --mesh nozzle --cells 4000 --reorder locality \
   --verify-races --verify-schedules 2 --verify-delay-us 20
 
 # Force the pool under every partition test, then through the full
