@@ -10,6 +10,8 @@
 // Gantt traces.
 #include "bench_common.hpp"
 #include "runtime/runtime.hpp"
+#include "sim/measured.hpp"
+#include "sim/trace_json.hpp"
 #include "support/gantt.hpp"
 
 using namespace tamp;
@@ -44,14 +46,17 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const core::RunOutcome out = core::run_on_mesh(m, cfg);
 
-  // Real execution: calibrated busy-spin bodies through the runtime.
+  // Real execution: calibrated busy-spin bodies through the runtime,
+  // flight recorder armed so the measured run carries its own telemetry.
   const double spin = cli.get_double("spin-us") * 1e-6;
   runtime::RuntimeConfig rcfg;
   rcfg.num_processes = nproc;
   rcfg.workers_per_process = workers;
+  rcfg.flight.enabled = true;
   const runtime::ExecutionReport report = runtime::execute(
       out.graph, out.domain_to_process, rcfg,
       runtime::make_synthetic_body(out.graph, spin));
+  runtime::publish_execution_metrics(out.graph, report);
 
   const double predicted_seconds = out.sim.makespan * spin;
   const double gap =
@@ -69,12 +74,22 @@ int main(int argc, char** argv) {
                "single-core box thread timeslicing inflates the measured "
                "run, so treat the gap qualitatively)\n";
 
+  // Quantified Fig 5: the same comparison as divergence.* gauges, gated
+  // by tamp-report in CI so simulator drift fails loudly.
+  const sim::DivergenceReport div =
+      sim::compare_sim_to_measured(out.graph, out.sim, report, spin);
+  sim::print_divergence_report(std::cout, div);
+  sim::publish_divergence_metrics(div);
+
   const std::string dir = bench::artifact_dir(cli);
   write_gantt_comparison_svg(
       report.gantt(out.graph, "runtime execution (threads)"),
       out.sim.gantt(out.graph, true, "FLUSIM prediction"),
       dir + "/fig5_traces.svg");
-  std::cout << "Traces written to " << dir << "/fig5_traces.svg\n";
+  sim::save_chrome_trace(sim::to_chrome_trace(out.graph, report),
+                         dir + "/fig5_runtime.trace.json");
+  std::cout << "Traces written to " << dir << "/fig5_traces.svg and "
+            << dir << "/fig5_runtime.trace.json\n";
   bench::dump_bench_metrics("fig5_sim_vs_runtime");
   return 0;
 }

@@ -24,8 +24,10 @@
 #include "partition/io.hpp"
 #include "partition/reorder.hpp"
 #include "partition/strategy.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/analysis.hpp"
 #include "sim/doctor.hpp"
+#include "sim/measured.hpp"
 #include "sim/messages.hpp"
 #include "sim/simulate.hpp"
 #include "sim/trace_json.hpp"
@@ -69,8 +71,21 @@ int main(int argc, char** argv) {
            "diagnose the schedule: realized critical path, idle blame "
            "(dependency-wait vs starvation vs tail), doctor.* gauges");
   cli.option("doctor-csv", "",
-             "write the per-(process x subiteration) blame breakdown here");
-  cli.option("doctor-svg", "", "write the idle-blame heatmap SVG here");
+             "write the per-(process x subiteration) blame breakdown here "
+             "(with --execute: the measured run's breakdown)");
+  cli.option("doctor-svg", "",
+             "write the idle-blame heatmap SVG here (with --execute: the "
+             "measured run's heatmap)");
+  cli.flag("execute",
+           "also run the graph for real on the threaded runtime (calibrated "
+           "busy-spin bodies, flight recorder armed), diagnose the *measured* "
+           "schedule, and report sim-vs-real divergence (divergence.* and "
+           "doctor.measured.* gauges)");
+  cli.option("spin-us", "5",
+             "wall microseconds per cost unit for --execute task bodies");
+  cli.option("execute-svg", "", "write the measured run's Gantt SVG here");
+  cli.option("execute-chrome-trace", "",
+             "write the measured run's chrome://tracing JSON here");
   cli.flag("per-worker", "Gantt rows per worker instead of per process");
   cli.flag("verify-races",
            "instrumented mode: run one real Euler iteration under a sweep of "
@@ -252,17 +267,74 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
 
-    if (cli.get_flag("doctor") || !cli.get("doctor-csv").empty() ||
-        !cli.get("doctor-svg").empty()) {
+    const bool execute = cli.get_flag("execute");
+    const bool want_doctor = cli.get_flag("doctor") ||
+                             !cli.get("doctor-csv").empty() ||
+                             !cli.get("doctor-svg").empty();
+    if (want_doctor) {
       const sim::DoctorReport doc = sim::diagnose(graph, result, simopts.comm);
       // Publish gauges before a --metrics snapshot is taken so the
       // doctor.* values land in the exported JSON for tamp-report.
       sim::publish_doctor_metrics(graph, doc);
       if (cli.get_flag("doctor")) sim::print_doctor_report(std::cout, graph, doc);
-      if (!cli.get("doctor-csv").empty())
-        obs::save_text(sim::doctor_blame_csv(doc), cli.get("doctor-csv"));
-      if (!cli.get("doctor-svg").empty())
-        sim::write_doctor_heatmap_svg(doc, cli.get("doctor-svg"));
+      // With --execute the CSV/SVG artifacts describe the measured run
+      // (written below); without it they describe the simulation.
+      if (!execute) {
+        if (!cli.get("doctor-csv").empty())
+          obs::save_text(sim::doctor_blame_csv(doc), cli.get("doctor-csv"));
+        if (!cli.get("doctor-svg").empty())
+          sim::write_doctor_heatmap_svg(doc, cli.get("doctor-svg"));
+      }
+    }
+
+    // --- real execution + divergence ---------------------------------------
+    if (execute) {
+      runtime::RuntimeConfig rcfg;
+      rcfg.num_processes = nproc;
+      rcfg.workers_per_process =
+          std::max(1, static_cast<int>(cli.get_int("workers")));
+      rcfg.flight.enabled = true;
+      const double spin = cli.get_double("spin-us") * 1e-6;
+      const runtime::ExecutionReport report = runtime::execute(
+          graph, d2p, rcfg, runtime::make_synthetic_body(graph, spin));
+      runtime::publish_execution_metrics(graph, report);
+
+      std::cout << "measured: " << fmt_double(report.wall_seconds * 1e3, 2)
+                << " ms wall   occupancy: " << fmt_percent(report.occupancy());
+      if (report.flight) {
+        const obs::FlightSummary fs = obs::summarize(*report.flight);
+        std::cout << "   flight events: " << fs.events << " (" << fs.dropped
+                  << " dropped, "
+                  << report.flight->memory_bytes() / 1024 << " KiB rings)";
+      } else {
+        std::cout << "   flight recorder: compiled out";
+      }
+      std::cout << '\n';
+
+      if (want_doctor) {
+        const sim::DoctorReport mdoc = sim::diagnose_measured(graph, report);
+        sim::publish_doctor_metrics(graph, mdoc, "doctor.measured.");
+        if (cli.get_flag("doctor")) {
+          std::cout << "-- measured run --\n";
+          sim::print_doctor_report(std::cout, graph, mdoc);
+        }
+        if (!cli.get("doctor-csv").empty())
+          obs::save_text(sim::doctor_blame_csv(mdoc), cli.get("doctor-csv"));
+        if (!cli.get("doctor-svg").empty())
+          sim::write_doctor_heatmap_svg(mdoc, cli.get("doctor-svg"));
+      }
+
+      const sim::DivergenceReport div =
+          sim::compare_sim_to_measured(graph, result, report, spin);
+      sim::print_divergence_report(std::cout, div);
+      sim::publish_divergence_metrics(div);
+
+      if (!cli.get("execute-svg").empty())
+        write_gantt_svg(report.gantt(graph, "flusim --execute (measured)"),
+                        cli.get("execute-svg"));
+      if (!cli.get("execute-chrome-trace").empty())
+        sim::save_chrome_trace(sim::to_chrome_trace(graph, report),
+                               cli.get("execute-chrome-trace"));
     }
 
     if (!cli.get("svg").empty())

@@ -251,4 +251,37 @@ ReportVerdict verdict_from_json(const std::string& text) {
   return verdict;
 }
 
+MetricAnnotation annotate_metric(const std::string& name) {
+  const auto has = [&name](const char* needle) {
+    return name.find(needle) != std::string::npos;
+  };
+  MetricAnnotation a;
+  // Most specific families first; the first match wins.
+  if (has("ns_per_event")) return {"ns", -1};
+  if (has("bytes")) return {"bytes", -1};
+  if (has("_per_s") || has("per_second")) return {"1/s", +1};
+  if (has("seconds_per_unit")) return {"s/unit", 0};
+  if (has("occupancy")) return {"share", +1};
+  if (has("success_rate")) return {"share", +1};
+  if (has("speedup")) return {"x", +1};
+  if (has("idle") || has("blame") || has("starvation"))
+    return {has("seconds") ? "s" : "share", -1};
+  if (has("gap") || has("drift") || has("divergence"))
+    return {has("seconds") ? "s" : "share", -1};
+  if (has("dropped") || has("drops")) return {"count", -1};
+  if (has("makespan") || has("latency") || has("wall") || has("overhead"))
+    return {has("seconds") || has("wall") ? "s" : "", -1};
+  if (has("seconds") || has("_ms") || has("duration"))
+    return {has("_ms") ? "ms" : "s", -1};
+  if (has("depth")) return {"count", 0};
+  if (has("share") || has("fraction") || has("imbalance"))
+    return {"share", 0};
+  if (has("count") || has("events") || has("tasks") || has("steps") ||
+      has("moves") || has("attempts") || has("successes") ||
+      has("handoffs") || has("submitted") || has("executed") ||
+      has("pops"))
+    return {"count", 0};
+  return a;
+}
+
 }  // namespace tamp::obs

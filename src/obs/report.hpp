@@ -93,4 +93,22 @@ struct ReportVerdict {
 [[nodiscard]] std::vector<std::pair<std::string, double>> flatten_metrics(
     const MetricsFile& file);
 
+/// Presentation metadata for a metric, inferred from its name: the unit
+/// the value is expressed in, and which direction of change is an
+/// improvement. Purely cosmetic (the diff table prints it so readers
+/// don't have to guess whether +8% occupancy is good news); gating
+/// direction always comes from the RegressionRule, never from here.
+struct MetricAnnotation {
+  std::string unit;  ///< "s", "share", "count", "1/s", ... ; "" unknown
+  int direction = 0; ///< +1 higher is better, −1 lower is better, 0 n/a
+  [[nodiscard]] const char* direction_label() const {
+    return direction > 0 ? "higher=better"
+                         : direction < 0 ? "lower=better" : "";
+  }
+};
+
+/// Name-based annotation heuristics covering the repo's metric families
+/// (doctor.*, divergence.*, runtime.*, pool.*, solver.*, obs.flight.*).
+[[nodiscard]] MetricAnnotation annotate_metric(const std::string& name);
+
 }  // namespace tamp::obs

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -21,15 +23,24 @@ double ExecutionReport::total_busy_seconds() const {
   return busy;
 }
 
+bool ExecutionReport::has_capacity() const {
+  return wall_seconds > 0 && num_processes > 0 && workers_per_process > 0;
+}
+
 double ExecutionReport::occupancy() const {
-  const double capacity = wall_seconds *
-                          static_cast<double>(num_processes) *
-                          static_cast<double>(workers_per_process);
-  return capacity > 0 ? total_busy_seconds() / capacity : 0.0;
+  // No capacity (default report, zero wall clock) is not the same thing
+  // as "every worker sat idle": NaN forces callers to check
+  // has_capacity() instead of reading a silent 0.
+  if (!has_capacity()) return std::numeric_limits<double>::quiet_NaN();
+  return total_busy_seconds() /
+         (wall_seconds * static_cast<double>(num_processes) *
+          static_cast<double>(workers_per_process));
 }
 
 GanttTrace ExecutionReport::gantt(const taskgraph::TaskGraph& graph,
                                   const std::string& title) const {
+  TAMP_EXPECTS(spans.size() == static_cast<std::size_t>(graph.num_tasks()),
+               "execution report does not match the task graph");
   GanttTrace trace;
   trace.title = title;
   trace.makespan = wall_seconds;
@@ -101,6 +112,17 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
   report.workers_per_process = config.workers_per_process;
   report.spans.assign(static_cast<std::size_t>(n), ExecutionReport::Span{});
 
+  // Flight recorder: one bounded ring per worker, owned exclusively by
+  // that worker while threads run, read after the join below. Null when
+  // recording is off; absent entirely when compiled out.
+  std::shared_ptr<obs::FlightRecorder> recorder;
+#if defined(TAMP_TRACING_ENABLED)
+  if (config.flight.enabled)
+    recorder = std::make_shared<obs::FlightRecorder>(
+        static_cast<int>(config.num_processes) * config.workers_per_process,
+        config.flight.ring_capacity);
+#endif
+
   const Stopwatch clock;
 
   auto push_ready = [&](index_t t) {
@@ -128,12 +150,25 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
 
   auto worker_main = [&](part_t p, int w) {
     ProcessQueue& q = queues[static_cast<std::size_t>(p)];
+    obs::FlightRing* ring = nullptr;
+#if defined(TAMP_TRACING_ENABLED)
+    if (recorder)
+      ring = &recorder->ring(static_cast<int>(p) * config.workers_per_process +
+                             w);
+#endif
+    static_cast<void>(ring);
     // Per-worker stream: the schedule explored depends only on
     // (seed, process, worker), never on thread start-up order.
     Rng rng(mix_seed(adv.seed, static_cast<std::uint64_t>(p),
                      static_cast<std::uint64_t>(w)));
     while (true) {
       index_t t = invalid_index;
+      std::size_t depth_after = 0;
+      // The idle interval covers the cv wait plus the dequeue — exactly
+      // what the runtime/idle trace span covers, so the two timelines
+      // agree on where gaps are.
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::idle_begin,
+                         clock.seconds());
       {
         // Spans the cv wait plus the dequeue: on the timeline, every gap
         // between runtime/task spans shows up as runtime/idle.
@@ -144,8 +179,14 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
                  remaining.load(std::memory_order_acquire) == 0 ||
                  failed.load(std::memory_order_acquire);
         });
-        if (failed.load(std::memory_order_acquire)) return;
-        if (q.ready.empty()) return;  // done
+        if (failed.load(std::memory_order_acquire) || q.ready.empty()) {
+          // Done (or aborting): close the idle interval so every
+          // idle_begin has a matching idle_end in the ring.
+          lock.unlock();
+          TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::idle_end,
+                             clock.seconds());
+          return;
+        }
         if (adv.enabled) {
           const auto pick = static_cast<std::size_t>(
               rng.below(static_cast<std::uint64_t>(q.ready.size())));
@@ -155,7 +196,14 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
           t = q.ready.front();
           q.ready.pop_front();
         }
+        depth_after = q.ready.size();
       }
+      static_cast<void>(depth_after);
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::idle_end,
+                         clock.seconds());
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_dequeue,
+                         clock.seconds(), static_cast<std::int64_t>(t),
+                         static_cast<std::int64_t>(depth_after));
       if (adv.enabled && adv.max_delay_seconds > 0) {
         // Jitter before the span starts: the delay reads as idle time,
         // not as task work, so occupancy stays honest.
@@ -167,6 +215,8 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
       span.process = p;
       span.worker = w;
       span.start = clock.seconds();
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_begin, span.start,
+                         static_cast<std::int64_t>(t));
       try {
         TAMP_TRACE_SCOPE("runtime/task");
         body(t);
@@ -181,14 +231,23 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
         return;
       }
       span.end = clock.seconds();
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_end, span.end,
+                         static_cast<std::int64_t>(t));
 #if defined(TAMP_TRACING_ENABLED)
       task_seconds_hist.record(span.end - span.start);
 #endif
 
       for (const index_t s : graph.successors(t)) {
         if (pending[static_cast<std::size_t>(s)].fetch_sub(
-                1, std::memory_order_acq_rel) == 1)
+                1, std::memory_order_acq_rel) == 1) {
+          // The release timestamp is when the last predecessor's worker
+          // made `s` runnable — the measured analogue of the simulator's
+          // dependency-arrival instant.
+          TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::dep_release,
+                             clock.seconds(), static_cast<std::int64_t>(s),
+                             static_cast<std::int64_t>(t));
           push_ready(s);
+        }
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         for (auto& pq : queues) pq.cv.notify_all();
@@ -208,6 +267,7 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
   if (failed.load()) std::rethrow_exception(first_error);
   TAMP_ENSURE(remaining.load() == 0, "runtime finished with pending tasks");
   report.wall_seconds = clock.seconds();
+  report.flight = recorder;  // joined threads published every ring
   TAMP_METRIC_COUNT("runtime.tasks.executed", n);
   TAMP_METRIC_GAUGE_ADD("runtime.worker.busy_seconds",
                         report.total_busy_seconds());
@@ -230,6 +290,55 @@ TaskBody make_synthetic_body(const taskgraph::TaskGraph& graph,
       for (int i = 0; i < 64; ++i) sink = sink + 1e-9;
     }
   };
+}
+
+void publish_execution_metrics(const taskgraph::TaskGraph& graph,
+                               const ExecutionReport& report) {
+  TAMP_EXPECTS(
+      report.spans.size() == static_cast<std::size_t>(graph.num_tasks()),
+      "execution report does not match the task graph");
+  obs::gauge("runtime.wall_seconds").set(report.wall_seconds);
+  obs::gauge("runtime.occupancy")
+      .set(report.has_capacity() ? report.occupancy() : 0.0);
+  obs::gauge("runtime.worker.busy_seconds").set(report.total_busy_seconds());
+
+  obs::Histogram& all = obs::histogram("runtime.task_seconds");
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const ExecutionReport::Span& s = report.spans[static_cast<std::size_t>(t)];
+    const double d = s.end - s.start;
+    all.record(d);
+    // Per-(process × subiteration) latency distribution: the measured
+    // counterpart of the doctor's blame grid, addressable by tamp-report
+    // as histograms.runtime.task_seconds.p<P>.s<S>.p99 and friends.
+    obs::histogram("runtime.task_seconds.p" + std::to_string(s.process) +
+                   ".s" + std::to_string(graph.task(t).subiteration))
+        .record(d);
+  }
+
+  if (!report.flight) return;
+  const obs::FlightSummary fs = obs::summarize(*report.flight);
+  obs::counter("runtime.flight.events")
+      .add(static_cast<std::int64_t>(fs.events));
+  obs::counter("runtime.flight.dropped")
+      .add(static_cast<std::int64_t>(fs.dropped));
+  obs::gauge("runtime.flight.idle_seconds").set(fs.idle_seconds);
+  obs::Histogram& depth = obs::histogram("runtime.queue.depth");
+  obs::Histogram& latency = obs::histogram("runtime.dequeue_latency_seconds");
+  for (int w = 0; w < report.flight->num_workers(); ++w) {
+    double dequeue_t = -1;
+    std::int64_t dequeue_task = -1;
+    for (const obs::FlightEvent& ev : report.flight->ring(w).events()) {
+      if (ev.kind == obs::FlightEventKind::task_dequeue) {
+        depth.record(static_cast<double>(ev.b));
+        dequeue_t = ev.t_seconds;
+        dequeue_task = ev.a;
+      } else if (ev.kind == obs::FlightEventKind::task_begin &&
+                 ev.a == dequeue_task && dequeue_t >= 0) {
+        latency.record(ev.t_seconds - dequeue_t);
+        dequeue_task = -1;
+      }
+    }
+  }
 }
 
 }  // namespace tamp::runtime

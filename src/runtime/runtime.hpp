@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "support/gantt.hpp"
 #include "taskgraph/taskgraph.hpp"
 
@@ -37,10 +39,22 @@ struct AdversarialSchedule {
   double max_delay_seconds = 0;
 };
 
+/// Flight-recorder knobs: when enabled (and the instrumentation is
+/// compiled in — TAMP_ENABLE_TRACING), every worker records dequeues,
+/// task begin/end, dependency releases and idle intervals into its own
+/// bounded ring (obs/flight.hpp). Memory is fixed at
+/// workers · ring_capacity · sizeof(FlightEvent); overflow overwrites the
+/// oldest events and counts them as dropped.
+struct FlightConfig {
+  bool enabled = false;
+  std::size_t ring_capacity = obs::FlightRecorder::kDefaultRingCapacity;
+};
+
 struct RuntimeConfig {
   part_t num_processes = 1;
   int workers_per_process = 1;
   AdversarialSchedule adversarial;
+  FlightConfig flight;
 };
 
 /// Wall-clock record of one executed graph.
@@ -56,12 +70,22 @@ struct ExecutionReport {
   std::vector<Span> spans;
   part_t num_processes = 0;
   int workers_per_process = 0;
+  /// Flight events of this execution (ring w belongs to worker
+  /// process·workers_per_process + w); null when recording was off or
+  /// compiled out.
+  std::shared_ptr<const obs::FlightRecorder> flight;
 
   [[nodiscard]] double total_busy_seconds() const;
-  /// Fraction of worker-time spent in task bodies.
+  /// Whether the report describes any worker-time at all (a positive
+  /// wall clock on at least one worker).
+  [[nodiscard]] bool has_capacity() const;
+  /// Fraction of worker-time spent in task bodies. A report without
+  /// capacity has no meaningful occupancy and returns NaN — "no capacity"
+  /// must stay distinguishable from "all workers idle" (0.0).
   [[nodiscard]] double occupancy() const;
   /// Gantt trace (rows = workers grouped by process, colours =
-  /// subiteration), comparable to SimResult::gantt().
+  /// subiteration), comparable to SimResult::gantt(). Throws
+  /// precondition_error when the report's spans do not match the graph.
   [[nodiscard]] GanttTrace gantt(const taskgraph::TaskGraph& graph,
                                  const std::string& title) const;
 };
@@ -82,5 +106,20 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
 /// that want FLUSEPA-shaped load without the solver attached.
 TaskBody make_synthetic_body(const taskgraph::TaskGraph& graph,
                              double seconds_per_unit);
+
+/// Publish measured-execution telemetry into the metrics registry:
+///   runtime.occupancy / runtime.wall_seconds / runtime.worker.busy_seconds
+///   runtime.task_seconds                       (histogram, all tasks)
+///   runtime.task_seconds.p<P>.s<S>             (per process × subiteration)
+/// and, when the report carries flight events,
+///   runtime.flight.events / .dropped           (counters)
+///   runtime.flight.idle_seconds                (gauge)
+///   runtime.queue.depth                        (histogram of ready-queue
+///                                               depth at each dequeue)
+///   runtime.dequeue_latency_seconds            (histogram, dequeue→begin)
+/// Explicitly invoked (flusim --execute, benches) — not part of execute()
+/// so hot runs pay nothing.
+void publish_execution_metrics(const taskgraph::TaskGraph& graph,
+                               const ExecutionReport& report);
 
 }  // namespace tamp::runtime

@@ -359,20 +359,24 @@ void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
   const CriticalPathReport& cp = report.critical;
   const IdleBlameReport& blame = report.blame;
   const simtime_t ms = report.makespan;
+  // Simulated makespans are cost units in the thousands; measured runs
+  // are wall-clock seconds well under that. Pick the time-column
+  // precision so both read naturally.
+  const int td = ms >= 1000.0 ? 0 : 4;
 
   os << "== schedule doctor ==\n"
-     << "makespan: " << fmt_double(ms, 0)
-     << "   static critical path: " << fmt_double(cp.static_lower_bound, 0)
+     << "makespan: " << fmt_double(ms, td)
+     << "   static critical path: " << fmt_double(cp.static_lower_bound, td)
      << "   realized/static: "
      << fmt_double(cp.static_lower_bound > 0 ? ms / cp.static_lower_bound : 0.0,
                    2)
      << "x   occupancy: " << fmt_percent(report.occupancy) << '\n'
      << "realized critical path: " << cp.steps.size() << " tasks, "
-     << fmt_double(cp.task_time, 0) << " on-chain work ("
+     << fmt_double(cp.task_time, td) << " on-chain work ("
      << fmt_percent(ms > 0 ? cp.task_time / ms : 0.0)
      << " of makespan), gates: dependency "
-     << fmt_double(cp.gated_by_dependency, 0) << " / worker "
-     << fmt_double(cp.gated_by_worker, 0) << ", cross-process handoffs: "
+     << fmt_double(cp.gated_by_dependency, td) << " / worker "
+     << fmt_double(cp.gated_by_worker, td) << ", cross-process handoffs: "
      << cp.cross_process_handoffs << '\n';
 
   TablePrinter by_sub("critical-path time by subiteration");
@@ -392,12 +396,13 @@ void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
                .active())
         ++silent;
     by_sub.row({std::to_string(s),
-                fmt_double(cp.by_subiteration[static_cast<std::size_t>(s)], 0),
+                fmt_double(cp.by_subiteration[static_cast<std::size_t>(s)], td),
                 fmt_percent(ms > 0 ? cp.by_subiteration
                                              [static_cast<std::size_t>(s)] /
                                          ms
                                    : 0.0),
-                "[" + fmt_double(wbegin, 0) + ", " + fmt_double(wend, 0) + ")",
+                "[" + fmt_double(wbegin, td) + ", " + fmt_double(wend, td) +
+                    ")",
                 std::to_string(silent) + "/" +
                     std::to_string(blame.num_processes)});
   }
@@ -406,7 +411,7 @@ void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
   TablePrinter by_level("critical-path time by temporal level (phase)");
   by_level.header({"level", "chain time", "% makespan"});
   for (std::size_t l = 0; l < cp.by_level.size(); ++l)
-    by_level.row({"t=" + std::to_string(l), fmt_double(cp.by_level[l], 0),
+    by_level.row({"t=" + std::to_string(l), fmt_double(cp.by_level[l], td),
                   fmt_percent(ms > 0 ? cp.by_level[l] / ms : 0.0)});
   by_level.print(os);
 
@@ -553,27 +558,29 @@ void write_doctor_heatmap_svg(const DoctorReport& report,
 }
 
 void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
-                            const DoctorReport& report) {
-  obs::gauge("doctor.makespan").set(report.makespan);
-  obs::gauge("doctor.occupancy").set(report.occupancy);
-  obs::gauge("doctor.critical_path.static_lower_bound")
+                            const DoctorReport& report,
+                            const std::string& prefix) {
+  obs::gauge(prefix + "makespan").set(report.makespan);
+  obs::gauge(prefix + "occupancy").set(report.occupancy);
+  obs::gauge(prefix + "critical_path.static_lower_bound")
       .set(report.critical.static_lower_bound);
-  obs::gauge("doctor.critical_path.task_time").set(report.critical.task_time);
-  obs::gauge("doctor.critical_path.steps")
+  obs::gauge(prefix + "critical_path.task_time")
+      .set(report.critical.task_time);
+  obs::gauge(prefix + "critical_path.steps")
       .set(static_cast<double>(report.critical.steps.size()));
-  obs::gauge("doctor.critical_path.cross_process_handoffs")
+  obs::gauge(prefix + "critical_path.cross_process_handoffs")
       .set(static_cast<double>(report.critical.cross_process_handoffs));
-  obs::gauge("doctor.blame.dependency_wait_share")
+  obs::gauge(prefix + "blame.dependency_wait_share")
       .set(report.blame.overall_share(IdleCause::dependency_wait));
-  obs::gauge("doctor.blame.starvation_share")
+  obs::gauge(prefix + "blame.starvation_share")
       .set(report.blame.overall_share(IdleCause::starvation));
-  obs::gauge("doctor.blame.tail_imbalance_share")
+  obs::gauge(prefix + "blame.tail_imbalance_share")
       .set(report.blame.overall_share(IdleCause::tail_imbalance));
   obs::Histogram& per_proc =
-      obs::histogram("doctor.blame.process_starvation_share");
+      obs::histogram(prefix + "blame.process_starvation_share");
   for (part_t p = 0; p < report.blame.num_processes; ++p)
     per_proc.record(report.blame.share(p, IdleCause::starvation));
-  obs::Histogram& lengths = obs::histogram("doctor.task_length");
+  obs::Histogram& lengths = obs::histogram(prefix + "task_length");
   for (index_t t = 0; t < graph.num_tasks(); ++t)
     lengths.record(graph.task(t).cost);
 }

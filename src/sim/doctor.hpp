@@ -140,9 +140,12 @@ void print_doctor_report(std::ostream& os, const taskgraph::TaskGraph& graph,
 void write_doctor_heatmap_svg(const DoctorReport& report,
                               const std::string& path);
 
-/// Publish headline numbers as tamp-metrics-v1 gauges/histograms
-/// ("doctor.*"), ready for obs::metrics_to_json and tamp-report gating.
+/// Publish headline numbers as tamp-metrics-v1 gauges/histograms under
+/// `prefix` ("doctor.*" by default; flusim --execute uses
+/// "doctor.measured." so simulated and measured diagnoses coexist in one
+/// snapshot), ready for obs::metrics_to_json and tamp-report gating.
 void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
-                            const DoctorReport& report);
+                            const DoctorReport& report,
+                            const std::string& prefix = "doctor.");
 
 }  // namespace tamp::sim

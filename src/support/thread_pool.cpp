@@ -9,7 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace tamp {
 
@@ -51,6 +54,15 @@ struct ThreadPool::Impl {
   struct Slot {
     std::mutex mutex;
     std::deque<TaskHandle> queue;
+#if defined(TAMP_TRACING_ENABLED)
+    // Scheduling telemetry. Each counter is written only by the thread
+    // occupying this slot (relaxed increments on an owned line); stats()
+    // reads them from outside.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> local_pops{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> steal_successes{0};
+#endif
   };
   std::vector<std::unique_ptr<Slot>> slots;  ///< 0 = client, 1.. = workers
   std::vector<std::thread> workers;
@@ -58,6 +70,30 @@ struct ThreadPool::Impl {
   std::condition_variable sleep_cv;
   std::atomic<std::int64_t> pending{0};  ///< queued, not-yet-popped tasks
   std::atomic<bool> stop{false};
+#if defined(TAMP_TRACING_ENABLED)
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> max_queue_depth{0};
+  // Workers read the recorder through `flight` on every dequeue while
+  // the client may attach one at any time (they scan even before the
+  // first submit), so the hot-path pointer is an acquire/release atomic.
+  // `flight_owners` keeps every recorder ever attached alive until the
+  // pool is destroyed, so a stale pointer loaded concurrently with a
+  // replacement can never dangle.
+  std::atomic<obs::FlightRecorder*> flight{nullptr};
+  std::vector<std::shared_ptr<obs::FlightRecorder>> flight_owners;
+  Stopwatch clock;  ///< flight-event timestamps, seconds since creation
+
+  obs::FlightRing* ring(int slot) const {
+    obs::FlightRecorder* rec = flight.load(std::memory_order_acquire);
+    return rec != nullptr ? &rec->ring(slot) : nullptr;
+  }
+  void note_queue_depth(std::uint64_t depth) {
+    std::uint64_t cur = max_queue_depth.load(std::memory_order_relaxed);
+    while (depth > cur && !max_queue_depth.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+#endif
 
   TaskHandle pop(int slot, bool lifo) {
     Slot& s = *slots[static_cast<std::size_t>(slot)];
@@ -106,7 +142,13 @@ ThreadPool::TaskHandle ThreadPool::submit(std::function<void()> fn) {
     Impl::Slot& s = *impl_->slots[static_cast<std::size_t>(slot)];
     const std::lock_guard<std::mutex> lock(s.mutex);
     s.queue.push_back(task);
+#if defined(TAMP_TRACING_ENABLED)
+    impl_->note_queue_depth(static_cast<std::uint64_t>(s.queue.size()));
+#endif
   }
+#if defined(TAMP_TRACING_ENABLED)
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+#endif
   impl_->pending.fetch_add(1, std::memory_order_relaxed);
   impl_->sleep_cv.notify_one();
   return task;
@@ -116,11 +158,87 @@ bool ThreadPool::run_one(int slot) {
   // Own deque first (LIFO: depth-first on locally forked subtrees, hot
   // in cache), then steal oldest-first from the other slots.
   TaskHandle task = impl_->pop(slot, /*lifo=*/true);
-  for (int i = 1; task == nullptr && i <= num_threads_; ++i)
-    task = impl_->pop((slot + i) % num_threads_, /*lifo=*/false);
+#if defined(TAMP_TRACING_ENABLED)
+  Impl::Slot& me = *impl_->slots[static_cast<std::size_t>(slot)];
+  obs::FlightRing* ring = impl_->ring(slot);
+  if (task != nullptr) me.local_pops.fetch_add(1, std::memory_order_relaxed);
+#endif
+  for (int i = 1; task == nullptr && i <= num_threads_; ++i) {
+    const int victim = (slot + i) % num_threads_;
+#if defined(TAMP_TRACING_ENABLED)
+    if (victim != slot) {
+      me.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::steal_attempt,
+                         impl_->clock.seconds(), victim);
+    }
+#endif
+    task = impl_->pop(victim, /*lifo=*/false);
+#if defined(TAMP_TRACING_ENABLED)
+    if (task != nullptr && victim != slot) {
+      me.steal_successes.fetch_add(1, std::memory_order_relaxed);
+      TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::steal_success,
+                         impl_->clock.seconds(), victim);
+    }
+#endif
+  }
   if (task == nullptr) return false;
+#if defined(TAMP_TRACING_ENABLED)
+  TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_begin,
+                     impl_->clock.seconds());
+#endif
   execute(task);
+#if defined(TAMP_TRACING_ENABLED)
+  me.executed.fetch_add(1, std::memory_order_relaxed);
+  TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_end,
+                     impl_->clock.seconds());
+#endif
   return true;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+#if defined(TAMP_TRACING_ENABLED)
+  out.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  out.max_queue_depth = impl_->max_queue_depth.load(std::memory_order_relaxed);
+  for (const auto& slot : impl_->slots) {
+    out.executed += slot->executed.load(std::memory_order_relaxed);
+    out.local_pops += slot->local_pops.load(std::memory_order_relaxed);
+    out.steal_attempts += slot->steal_attempts.load(std::memory_order_relaxed);
+    out.steal_successes +=
+        slot->steal_successes.load(std::memory_order_relaxed);
+  }
+#endif
+  return out;
+}
+
+void ThreadPool::publish_metrics(const std::string& prefix) const {
+  const Stats s = stats();
+  auto set_counter = [&](const char* name, std::uint64_t v) {
+    obs::Counter& c = obs::counter(prefix + name);
+    c.reset();
+    c.add(static_cast<std::int64_t>(v));
+  };
+  set_counter("submitted", s.submitted);
+  set_counter("executed", s.executed);
+  set_counter("local_pops", s.local_pops);
+  set_counter("steal.attempts", s.steal_attempts);
+  set_counter("steal.successes", s.steal_successes);
+  obs::gauge(prefix + "steal.success_rate").set(s.steal_success_rate());
+  obs::gauge(prefix + "queue.max_depth")
+      .set(static_cast<double>(s.max_queue_depth));
+}
+
+void ThreadPool::set_flight_recorder(
+    std::shared_ptr<obs::FlightRecorder> recorder) {
+#if defined(TAMP_TRACING_ENABLED)
+  TAMP_EXPECTS(recorder == nullptr || recorder->num_workers() >= num_threads_,
+               "flight recorder needs one ring per pool slot");
+  obs::FlightRecorder* raw = recorder.get();
+  if (recorder != nullptr) impl_->flight_owners.push_back(std::move(recorder));
+  impl_->flight.store(raw, std::memory_order_release);
+#else
+  static_cast<void>(recorder);
+#endif
 }
 
 void ThreadPool::worker_main(int slot) {

@@ -33,8 +33,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 namespace tamp {
+
+namespace obs {
+class FlightRecorder;
+}
 
 class ThreadPool {
 public:
@@ -74,6 +79,43 @@ public:
   /// path). Re-sizing tears down and respawns the pool; callers must not
   /// have work in flight when asking for a different size.
   static ThreadPool* shared(int num_threads);
+
+  /// Lifetime telemetry of the pool's scheduling behaviour. Counters are
+  /// maintained with per-slot relaxed atomics (each worker touches only
+  /// its own cache line) when instrumentation is compiled in; with
+  /// TAMP_ENABLE_TRACING=OFF every field reads 0.
+  struct Stats {
+    std::uint64_t submitted = 0;        ///< tasks pushed via submit()
+    std::uint64_t executed = 0;         ///< tasks run to completion
+    std::uint64_t local_pops = 0;       ///< LIFO pops from the own deque
+    std::uint64_t steal_attempts = 0;   ///< foreign-deque probes
+    std::uint64_t steal_successes = 0;  ///< probes that yielded a task
+    std::uint64_t max_queue_depth = 0;  ///< deepest single deque observed
+
+    /// Fraction of steal probes that found work (0 when none attempted).
+    [[nodiscard]] double steal_success_rate() const {
+      return steal_attempts > 0
+                 ? static_cast<double>(steal_successes) /
+                       static_cast<double>(steal_attempts)
+                 : 0.0;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Publish stats() into the global metrics registry under `prefix`
+  /// (counters pool.submitted/executed/local_pops/steal.attempts/
+  /// steal.successes are *set* to the lifetime totals; gauges
+  /// pool.steal.success_rate and pool.queue.max_depth).
+  void publish_metrics(const std::string& prefix = "pool.") const;
+
+  /// Attach a flight recorder with one ring per pool slot (slot 0 = the
+  /// client thread); pass nullptr to detach. Workers then record
+  /// task_begin/task_end, steal_attempt/steal_success events. Safe to
+  /// call while workers are scanning (every recorder ever attached stays
+  /// alive until the pool is destroyed), but the rings must only be
+  /// *read* once the pool is quiescent. No-op when instrumentation is
+  /// compiled out.
+  void set_flight_recorder(std::shared_ptr<obs::FlightRecorder> recorder);
 
 private:
   struct Impl;

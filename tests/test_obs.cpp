@@ -688,6 +688,27 @@ TEST(Report, VerdictJsonRoundTrips) {
                runtime_failure);
 }
 
+TEST(Report, AnnotationsCoverTheMetricFamilies) {
+  EXPECT_EQ(annotate_metric("gauges.doctor.makespan").direction, -1);
+  EXPECT_EQ(annotate_metric("gauges.doctor.occupancy").direction, +1);
+  EXPECT_EQ(annotate_metric("gauges.doctor.occupancy").unit, "share");
+  EXPECT_EQ(annotate_metric("gauges.doctor.blame.starvation_share").direction,
+            -1);
+  EXPECT_EQ(annotate_metric("gauges.divergence.makespan.abs_rel_gap").direction,
+            -1);
+  EXPECT_EQ(annotate_metric("gauges.pool.steal.success_rate").direction, +1);
+  EXPECT_EQ(annotate_metric("counters.runtime.flight.dropped").direction, -1);
+  EXPECT_EQ(annotate_metric("histograms.runtime.task_seconds.p99").unit, "s");
+  EXPECT_EQ(annotate_metric("gauges.solver.flux_gcells_per_s").direction, +1);
+  EXPECT_EQ(annotate_metric("gauges.obs.flight.ns_per_event.attached").unit,
+            "ns");
+  // Unknown names stay unannotated instead of guessing.
+  const MetricAnnotation none = annotate_metric("gauges.mystery.metric");
+  EXPECT_EQ(none.unit, "");
+  EXPECT_EQ(none.direction, 0);
+  EXPECT_STREQ(none.direction_label(), "");
+}
+
 TEST(Report, FlattenIsDeterministicAndComplete) {
   const MetricsFile f = doctor_metrics(1000, 0.95, 0.02, 50);
   const auto flat = flatten_metrics(f);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
@@ -234,11 +235,32 @@ TEST(Runtime, SingleTaskGraphCompletes) {
   EXPECT_EQ(count.load(), 1);
 }
 
-TEST(Runtime, OccupancyIsZeroOnZeroWallClock) {
-  // A default report has no capacity; occupancy must not divide by zero.
+TEST(Runtime, OccupancyIsNaNWithoutCapacity) {
+  // A default report has no capacity: occupancy must not divide by zero,
+  // and must stay distinguishable from a real all-idle run (0.0).
   const ExecutionReport rep;
-  EXPECT_EQ(rep.occupancy(), 0.0);
+  EXPECT_FALSE(rep.has_capacity());
+  EXPECT_TRUE(std::isnan(rep.occupancy()));
   EXPECT_EQ(rep.total_busy_seconds(), 0.0);
+}
+
+TEST(Runtime, OccupancyIsZeroWhenAllIdle) {
+  ExecutionReport rep;
+  rep.wall_seconds = 1.0;
+  rep.num_processes = 1;
+  rep.workers_per_process = 2;
+  EXPECT_TRUE(rep.has_capacity());
+  EXPECT_EQ(rep.occupancy(), 0.0);
+}
+
+TEST(Runtime, GanttRejectsMismatchedReport) {
+  const TaskGraph g = make_graph({0, 0}, {{}, {0}});
+  ExecutionReport rep;
+  rep.wall_seconds = 1.0;
+  rep.num_processes = 1;
+  rep.workers_per_process = 1;
+  rep.spans.resize(1);  // graph has 2 tasks
+  EXPECT_THROW(rep.gantt(g, "mismatch"), precondition_error);
 }
 
 }  // namespace

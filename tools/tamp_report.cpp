@@ -103,12 +103,18 @@ int main(int argc, char** argv) {
     // --- diff table ---------------------------------------------------------
     if (!cli.get_flag("quiet")) {
       TablePrinter diff("metrics diff (baseline → candidate)");
-      diff.header({"metric", "baseline", "candidate", "change"});
+      diff.header({"metric", "unit", "baseline", "candidate", "change",
+                   "direction"});
       std::size_t hidden = 0;
+      const auto annotate = [](const std::string& name) {
+        return obs::annotate_metric(name);
+      };
       for (const auto& [name, base] : obs::flatten_metrics(baseline)) {
+        const obs::MetricAnnotation ann = annotate(name);
         double cand = 0;
         if (!obs::lookup_metric(candidate, name, cand)) {
-          diff.row({name, fmt_double(base, 4), "(absent)", ""});
+          diff.row({name, ann.unit, fmt_double(base, 4), "(absent)", "",
+                    ann.direction_label()});
           continue;
         }
         if (std::abs(base) < 1e-12) {
@@ -116,8 +122,9 @@ int main(int argc, char** argv) {
             ++hidden;
             continue;
           }
-          diff.row({name, fmt_double(base, 4), fmt_double(cand, 4),
-                    std::abs(cand) < 1e-12 ? "" : "(from zero)"});
+          diff.row({name, ann.unit, fmt_double(base, 4), fmt_double(cand, 4),
+                    std::abs(cand) < 1e-12 ? "" : "(from zero)",
+                    ann.direction_label()});
           continue;
         }
         const double rel = (cand - base) / std::abs(base);
@@ -125,13 +132,15 @@ int main(int argc, char** argv) {
           ++hidden;
           continue;
         }
-        diff.row({name, fmt_double(base, 4), fmt_double(cand, 4),
-                  fmt_change(rel, false)});
+        diff.row({name, ann.unit, fmt_double(base, 4), fmt_double(cand, 4),
+                  fmt_change(rel, false), ann.direction_label()});
       }
       for (const auto& [name, cand] : obs::flatten_metrics(candidate)) {
+        const obs::MetricAnnotation ann = annotate(name);
         double base = 0;
         if (!obs::lookup_metric(baseline, name, base))
-          diff.row({name, "(absent)", fmt_double(cand, 4), ""});
+          diff.row({name, ann.unit, "(absent)", fmt_double(cand, 4), "",
+                    ann.direction_label()});
       }
       diff.print(std::cout);
       if (hidden > 0)

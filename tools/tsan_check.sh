@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrency-sensitive pieces: the
 # lock-free trace buffers / metrics registry (test_obs), the simulator's
-# worker pool (test_runtime), the partitioner's work-stealing pool
+# worker pool (test_runtime), the flight recorder's per-worker rings
+# (test_flight), the partitioner's work-stealing pool
 # (test_thread_pool), the race verifier's instrumented solver runs under
 # adversarial schedules (test_verify, test_verify_solver, flusim
 # --verify-races), and the parallel decomposition itself — the partition
@@ -22,7 +23,7 @@ cmake -S "${ROOT}" -B "${BUILD}" \
   -DTAMP_ENABLE_TRACING=ON \
   "$@"
 cmake --build "${BUILD}" -j "$(nproc)" --target \
-  test_obs test_runtime test_thread_pool test_partition \
+  test_obs test_runtime test_flight test_thread_pool test_partition \
   test_partition_properties test_reorder test_verify test_verify_solver \
   flusim tamp_report
 
@@ -31,6 +32,7 @@ cmake --build "${BUILD}" -j "$(nproc)" --target \
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/tests/test_obs"
 "${BUILD}/tests/test_runtime"
+"${BUILD}/tests/test_flight"
 "${BUILD}/tests/test_thread_pool"
 "${BUILD}/tests/test_reorder"
 "${BUILD}/tests/test_verify"
@@ -45,6 +47,13 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   --verify-races --verify-schedules 2 --verify-delay-us 20
 "${BUILD}/examples/flusim" --mesh nozzle --cells 4000 --reorder locality \
   --verify-races --verify-schedules 2 --verify-delay-us 20
+
+# A recorded threaded execution: every worker pushes flight events into
+# its ring while the emulated processes run concurrently, then the
+# measured-run doctor and divergence report read the merged stream —
+# TSan checks the record-then-read handoff end to end.
+"${BUILD}/examples/flusim" --mesh cube --cells 4000 --domains 8 \
+  --processes 2 --workers 2 --execute --doctor
 
 # Force the pool under every partition test, then through the full
 # flusim → tamp-report smoke; bit-identical output keeps those passing.
