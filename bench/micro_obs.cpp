@@ -22,10 +22,16 @@
 //  * BM_RuntimeFlightOverhead/0 vs /1: a full runtime::execute of a real
 //    task graph with recording off vs on (the <2% end-to-end claim).
 //
+// The perf-counter section measures the cost the runtime pays per task
+// for counter attribution: BM_PerfGroupRead (one grouped perf_event
+// read at the strongest tier the environment grants, or one
+// clock_gettime at the clock-only fallback) and
+// BM_PerfGroupReadUnavailable (the disabled path).
+//
 // After the benchmarks run, main() re-measures the headline numbers
-// directly and dumps them as obs.flight.* gauges (tamp-metrics-v1) under
-// TAMP_BENCH_METRICS_DIR — the committed Release snapshot lives at
-// bench/snapshots/micro_obs.json.
+// directly and dumps them as obs.flight.* / obs.perf.* gauges
+// (tamp-metrics-v1) under TAMP_BENCH_METRICS_DIR — the committed
+// Release snapshot lives at bench/snapshots/micro_obs.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -35,6 +41,7 @@
 #include "core/pipeline.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
 #include "support/stopwatch.hpp"
@@ -158,6 +165,30 @@ void BM_FlightRecordDetached(benchmark::State& state) {
 }
 BENCHMARK(BM_FlightRecordDetached);
 
+void BM_PerfGroupRead(benchmark::State& state) {
+  // Strongest tier this environment grants: hardware where perf_event
+  // works (a grouped syscall read), clock_only elsewhere (one
+  // clock_gettime). The tier is printed in the counters so runs on
+  // different machines stay comparable.
+  obs::PerfGroup group;
+  obs::PerfSample s;
+  for (auto _ : state) {
+    group.read(s);
+    benchmark::DoNotOptimize(s.thread_cpu_ns);
+  }
+  state.counters["tier"] = static_cast<double>(group.tier());
+}
+BENCHMARK(BM_PerfGroupRead);
+
+void BM_PerfGroupReadUnavailable(benchmark::State& state) {
+  // The forced-off path the runtime pays per task when perf recording is
+  // disabled at runtime: a single tier test.
+  obs::PerfGroup group(obs::PerfTier::unavailable);
+  obs::PerfSample s;
+  for (auto _ : state) benchmark::DoNotOptimize(group.read(s));
+}
+BENCHMARK(BM_PerfGroupReadUnavailable);
+
 /// Shared task graph for the end-to-end overhead measurement: the
 /// pipeline's real graph with fast synthetic bodies, so the measured
 /// overhead covers every instrumentation site the production runtime has.
@@ -248,6 +279,39 @@ void publish_flight_gauges() {
       .set(off > 0 ? on / off - 1.0 : 0.0);
 }
 
+/// Perf-counter read cost as obs.perf.* gauges. "attached" is the
+/// strongest tier the environment grants (hardware: one grouped syscall
+/// read; clock_only: one clock_gettime) — obs.perf.tier says which was
+/// measured, so snapshots from perf-less CI runners are not mistaken for
+/// syscall costs. "fallback" is the forced-unavailable path the runtime
+/// pays per task when recording is disabled.
+void publish_perf_gauges() {
+  obs::gauge("obs.perf.tier")
+      .set(static_cast<double>(obs::PerfGroup::probe()));
+  constexpr int kReads = 1 << 16;
+  {
+    obs::PerfGroup group;
+    obs::gauge("obs.perf.counters_valid").set(group.num_valid());
+    obs::PerfSample s;
+    Stopwatch sw;
+    for (int i = 0; i < kReads; ++i) {
+      group.read(s);
+      benchmark::DoNotOptimize(s.thread_cpu_ns);
+    }
+    obs::gauge("obs.perf.ns_per_read.attached")
+        .set(sw.seconds() * 1e9 / kReads);
+  }
+  {
+    obs::PerfGroup group(obs::PerfTier::unavailable);
+    obs::PerfSample s;
+    Stopwatch sw;
+    for (int i = 0; i < kReads; ++i) benchmark::DoNotOptimize(group.read(s));
+    benchmark::DoNotOptimize(s.thread_cpu_ns);
+    obs::gauge("obs.perf.ns_per_read.fallback")
+        .set(sw.seconds() * 1e9 / kReads);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +320,7 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   publish_flight_gauges();
+  publish_perf_gauges();
   tamp::bench::dump_bench_metrics("micro_obs");
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "partition/io.hpp"
 #include "partition/reorder.hpp"
 #include "partition/strategy.hpp"
+#include "runtime/perf_report.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/analysis.hpp"
 #include "sim/doctor.hpp"
@@ -31,7 +32,9 @@
 #include "sim/messages.hpp"
 #include "sim/simulate.hpp"
 #include "sim/trace_json.hpp"
+#include "sim/whatif.hpp"
 #include "solver/euler.hpp"
+#include "solver/layout.hpp"
 #include "support/cli.hpp"
 #include "support/gantt.hpp"
 #include "support/table.hpp"
@@ -85,7 +88,17 @@ int main(int argc, char** argv) {
              "wall microseconds per cost unit for --execute task bodies");
   cli.option("execute-svg", "", "write the measured run's Gantt SVG here");
   cli.option("execute-chrome-trace", "",
-             "write the measured run's chrome://tracing JSON here");
+             "write the measured run's chrome://tracing JSON here (task "
+             "spans plus flight counter tracks: ready-queue depth, idle "
+             "workers, steals)");
+  cli.option("perf", "on",
+             "hardware-counter attribution for --execute: on | clock | off. "
+             "Degrades to clock-only or nothing where perf_event is denied; "
+             "the TAMP_PERF env var caps it the same way");
+  cli.flag("what-if",
+           "replay the measured schedule with Coz-style per-class virtual "
+           "speedups (k = 0.9 / 0.75 / 0.5) and rank task classes by "
+           "predicted makespan savings (whatif.* gauges; implies --execute)");
   cli.flag("per-worker", "Gantt rows per worker instead of per process");
   cli.flag("verify-races",
            "instrumented mode: run one real Euler iteration under a sweep of "
@@ -267,7 +280,7 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
 
-    const bool execute = cli.get_flag("execute");
+    const bool execute = cli.get_flag("execute") || cli.get_flag("what-if");
     const bool want_doctor = cli.get_flag("doctor") ||
                              !cli.get("doctor-csv").empty() ||
                              !cli.get("doctor-svg").empty();
@@ -294,6 +307,10 @@ int main(int argc, char** argv) {
       rcfg.workers_per_process =
           std::max(1, static_cast<int>(cli.get_int("workers")));
       rcfg.flight.enabled = true;
+      const std::string perf_mode = cli.get("perf");
+      rcfg.perf.enabled = perf_mode != "off";
+      rcfg.perf.max_tier = perf_mode == "clock" ? obs::PerfTier::clock_only
+                                                : obs::PerfTier::hardware;
       const double spin = cli.get_double("spin-us") * 1e-6;
       const runtime::ExecutionReport report = runtime::execute(
           graph, d2p, rcfg, runtime::make_synthetic_body(graph, spin));
@@ -310,6 +327,21 @@ int main(int argc, char** argv) {
         std::cout << "   flight recorder: compiled out";
       }
       std::cout << '\n';
+
+      if (rcfg.perf.enabled) {
+        const runtime::PerfProfile perf = runtime::aggregate_perf(graph, report);
+        runtime::print_perf_profile(std::cout, perf);
+        if (perf.live())
+          std::cout << "streaming-traffic model for GB/s context: "
+                    << fmt_double(
+                           solver::streaming_bytes_per_cell_update(
+                               solver::kNumVars), 0)
+                    << " B/cell-update, "
+                    << fmt_double(
+                           solver::streaming_bytes_per_face_flux(
+                               solver::kNumVars), 0)
+                    << " B/face-flux\n";
+      }
 
       if (want_doctor) {
         const sim::DoctorReport mdoc = sim::diagnose_measured(graph, report);
@@ -329,11 +361,17 @@ int main(int argc, char** argv) {
       sim::print_divergence_report(std::cout, div);
       sim::publish_divergence_metrics(div);
 
+      if (cli.get_flag("what-if")) {
+        const sim::WhatIfReport whatif = sim::what_if(graph, report);
+        sim::print_whatif_report(std::cout, whatif);
+        sim::publish_whatif_metrics(whatif);
+      }
+
       if (!cli.get("execute-svg").empty())
         write_gantt_svg(report.gantt(graph, "flusim --execute (measured)"),
                         cli.get("execute-svg"));
       if (!cli.get("execute-chrome-trace").empty())
-        sim::save_chrome_trace(sim::to_chrome_trace(graph, report),
+        sim::save_chrome_trace(sim::to_chrome_trace_merged(graph, report),
                                cli.get("execute-chrome-trace"));
     }
 

@@ -1,0 +1,190 @@
+#include "obs/perf.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define TAMP_PERF_LINUX 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace tamp::obs {
+
+const char* to_string(PerfTier t) {
+  switch (t) {
+    case PerfTier::unavailable: return "unavailable";
+    case PerfTier::clock_only: return "clock_only";
+    case PerfTier::hardware: return "hardware";
+  }
+  return "?";
+}
+
+const char* to_string(PerfCounterId id) {
+  switch (id) {
+    case PerfCounterId::cycles: return "cycles";
+    case PerfCounterId::instructions: return "instructions";
+    case PerfCounterId::llc_misses: return "llc_misses";
+    case PerfCounterId::branch_misses: return "branch_misses";
+    case PerfCounterId::stalled_cycles_backend: return "stalled_backend";
+  }
+  return "?";
+}
+
+PerfDelta perf_delta(const PerfSample& begin, const PerfSample& end) {
+  PerfDelta d;
+  const double enabled = static_cast<double>(end.time_enabled_ns) -
+                         static_cast<double>(begin.time_enabled_ns);
+  const double running = static_cast<double>(end.time_running_ns) -
+                         static_cast<double>(begin.time_running_ns);
+  // Multiplex extrapolation: if the group only ran for `running` of the
+  // `enabled` window, scale counts up by enabled/running. A window the
+  // group never ran in yields zeros (share 0), not infinities.
+  double scale = 1.0;
+  if (enabled > 0) {
+    d.running_share = running / enabled;
+    scale = running > 0 ? enabled / running : 0.0;
+  }
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    const double raw = static_cast<double>(end.count[static_cast<std::size_t>(
+                           i)]) -
+                       static_cast<double>(
+                           begin.count[static_cast<std::size_t>(i)]);
+    d.count[static_cast<std::size_t>(i)] = raw > 0 ? raw * scale : 0.0;
+  }
+  d.thread_cpu_ns = end.thread_cpu_ns - begin.thread_cpu_ns;
+  return d;
+}
+
+PerfTier requested_perf_tier() {
+  const char* env = std::getenv("TAMP_PERF");
+  if (env == nullptr) return PerfTier::hardware;
+  if (std::strcmp(env, "off") == 0) return PerfTier::unavailable;
+  if (std::strcmp(env, "clock") == 0) return PerfTier::clock_only;
+  return PerfTier::hardware;
+}
+
+namespace {
+
+double thread_cpu_now_ns() {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+#endif
+  return 0.0;
+}
+
+#if defined(TAMP_PERF_LINUX)
+
+struct CounterSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Group order must match PerfCounterId. The leader is cycles; siblings
+// that fail to open are simply absent from the group read.
+constexpr CounterSpec kCounterSpec[kNumPerfCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int open_counter(const CounterSpec& spec, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, whichever CPU it runs on.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+#endif  // TAMP_PERF_LINUX
+
+}  // namespace
+
+PerfGroup::PerfGroup(PerfTier max_tier) {
+  fd_.fill(-1);
+  value_index_.fill(-1);
+  if (max_tier == PerfTier::unavailable) return;
+  tier_ = PerfTier::clock_only;
+  if (max_tier == PerfTier::clock_only) return;
+#if defined(TAMP_PERF_LINUX)
+  group_fd_ = open_counter(kCounterSpec[0], -1);
+  if (group_fd_ < 0) {
+    group_fd_ = -1;
+    return;  // no perf access at all: stay clock_only
+  }
+  fd_[0] = group_fd_;
+  valid_[0] = true;
+  value_index_[0] = 0;
+  num_open_ = 1;
+  for (int i = 1; i < kNumPerfCounters; ++i) {
+    const int fd = open_counter(kCounterSpec[static_cast<std::size_t>(i)],
+                                group_fd_);
+    if (fd < 0) continue;  // sibling missing on this machine: keep going
+    fd_[static_cast<std::size_t>(i)] = fd;
+    valid_[static_cast<std::size_t>(i)] = true;
+    // Group reads return values in open order of the surviving members.
+    value_index_[static_cast<std::size_t>(i)] = num_open_;
+    ++num_open_;
+  }
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  tier_ = PerfTier::hardware;
+#endif
+}
+
+PerfGroup::~PerfGroup() {
+#if defined(TAMP_PERF_LINUX)
+  for (int fd : fd_)
+    if (fd >= 0) close(fd);
+#endif
+}
+
+int PerfGroup::num_valid() const {
+  int n = 0;
+  for (bool v : valid_) n += v ? 1 : 0;
+  return n;
+}
+
+bool PerfGroup::read(PerfSample& out) const {
+  if (tier_ == PerfTier::unavailable) return false;
+  out = PerfSample{};
+  out.thread_cpu_ns = thread_cpu_now_ns();
+  if (tier_ == PerfTier::clock_only) return true;
+#if defined(TAMP_PERF_LINUX)
+  // read_format layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kNumPerfCounters] = {};
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + static_cast<std::size_t>(num_open_)) * sizeof(std::uint64_t));
+  if (::read(group_fd_, buf, static_cast<std::size_t>(want)) != want)
+    return true;  // keep the clock value; counts stay zero
+  out.time_enabled_ns = buf[1];
+  out.time_running_ns = buf[2];
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    const int idx = value_index_[static_cast<std::size_t>(i)];
+    if (idx >= 0) out.count[static_cast<std::size_t>(i)] = buf[3 + idx];
+  }
+#endif
+  return true;
+}
+
+PerfTier PerfGroup::probe(PerfTier max_tier) {
+  PerfGroup g(max_tier);
+  return g.tier();
+}
+
+}  // namespace tamp::obs

@@ -257,7 +257,17 @@ MetricAnnotation annotate_metric(const std::string& name) {
   };
   MetricAnnotation a;
   // Most specific families first; the first match wins.
-  if (has("ns_per_event")) return {"ns", -1};
+  if (has(".ipc")) return {"inst/cyc", +1};
+  if (has("llc_miss_per_kobject")) return {"miss/kobj", -1};
+  if (has("llc_misses") || has("branch_misses") || has("stalled"))
+    return {"count", -1};
+  if (has("est_dram_gbps")) return {"GB/s", 0};
+  if (has("running_share")) return {"share", +1};
+  if (has("self_check_error")) return {"s", -1};
+  // What-if deltas are predicted *savings*: larger is better.
+  if (has("rel_delta")) return {"share", +1};
+  if (has("delta_seconds")) return {"s", +1};
+  if (has("ns_per_event") || has("ns_per_read")) return {"ns", -1};
   if (has("bytes")) return {"bytes", -1};
   if (has("_per_s") || has("per_second")) return {"1/s", +1};
   if (has("seconds_per_unit")) return {"s/unit", 0};

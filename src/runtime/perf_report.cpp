@@ -1,0 +1,219 @@
+#include "runtime/perf_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+#include "support/table.hpp"
+
+namespace tamp::runtime {
+
+namespace {
+constexpr double kCacheLineBytes = 64.0;
+
+double at(const std::array<double, obs::kNumPerfCounters>& a,
+          obs::PerfCounterId id) {
+  return a[static_cast<std::size_t>(id)];
+}
+
+/// Metric-key-safe class label: t0.cell.int (dots, not colons, so the
+/// key grammar matches every other metric family).
+std::string metric_label(const taskgraph::TaskClass& cls) {
+  return "t" + std::to_string(static_cast<int>(cls.level)) + "." +
+         to_string(cls.type) + "." + to_string(cls.locality);
+}
+}  // namespace
+
+double PerfProfileRow::ipc() const {
+  const double cycles = at(count, obs::PerfCounterId::cycles);
+  return cycles > 0 ? at(count, obs::PerfCounterId::instructions) / cycles
+                    : 0.0;
+}
+
+double PerfProfileRow::llc_miss_per_kobject() const {
+  return objects > 0
+             ? at(count, obs::PerfCounterId::llc_misses) / (objects / 1e3)
+             : 0.0;
+}
+
+double PerfProfileRow::stall_share() const {
+  const double cycles = at(count, obs::PerfCounterId::cycles);
+  return cycles > 0
+             ? at(count, obs::PerfCounterId::stalled_cycles_backend) / cycles
+             : 0.0;
+}
+
+double PerfProfileRow::est_dram_gbps() const {
+  return seconds > 0 ? at(count, obs::PerfCounterId::llc_misses) *
+                           kCacheLineBytes / seconds / 1e9
+                     : 0.0;
+}
+
+bool PerfProfile::live() const {
+  return tier == obs::PerfTier::hardware &&
+         counter_valid[static_cast<std::size_t>(obs::PerfCounterId::cycles)] &&
+         counter_valid[static_cast<std::size_t>(
+             obs::PerfCounterId::instructions)] &&
+         !rows.empty();
+}
+
+double PerfProfile::total(obs::PerfCounterId id) const {
+  double sum = 0;
+  for (const PerfProfileRow& r : rows) sum += at(r.count, id);
+  return sum;
+}
+
+PerfProfile aggregate_perf(const taskgraph::TaskGraph& graph,
+                           const ExecutionReport& report) {
+  TAMP_EXPECTS(
+      report.spans.size() == static_cast<std::size_t>(graph.num_tasks()),
+      "execution report does not match the task graph");
+  PerfProfile profile;
+  profile.tier = report.perf.tier;
+  profile.counter_valid = report.perf.counter_valid;
+  if (report.perf.tier == obs::PerfTier::unavailable) return profile;
+  TAMP_EXPECTS(
+      report.perf.per_task.size() == static_cast<std::size_t>(graph.num_tasks()),
+      "perf attribution does not match the task graph");
+
+  std::map<std::tuple<part_t, index_t, int>, std::size_t> index;
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const taskgraph::Task& task = graph.task(t);
+    const ExecutionReport::Span& span =
+        report.spans[static_cast<std::size_t>(t)];
+    const obs::PerfDelta& delta =
+        report.perf.per_task[static_cast<std::size_t>(t)];
+    const taskgraph::TaskClass cls = taskgraph::class_of(task);
+    const auto key =
+        std::make_tuple(span.process, task.subiteration, cls.id());
+    auto [it, inserted] = index.try_emplace(key, profile.rows.size());
+    if (inserted) {
+      PerfProfileRow row;
+      row.process = span.process;
+      row.subiteration = task.subiteration;
+      row.cls = cls;
+      profile.rows.push_back(row);
+    }
+    PerfProfileRow& row = profile.rows[it->second];
+    row.tasks += 1;
+    row.objects += static_cast<double>(task.num_objects);
+    row.seconds += span.end - span.start;
+    row.cpu_seconds += delta.thread_cpu_ns * 1e-9;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(obs::kNumPerfCounters); ++c)
+      row.count[c] += delta.count[c];
+    row.min_running_share =
+        std::min(row.min_running_share, delta.running_share);
+  }
+  // std::map iterates keys in (process, subiteration, class id) order
+  // already, but rows were appended in task order; sort to the contract.
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const PerfProfileRow& a, const PerfProfileRow& b) {
+              return std::make_tuple(a.process, a.subiteration, a.cls.id()) <
+                     std::make_tuple(b.process, b.subiteration, b.cls.id());
+            });
+  return profile;
+}
+
+void print_perf_profile(std::ostream& os, const PerfProfile& profile) {
+  os << "== counter attribution (tier: " << to_string(profile.tier) << ") ==\n";
+  if (profile.tier == obs::PerfTier::unavailable) {
+    os << "perf recording off; no attribution collected\n";
+    return;
+  }
+  if (!profile.live()) {
+    // Clock-only still answers "which class eats CPU", so print that
+    // much rather than nothing.
+    TablePrinter table("per (process x subiteration x class) CPU attribution "
+                       "(hardware counters unavailable)");
+    table.header({"proc", "sub", "class", "tasks", "objects", "wall ms",
+                  "cpu ms", "cpu/wall"});
+    for (const PerfProfileRow& r : profile.rows) {
+      table.row({std::to_string(r.process), std::to_string(r.subiteration),
+                 r.cls.label(), std::to_string(r.tasks),
+                 fmt_count(static_cast<long long>(r.objects)),
+                 fmt_double(r.seconds * 1e3, 3),
+                 fmt_double(r.cpu_seconds * 1e3, 3),
+                 r.seconds > 0 ? fmt_percent(r.cpu_seconds / r.seconds)
+                               : "-"});
+    }
+    table.print(os);
+    return;
+  }
+  TablePrinter table(
+      "per (process x subiteration x class) counter attribution");
+  table.header({"proc", "sub", "class", "tasks", "objects", "wall ms", "IPC",
+                "LLCmiss/kobj", "brmiss/kobj", "stall", "est GB/s", "mux"});
+  for (const PerfProfileRow& r : profile.rows) {
+    const double brmiss_per_kobj =
+        r.objects > 0
+            ? r.counters(obs::PerfCounterId::branch_misses) / (r.objects / 1e3)
+            : 0.0;
+    const bool have_stall = profile.counter_valid[static_cast<std::size_t>(
+        obs::PerfCounterId::stalled_cycles_backend)];
+    table.row({std::to_string(r.process), std::to_string(r.subiteration),
+               r.cls.label(), std::to_string(r.tasks),
+               fmt_count(static_cast<long long>(r.objects)),
+               fmt_double(r.seconds * 1e3, 3), fmt_double(r.ipc(), 2),
+               fmt_double(r.llc_miss_per_kobject(), 1),
+               fmt_double(brmiss_per_kobj, 1),
+               have_stall ? fmt_percent(r.stall_share()) : "-",
+               fmt_double(r.est_dram_gbps(), 2),
+               fmt_percent(r.min_running_share)});
+  }
+  table.print(os);
+}
+
+void publish_perf_metrics(const PerfProfile& profile) {
+  if (!profile.live()) return;  // no perf.* keys from degraded runs
+  double objects = 0, seconds = 0;
+  double min_share = 1.0;
+  for (const PerfProfileRow& r : profile.rows) {
+    objects += r.objects;
+    seconds += r.seconds;
+    min_share = std::min(min_share, r.min_running_share);
+  }
+  const double cycles = profile.total(obs::PerfCounterId::cycles);
+  const double instructions = profile.total(obs::PerfCounterId::instructions);
+  const double llc = profile.total(obs::PerfCounterId::llc_misses);
+  obs::gauge("perf.cycles").set(cycles);
+  obs::gauge("perf.instructions").set(instructions);
+  obs::gauge("perf.llc_misses").set(llc);
+  obs::gauge("perf.branch_misses")
+      .set(profile.total(obs::PerfCounterId::branch_misses));
+  obs::gauge("perf.stalled_backend")
+      .set(profile.total(obs::PerfCounterId::stalled_cycles_backend));
+  obs::gauge("perf.ipc").set(cycles > 0 ? instructions / cycles : 0.0);
+  obs::gauge("perf.llc_miss_per_kobject")
+      .set(objects > 0 ? llc / (objects / 1e3) : 0.0);
+  obs::gauge("perf.est_dram_gbps")
+      .set(seconds > 0 ? llc * kCacheLineBytes / seconds / 1e9 : 0.0);
+  obs::gauge("perf.running_share.min").set(min_share);
+
+  // Per-class rollup (summed over processes and subiterations): the
+  // granularity gates and the what-if engine key on.
+  std::map<int, PerfProfileRow> by_class;
+  for (const PerfProfileRow& r : profile.rows) {
+    auto [it, inserted] = by_class.try_emplace(r.cls.id(), r);
+    if (inserted) continue;
+    PerfProfileRow& acc = it->second;
+    acc.tasks += r.tasks;
+    acc.objects += r.objects;
+    acc.seconds += r.seconds;
+    acc.cpu_seconds += r.cpu_seconds;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(obs::kNumPerfCounters); ++c)
+      acc.count[c] += r.count[c];
+  }
+  obs::gauge("perf.classes").set(static_cast<double>(by_class.size()));
+  for (const auto& [id, r] : by_class) {
+    const std::string prefix = "perf.class." + metric_label(r.cls);
+    obs::gauge(prefix + ".ipc").set(r.ipc());
+    obs::gauge(prefix + ".llc_miss_per_kobject").set(r.llc_miss_per_kobject());
+    obs::gauge(prefix + ".seconds").set(r.seconds);
+  }
+}
+
+}  // namespace tamp::runtime

@@ -1,0 +1,91 @@
+// Aggregation of per-task counter deltas into per-(process ×
+// subiteration × task class) profiles — the "why is this class slow"
+// table.
+//
+// The runtime (runtime.hpp) attributes raw counter deltas to individual
+// tasks; this layer folds them onto the kernel-identity grid the rest of
+// the doctor reasons in. A row's derived quantities are the standard
+// optimization-brief numbers: IPC (are we front-end bound or actually
+// retiring?), LLC misses per thousand objects (is the sweep streaming or
+// thrashing?), backend-stall share (waiting on memory?) and an estimated
+// DRAM bandwidth (miss count × cache line / busy seconds — an order-of-
+// magnitude context figure, not a measurement).
+//
+// Publication contract: perf.* metric keys exist only when the profile
+// is live() — hardware tier with cycles + instructions on every worker.
+// A clock-only run still aggregates (per-class CPU seconds are useful on
+// their own) but publishes nothing, so downstream gates can treat the
+// presence of perf.ipc as "counters were real".
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::runtime {
+
+/// One cell of the (process × subiteration × class) grid.
+struct PerfProfileRow {
+  part_t process = 0;
+  index_t subiteration = 0;
+  taskgraph::TaskClass cls;
+
+  index_t tasks = 0;        ///< tasks aggregated into this row
+  double objects = 0;       ///< Σ Task::num_objects
+  double seconds = 0;       ///< Σ span wall durations
+  double cpu_seconds = 0;   ///< Σ thread-CPU time (clock_only tier up)
+  /// Multiplex-corrected counter sums, indexed by obs::PerfCounterId.
+  std::array<double, obs::kNumPerfCounters> count{};
+  /// Worst multiplex share of any task in the row (1 = never timesliced).
+  double min_running_share = 1.0;
+
+  [[nodiscard]] double counters(obs::PerfCounterId id) const {
+    return count[static_cast<std::size_t>(id)];
+  }
+  /// Instructions per cycle; 0 when cycles did not tick.
+  [[nodiscard]] double ipc() const;
+  /// LLC misses per thousand objects (the per-kcell / per-kface figure).
+  [[nodiscard]] double llc_miss_per_kobject() const;
+  /// Backend-stalled share of cycles.
+  [[nodiscard]] double stall_share() const;
+  /// LLC miss count × 64-byte line / busy seconds, in GB/s. An estimate
+  /// of the DRAM demand this row's tasks generated while running.
+  [[nodiscard]] double est_dram_gbps() const;
+};
+
+struct PerfProfile {
+  obs::PerfTier tier = obs::PerfTier::unavailable;
+  std::array<bool, obs::kNumPerfCounters> counter_valid{};
+  /// Rows sorted by (process, subiteration, class id); only populated
+  /// tiers ≥ clock_only produce rows.
+  std::vector<PerfProfileRow> rows;
+
+  /// Same gate as ExecutionReport::PerfAttribution::live().
+  [[nodiscard]] bool live() const;
+  /// Sum of `sel` over all rows.
+  [[nodiscard]] double total(obs::PerfCounterId id) const;
+};
+
+/// Fold the report's per-task deltas onto the class grid. Valid for any
+/// tier: unavailable yields an empty-row profile, clock_only yields rows
+/// with seconds/cpu_seconds only.
+[[nodiscard]] PerfProfile aggregate_perf(const taskgraph::TaskGraph& graph,
+                                         const ExecutionReport& report);
+
+/// Human-readable profile table (flusim --execute). Prints a one-line
+/// tier notice instead of counter columns when not live.
+void print_perf_profile(std::ostream& os, const PerfProfile& profile);
+
+/// Publish perf.* gauges — ONLY when profile.live(); a no-op otherwise
+/// so no perf key ever leaks from a degraded run. Keys:
+///   perf.ipc / perf.cycles / perf.instructions / perf.llc_misses /
+///   perf.branch_misses / perf.stalled_backend / perf.llc_miss_per_kobject /
+///   perf.est_dram_gbps / perf.running_share.min / perf.classes
+///   perf.class.<label>.{ipc,llc_miss_per_kobject,seconds}  (per class,
+///   label like t0.cell.int)
+void publish_perf_metrics(const PerfProfile& profile);
+
+}  // namespace tamp::runtime

@@ -1,5 +1,6 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -8,10 +9,12 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/perf_report.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 
@@ -121,6 +124,28 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
     recorder = std::make_shared<obs::FlightRecorder>(
         static_cast<int>(config.num_processes) * config.workers_per_process,
         config.flight.ring_capacity);
+
+  // Perf attribution: each worker owns a per-thread counter group and
+  // writes only its own tasks' slots in per_task plus its own tier/valid
+  // slot, so no synchronisation is needed beyond the join below. The
+  // TAMP_PERF env ceiling composes with the config ceiling so scripts
+  // can force the fallback path without code changes.
+  const obs::PerfTier perf_ceiling =
+      config.perf.enabled
+          ? std::min(config.perf.max_tier, obs::requested_perf_tier())
+          : obs::PerfTier::unavailable;
+  const bool perf_on = perf_ceiling != obs::PerfTier::unavailable;
+  const std::size_t num_worker_slots =
+      static_cast<std::size_t>(config.num_processes) *
+      static_cast<std::size_t>(config.workers_per_process);
+  std::vector<obs::PerfTier> worker_tier;
+  std::vector<std::array<bool, obs::kNumPerfCounters>> worker_valid;
+  if (perf_on) {
+    report.perf.per_task.assign(static_cast<std::size_t>(n),
+                                obs::PerfDelta{});
+    worker_tier.assign(num_worker_slots, obs::PerfTier::unavailable);
+    worker_valid.assign(num_worker_slots, {});
+  }
 #endif
 
   const Stopwatch clock;
@@ -155,6 +180,19 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
     if (recorder)
       ring = &recorder->ring(static_cast<int>(p) * config.workers_per_process +
                              w);
+    // The group must be opened on this thread (perf counts the calling
+    // thread); record the tier actually granted so the report can take
+    // the weakest across workers.
+    std::optional<obs::PerfGroup> perf;
+    if (perf_on) {
+      perf.emplace(perf_ceiling);
+      const std::size_t slot =
+          static_cast<std::size_t>(p) *
+              static_cast<std::size_t>(config.workers_per_process) +
+          static_cast<std::size_t>(w);
+      worker_tier[slot] = perf->tier();
+      worker_valid[slot] = perf->counter_valid();
+    }
 #endif
     static_cast<void>(ring);
     // Per-worker stream: the schedule explored depends only on
@@ -214,6 +252,13 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
       ExecutionReport::Span& span = report.spans[static_cast<std::size_t>(t)];
       span.process = p;
       span.worker = w;
+#if defined(TAMP_TRACING_ENABLED)
+      // Bracket the body as tightly as possible: the read costs one
+      // syscall (~1 µs), so attribution noise stays far below any task
+      // worth attributing.
+      obs::PerfSample perf_begin;
+      const bool perf_have = perf && perf->read(perf_begin);
+#endif
       span.start = clock.seconds();
       TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_begin, span.start,
                          static_cast<std::int64_t>(t));
@@ -234,6 +279,12 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
       TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_end, span.end,
                          static_cast<std::int64_t>(t));
 #if defined(TAMP_TRACING_ENABLED)
+      if (perf_have) {
+        obs::PerfSample perf_end;
+        if (perf->read(perf_end))
+          report.perf.per_task[static_cast<std::size_t>(t)] =
+              obs::perf_delta(perf_begin, perf_end);
+      }
       task_seconds_hist.record(span.end - span.start);
 #endif
 
@@ -268,6 +319,27 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
   TAMP_ENSURE(remaining.load() == 0, "runtime finished with pending tasks");
   report.wall_seconds = clock.seconds();
   report.flight = recorder;  // joined threads published every ring
+#if defined(TAMP_TRACING_ENABLED)
+  if (perf_on) {
+    // The run is only as attributable as its least-privileged worker:
+    // weakest tier wins, and a counter must have opened on every worker
+    // to stay valid (otherwise per-class sums would silently mix
+    // populations).
+    report.perf.tier = obs::PerfTier::hardware;
+    report.perf.counter_valid.fill(true);
+    for (std::size_t s = 0; s < num_worker_slots; ++s) {
+      report.perf.tier = std::min(report.perf.tier, worker_tier[s]);
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(obs::kNumPerfCounters); ++c)
+        report.perf.counter_valid[c] =
+            report.perf.counter_valid[c] && worker_valid[s][c];
+    }
+    if (report.perf.tier != obs::PerfTier::hardware)
+      report.perf.counter_valid.fill(false);
+    if (report.perf.tier == obs::PerfTier::unavailable)
+      report.perf.per_task.clear();
+  }
+#endif
   TAMP_METRIC_COUNT("runtime.tasks.executed", n);
   TAMP_METRIC_GAUGE_ADD("runtime.worker.busy_seconds",
                         report.total_busy_seconds());
@@ -314,6 +386,10 @@ void publish_execution_metrics(const taskgraph::TaskGraph& graph,
                    ".s" + std::to_string(graph.task(t).subiteration))
         .record(d);
   }
+
+  // publish_perf_metrics gates on live() internally, so a clock-only or
+  // perf-off run contributes no perf.* keys here.
+  publish_perf_metrics(aggregate_perf(graph, report));
 
   if (!report.flight) return;
   const obs::FlightSummary fs = obs::summarize(*report.flight);

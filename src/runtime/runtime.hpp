@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/flight.hpp"
+#include "obs/perf.hpp"
 #include "support/gantt.hpp"
 #include "taskgraph/taskgraph.hpp"
 
@@ -50,11 +51,24 @@ struct FlightConfig {
   std::size_t ring_capacity = obs::FlightRecorder::kDefaultRingCapacity;
 };
 
+/// Hardware-counter knobs: when enabled (and TAMP_ENABLE_TRACING is
+/// compiled in), every worker opens a per-thread perf_event counter
+/// group (obs/perf.hpp) and brackets each task body with grouped reads,
+/// so every task accrues cycle/instruction/miss deltas. The effective
+/// capability is min(max_tier, TAMP_PERF env ceiling, what the kernel
+/// grants) — in locked-down environments this degrades to clock-only or
+/// nothing without failing the run.
+struct PerfConfig {
+  bool enabled = false;
+  obs::PerfTier max_tier = obs::PerfTier::hardware;
+};
+
 struct RuntimeConfig {
   part_t num_processes = 1;
   int workers_per_process = 1;
   AdversarialSchedule adversarial;
   FlightConfig flight;
+  PerfConfig perf;
 };
 
 /// Wall-clock record of one executed graph.
@@ -74,6 +88,32 @@ struct ExecutionReport {
   /// process·workers_per_process + w); null when recording was off or
   /// compiled out.
   std::shared_ptr<const obs::FlightRecorder> flight;
+
+  /// Per-task counter deltas of this execution. `tier` is the weakest
+  /// capability any worker obtained (a run is only as attributable as
+  /// its least-privileged thread) and `counter_valid` the AND across
+  /// workers. Default-constructed (tier unavailable, empty per_task)
+  /// when perf recording was off or compiled out.
+  struct PerfAttribution {
+    obs::PerfTier tier = obs::PerfTier::unavailable;
+    std::array<bool, obs::kNumPerfCounters> counter_valid{};
+    /// One delta per task (same indexing as `spans`); empty at tier
+    /// unavailable.
+    std::vector<obs::PerfDelta> per_task;
+
+    /// True counter attribution: hardware tier with at least cycles and
+    /// instructions on every worker. The gate for perf.* metrics — a
+    /// clock-only run must not publish counter-shaped numbers.
+    [[nodiscard]] bool live() const {
+      return tier == obs::PerfTier::hardware &&
+             counter_valid[static_cast<std::size_t>(
+                 obs::PerfCounterId::cycles)] &&
+             counter_valid[static_cast<std::size_t>(
+                 obs::PerfCounterId::instructions)] &&
+             !per_task.empty();
+    }
+  };
+  PerfAttribution perf;
 
   [[nodiscard]] double total_busy_seconds() const;
   /// Whether the report describes any worker-time at all (a positive

@@ -96,6 +96,77 @@ void append_sim_body(std::ostringstream& body, bool& first,
   }
 }
 
+void append_counter(std::ostringstream& os, bool& first, const char* name,
+                    int pid, double ts_us, const char* key,
+                    std::int64_t value) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name":")" << name << R"(","ph":"C","pid":)" << pid
+     << R"(,"tid":0,"ts":)" << ts_us << R"(,"args":{")" << key << R"(":)"
+     << value << "}}";
+}
+
+/// Render the flight recorder's event stream as per-process counter
+/// tracks: ready-queue depth (sampled at each dequeue), concurrently
+/// idle workers (from idle_begin/idle_end pairing), and steal activity
+/// (cumulative attempts/successes plus attempts − successes in flight).
+void append_flight_counters(std::ostringstream& body, bool& first,
+                            const runtime::ExecutionReport& report) {
+  if (!report.flight || report.workers_per_process <= 0) return;
+  const auto np = static_cast<std::size_t>(report.num_processes);
+  std::vector<std::int64_t> idle(np, 0);
+  std::vector<std::int64_t> attempts(np, 0), successes(np, 0);
+  for (const obs::WorkerFlightEvent& we : report.flight->merged()) {
+    const int p = we.worker / report.workers_per_process;
+    const auto up = static_cast<std::size_t>(p);
+    if (up >= np) continue;  // defensive: ring count vs report mismatch
+    const double ts = we.event.t_seconds * 1e6;
+    switch (we.event.kind) {
+      case obs::FlightEventKind::task_dequeue:
+        append_counter(body, first, "ready_queue", p, ts, "depth",
+                       we.event.b < 0 ? 0 : we.event.b);
+        break;
+      case obs::FlightEventKind::idle_begin:
+      case obs::FlightEventKind::idle_end:
+        idle[up] += we.event.kind == obs::FlightEventKind::idle_begin ? 1 : -1;
+        if (idle[up] < 0) idle[up] = 0;  // ring overwrote the begin
+        append_counter(body, first, "idle_workers", p, ts, "idle", idle[up]);
+        break;
+      case obs::FlightEventKind::steal_attempt:
+      case obs::FlightEventKind::steal_success: {
+        if (we.event.kind == obs::FlightEventKind::steal_attempt)
+          ++attempts[up];
+        else
+          ++successes[up];
+        if (!first) body << ",\n";
+        first = false;
+        body << R"(  {"name":"steals","ph":"C","pid":)" << p
+             << R"(,"tid":0,"ts":)" << ts << R"(,"args":{"attempts":)"
+             << attempts[up] << R"(,"successes":)" << successes[up] << "}}";
+        append_counter(body, first, "steals_inflight", p, ts, "inflight",
+                       attempts[up] - successes[up]);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+/// Shared body of the plain and merged ExecutionReport exporters.
+void append_measured_body(std::ostringstream& body, bool& first,
+                          const taskgraph::TaskGraph& graph,
+                          const runtime::ExecutionReport& report) {
+  append_task_metadata(body, first, report.spans);
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    const auto& span = report.spans[static_cast<std::size_t>(t)];
+    append_event(body, first, graph.task(t).label(), span.process,
+                 span.worker, span.start * 1e6, (span.end - span.start) * 1e6,
+                 graph.task(t));
+  }
+  append_flight_counters(body, first, report);
+}
+
 }  // namespace
 
 std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
@@ -116,13 +187,19 @@ std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
                "report does not match graph");
   std::ostringstream body;
   bool first = true;
-  append_task_metadata(body, first, report.spans);
-  for (index_t t = 0; t < graph.num_tasks(); ++t) {
-    const auto& span = report.spans[static_cast<std::size_t>(t)];
-    append_event(body, first, graph.task(t).label(), span.process,
-                 span.worker, span.start * 1e6, (span.end - span.start) * 1e6,
-                 graph.task(t));
-  }
+  append_measured_body(body, first, graph, report);
+  return finish(body);
+}
+
+std::string to_chrome_trace_merged(const taskgraph::TaskGraph& graph,
+                                   const runtime::ExecutionReport& report) {
+  TAMP_EXPECTS(report.spans.size() ==
+                   static_cast<std::size_t>(graph.num_tasks()),
+               "report does not match graph");
+  std::ostringstream body;
+  bool first = true;
+  append_measured_body(body, first, graph, report);
+  append_session_events(body, first);
   return finish(body);
 }
 

@@ -31,6 +31,16 @@ std::string to_chrome_trace(const taskgraph::TaskGraph& graph,
 std::string to_chrome_trace_merged(const taskgraph::TaskGraph& graph,
                                    const SimResult& result);
 
+/// Merged measured trace: the execution's task spans plus — when the
+/// report carries flight events — per-process counter tracks
+/// (ready_queue depth at each dequeue, idle_workers from idle intervals,
+/// cumulative/in-flight steals), plus the pipeline-phase spans under
+/// obs::kPipelineTracePid. The counter tracks are what make starvation
+/// visible: a ready_queue flatline at 0 under a rising idle_workers
+/// curve is the level-imbalance signature, on real threads.
+std::string to_chrome_trace_merged(const taskgraph::TaskGraph& graph,
+                                   const runtime::ExecutionReport& report);
+
 /// Write either serialisation to a file; throws runtime_failure on I/O
 /// error.
 void save_chrome_trace(const std::string& json, const std::string& path);

@@ -1,0 +1,276 @@
+#include "sim/whatif.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace tamp::sim {
+
+namespace {
+
+/// Replay order: a topological order of the union of graph edges and
+/// per-worker chain edges. Worker chains are sorted by (start, end,
+/// graph-topological position): the third key breaks bitwise-identical
+/// timestamp ties (zero-duration tasks) in graph order, so a chain edge
+/// can never point against a graph edge and the union stays acyclic.
+struct ReplayOrder {
+  std::vector<index_t> order;        ///< topological over the union
+  std::vector<index_t> worker_prev;  ///< chain predecessor or invalid_index
+};
+
+ReplayOrder build_replay_order(const taskgraph::TaskGraph& graph,
+                               const runtime::ExecutionReport& report) {
+  const index_t n = graph.num_tasks();
+  std::vector<index_t> topo_pos(static_cast<std::size_t>(n));
+  {
+    const std::vector<index_t> topo = graph.topological_order();
+    for (index_t i = 0; i < n; ++i)
+      topo_pos[static_cast<std::size_t>(topo[static_cast<std::size_t>(i)])] =
+          i;
+  }
+
+  const std::size_t slots =
+      static_cast<std::size_t>(report.num_processes) *
+      static_cast<std::size_t>(report.workers_per_process);
+  std::vector<std::vector<index_t>> chain(slots);
+  for (index_t t = 0; t < n; ++t) {
+    const runtime::ExecutionReport::Span& s =
+        report.spans[static_cast<std::size_t>(t)];
+    chain[static_cast<std::size_t>(s.process) *
+              static_cast<std::size_t>(report.workers_per_process) +
+          static_cast<std::size_t>(s.worker)]
+        .push_back(t);
+  }
+  ReplayOrder out;
+  out.worker_prev.assign(static_cast<std::size_t>(n), invalid_index);
+  for (std::vector<index_t>& c : chain) {
+    std::sort(c.begin(), c.end(), [&](index_t a, index_t b) {
+      const auto& sa = report.spans[static_cast<std::size_t>(a)];
+      const auto& sb = report.spans[static_cast<std::size_t>(b)];
+      return std::make_tuple(sa.start, sa.end,
+                             topo_pos[static_cast<std::size_t>(a)]) <
+             std::make_tuple(sb.start, sb.end,
+                             topo_pos[static_cast<std::size_t>(b)]);
+    });
+    for (std::size_t i = 1; i < c.size(); ++i)
+      out.worker_prev[static_cast<std::size_t>(c[i])] = c[i - 1];
+  }
+
+  // Kahn over graph-pred edges plus the chain edge. A chain edge that
+  // duplicates a graph edge is counted (and released) twice — harmless.
+  std::vector<index_t> indegree(static_cast<std::size_t>(n), 0);
+  for (index_t t = 0; t < n; ++t) {
+    indegree[static_cast<std::size_t>(t)] =
+        static_cast<index_t>(graph.predecessors(t).size()) +
+        (out.worker_prev[static_cast<std::size_t>(t)] != invalid_index ? 1
+                                                                       : 0);
+  }
+  std::vector<index_t> worker_next(static_cast<std::size_t>(n),
+                                   invalid_index);
+  for (index_t t = 0; t < n; ++t)
+    if (out.worker_prev[static_cast<std::size_t>(t)] != invalid_index)
+      worker_next[static_cast<std::size_t>(
+          out.worker_prev[static_cast<std::size_t>(t)])] = t;
+
+  std::vector<index_t> ready;
+  for (index_t t = 0; t < n; ++t)
+    if (indegree[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+  out.order.reserve(static_cast<std::size_t>(n));
+  auto release = [&](index_t s) {
+    if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+  };
+  while (!ready.empty()) {
+    const index_t t = ready.back();
+    ready.pop_back();
+    out.order.push_back(t);
+    for (const index_t s : graph.successors(t)) release(s);
+    if (worker_next[static_cast<std::size_t>(t)] != invalid_index)
+      release(worker_next[static_cast<std::size_t>(t)]);
+  }
+  TAMP_ENSURE(out.order.size() == static_cast<std::size_t>(n),
+              "measured schedule inconsistent with the task graph");
+  return out;
+}
+
+}  // namespace
+
+double replay_scaled(const taskgraph::TaskGraph& graph,
+                     const runtime::ExecutionReport& report,
+                     std::span<const double> scale_by_class) {
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(
+      report.spans.size() == static_cast<std::size_t>(n),
+      "execution report does not match the task graph");
+  TAMP_EXPECTS(report.num_processes > 0 && report.workers_per_process > 0,
+               "execution report has no worker capacity");
+  if (n == 0) return 0.0;
+  const ReplayOrder replay = build_replay_order(graph, report);
+
+  std::vector<double> new_end(static_cast<std::size_t>(n), 0.0);
+  // exact[t]: t's replayed times are the measured ones, bit for bit.
+  std::vector<char> exact(static_cast<std::size_t>(n), 0);
+  double makespan = 0.0;
+  for (const index_t t : replay.order) {
+    const runtime::ExecutionReport::Span& s =
+        report.spans[static_cast<std::size_t>(t)];
+    const int cls = taskgraph::class_of(graph.task(t)).id();
+    const double scale =
+        static_cast<std::size_t>(cls) < scale_by_class.size()
+            ? scale_by_class[static_cast<std::size_t>(cls)]
+            : 1.0;
+
+    const index_t prev = replay.worker_prev[static_cast<std::size_t>(t)];
+    bool gates_exact = prev == invalid_index ||
+                       exact[static_cast<std::size_t>(prev)] != 0;
+    double gate = prev == invalid_index
+                      ? 0.0
+                      : new_end[static_cast<std::size_t>(prev)];
+    double measured_gate =
+        prev == invalid_index
+            ? 0.0
+            : report.spans[static_cast<std::size_t>(prev)].end;
+    for (const index_t p : graph.predecessors(t)) {
+      gates_exact = gates_exact && exact[static_cast<std::size_t>(p)] != 0;
+      gate = std::max(gate, new_end[static_cast<std::size_t>(p)]);
+      measured_gate =
+          std::max(measured_gate,
+                   report.spans[static_cast<std::size_t>(p)].end);
+    }
+
+    double end;
+    if (scale == 1.0 && gates_exact) {
+      // Verbatim copy: re-deriving start as gate + slack re-associates
+      // the float arithmetic and can drift by an ulp even when every
+      // input is bitwise identical.
+      end = s.end;
+      exact[static_cast<std::size_t>(t)] = 1;
+    } else {
+      const double slack = std::max(0.0, s.start - measured_gate);
+      const double duration = (s.end - s.start) * scale;
+      end = gate + slack + duration;
+    }
+    new_end[static_cast<std::size_t>(t)] = end;
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+WhatIfReport what_if(const taskgraph::TaskGraph& graph,
+                     const runtime::ExecutionReport& report,
+                     const WhatIfOptions& options) {
+  TAMP_EXPECTS(!options.factors.empty(), "what-if needs at least one factor");
+  for (const double k : options.factors)
+    TAMP_EXPECTS(k > 0, "what-if factors must be positive");
+  WhatIfReport out;
+  out.factors = options.factors;
+  for (const runtime::ExecutionReport::Span& s : report.spans)
+    out.measured_makespan = std::max(out.measured_makespan, s.end);
+  out.baseline_makespan = replay_scaled(graph, report, {});
+
+  const std::vector<taskgraph::TaskClass> classes =
+      taskgraph::task_classes(graph);
+  int max_id = 0;
+  for (const taskgraph::TaskClass& c : classes) max_id = std::max(max_id, c.id());
+  std::vector<double> scale(static_cast<std::size_t>(max_id) + 1, 1.0);
+
+  for (const taskgraph::TaskClass& cls : classes) {
+    WhatIfClassRow row;
+    row.cls = cls;
+    for (index_t t = 0; t < graph.num_tasks(); ++t) {
+      if (taskgraph::class_of(graph.task(t)) != cls) continue;
+      const runtime::ExecutionReport::Span& s =
+          report.spans[static_cast<std::size_t>(t)];
+      row.tasks += 1;
+      row.class_seconds += s.end - s.start;
+    }
+    for (const double k : options.factors) {
+      scale[static_cast<std::size_t>(cls.id())] = k;
+      WhatIfEntry entry;
+      entry.factor = k;
+      entry.predicted_makespan = replay_scaled(graph, report, scale);
+      entry.delta_seconds = out.baseline_makespan - entry.predicted_makespan;
+      entry.rel_delta = out.baseline_makespan > 0
+                            ? entry.delta_seconds / out.baseline_makespan
+                            : 0.0;
+      row.best_delta_seconds =
+          std::max(row.best_delta_seconds, entry.delta_seconds);
+      row.entries.push_back(entry);
+    }
+    scale[static_cast<std::size_t>(cls.id())] = 1.0;
+    out.rows.push_back(std::move(row));
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const WhatIfClassRow& a, const WhatIfClassRow& b) {
+              return a.best_delta_seconds > b.best_delta_seconds ||
+                     (a.best_delta_seconds == b.best_delta_seconds &&
+                      a.cls.id() < b.cls.id());
+            });
+  return out;
+}
+
+void print_whatif_report(std::ostream& os, const WhatIfReport& report) {
+  os << "== what-if: virtual speedup leverage ==\n"
+     << "baseline makespan " << fmt_double(report.baseline_makespan * 1e3, 3)
+     << " ms (replay self-check error "
+     << std::abs(report.baseline_makespan - report.measured_makespan)
+     << " s)\n";
+  std::vector<std::string> head = {"rank", "class", "tasks", "class ms",
+                                   "share"};
+  for (const double k : report.factors)
+    head.push_back("saved @ k=" + fmt_double(k, 2));
+  TablePrinter table("predicted makespan savings if one class ran k x as "
+                     "long (ranked by savings at the smallest k)");
+  table.header(head);
+  int rank = 1;
+  for (const WhatIfClassRow& row : report.rows) {
+    std::vector<std::string> cells = {
+        std::to_string(rank++), row.cls.label(), std::to_string(row.tasks),
+        fmt_double(row.class_seconds * 1e3, 3),
+        report.baseline_makespan > 0
+            ? fmt_percent(row.class_seconds / report.baseline_makespan)
+            : "-"};
+    for (const WhatIfEntry& e : row.entries)
+      cells.push_back(fmt_double(e.delta_seconds * 1e3, 3) + " ms (" +
+                      fmt_percent(e.rel_delta) + ")");
+    table.row(cells);
+  }
+  table.print(os);
+}
+
+void publish_whatif_metrics(const WhatIfReport& report) {
+  obs::gauge("whatif.baseline_makespan_seconds")
+      .set(report.baseline_makespan);
+  obs::gauge("whatif.measured_makespan_seconds")
+      .set(report.measured_makespan);
+  obs::gauge("whatif.self_check_error")
+      .set(std::abs(report.baseline_makespan - report.measured_makespan));
+  obs::gauge("whatif.classes").set(static_cast<double>(report.rows.size()));
+  obs::gauge("whatif.factors").set(static_cast<double>(report.factors.size()));
+  if (!report.rows.empty()) {
+    obs::gauge("whatif.best.delta_seconds")
+        .set(report.rows.front().best_delta_seconds);
+    obs::gauge("whatif.best.rel_delta")
+        .set(report.baseline_makespan > 0
+                 ? report.rows.front().best_delta_seconds /
+                       report.baseline_makespan
+                 : 0.0);
+  }
+  for (const WhatIfClassRow& row : report.rows) {
+    const std::string label =
+        "t" + std::to_string(static_cast<int>(row.cls.level)) + "." +
+        to_string(row.cls.type) + "." + to_string(row.cls.locality);
+    for (const WhatIfEntry& e : row.entries) {
+      const int pct = static_cast<int>(std::lround(e.factor * 100));
+      obs::gauge("whatif.class." + label + ".k" + std::to_string(pct) +
+                 ".rel_delta")
+          .set(e.rel_delta);
+    }
+  }
+}
+
+}  // namespace tamp::sim

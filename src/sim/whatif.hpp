@@ -1,0 +1,106 @@
+// What-if engine: Coz-style virtual speedups over a measured execution.
+//
+// Question answered: "if we made task class C faster by factor k — say,
+// by vectorizing its kernel — how much end-to-end makespan would that
+// actually buy?" Naively, speeding a class that is off the critical path
+// buys nothing; speeding one that gates every subiteration buys almost
+// its full duration. The doctor's blame tables hint at this; the what-if
+// replay *computes* it, before anyone writes SIMD.
+//
+// Replay contract (the part tests pin down):
+//
+//   The measured schedule is replayed as a list schedule that preserves
+//   the runtime's realized decisions — each task keeps its measured
+//   (process, worker) placement and its measured position in that
+//   worker's execution order — while durations are rescaled per class.
+//   A task starts at its gate (max of graph-predecessor ends and the
+//   previous task's end on its worker) plus its *measured slack* (the
+//   gap between its measured start and its measured gate: dequeue
+//   latency, cv wakeup, scheduling jitter). Preserving slack keeps the
+//   replay honest about runtime overheads the idealized simulator does
+//   not model.
+//
+//   Bit-exactness at k = 1: a task whose scale is exactly 1.0 and whose
+//   gate tasks all reproduced their measured times copies its measured
+//   start/end verbatim instead of re-deriving them arithmetically (gate
+//   + slack re-association can drift by an ulp). By induction, the
+//   all-ones replay reproduces every timestamp — and therefore the
+//   makespan — bit-exactly. This is the gated self-consistency test.
+//
+//   Monotonicity: every arithmetic in the replay (max, +, × by k) is
+//   weakly monotone, so shrinking k can never grow the predicted
+//   makespan.
+//
+// The predicted makespan is max task end over the replay; the measured
+// baseline it is compared against is the same quantity over the measured
+// spans (not wall_seconds, which includes post-task join time no speedup
+// can touch).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::sim {
+
+struct WhatIfOptions {
+  /// Virtual speedup factors applied to one class at a time; k = 0.9
+  /// means "this class's tasks take 90% of their measured time".
+  std::vector<double> factors = {0.9, 0.75, 0.5};
+};
+
+/// Replay the measured schedule with per-class duration scale factors.
+/// `scale_by_class` is indexed by TaskClass::id(); classes beyond its
+/// size (or the empty span) scale by 1.0. Returns the predicted
+/// makespan in seconds. Throws precondition_error when the report does
+/// not match the graph.
+[[nodiscard]] double replay_scaled(const taskgraph::TaskGraph& graph,
+                                   const runtime::ExecutionReport& report,
+                                   std::span<const double> scale_by_class);
+
+/// One (class, k) prediction.
+struct WhatIfEntry {
+  double factor = 1.0;
+  double predicted_makespan = 0;  ///< seconds
+  double delta_seconds = 0;       ///< baseline − predicted (savings)
+  double rel_delta = 0;           ///< delta / baseline
+};
+
+/// All predictions for one class, plus its ranking key.
+struct WhatIfClassRow {
+  taskgraph::TaskClass cls;
+  index_t tasks = 0;
+  double class_seconds = 0;  ///< Σ measured durations of the class
+  std::vector<WhatIfEntry> entries;  ///< parallel to WhatIfReport::factors
+  /// Savings at the most aggressive factor — the rank key: "if you could
+  /// halve any one class, halve this one".
+  double best_delta_seconds = 0;
+};
+
+struct WhatIfReport {
+  double measured_makespan = 0;  ///< max measured span end
+  double baseline_makespan = 0;  ///< all-ones replay; == measured bit-exactly
+  std::vector<double> factors;
+  std::vector<WhatIfClassRow> rows;  ///< ranked by best_delta_seconds, desc
+};
+
+/// Run the full sweep: one replay per (class present in graph, factor).
+[[nodiscard]] WhatIfReport what_if(const taskgraph::TaskGraph& graph,
+                                   const runtime::ExecutionReport& report,
+                                   const WhatIfOptions& options = {});
+
+/// Ranked "optimization leverage" table (flusim --execute --what-if).
+void print_whatif_report(std::ostream& os, const WhatIfReport& report);
+
+/// Publish whatif.* gauges for tamp-report gating:
+///   whatif.baseline_makespan_seconds / whatif.measured_makespan_seconds
+///   whatif.self_check_error            (|baseline − measured|, must be 0)
+///   whatif.classes / whatif.factors
+///   whatif.best.delta_seconds / whatif.best.rel_delta  (top-ranked row)
+///   whatif.class.<label>.k<pct>.rel_delta              (per class × factor)
+void publish_whatif_metrics(const WhatIfReport& report);
+
+}  // namespace tamp::sim

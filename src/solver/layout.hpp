@@ -106,6 +106,30 @@ struct KernelGeometry {
 
 [[nodiscard]] KernelGeometry build_kernel_geometry(const mesh::Mesh& mesh);
 
+/// Nominal main-memory traffic of the streaming kernels, in bytes per
+/// object update, for converting measured counter totals into bandwidth
+/// context (perf attribution, flusim --execute). These are *models*, not
+/// measurements: they count the doubles a kernel logically streams per
+/// object assuming no cache reuse between objects, which is the upper
+/// bound a perfectly-streaming sweep approaches on meshes much larger
+/// than LLC. Hex meshes average 6 faces per cell.
+inline constexpr double kAvgFacesPerCell = 6.0;
+
+/// Cell update: write num_vars state doubles, read 1/V, and gather
+/// num_vars accumulator doubles from each adjacent face.
+[[nodiscard]] constexpr double streaming_bytes_per_cell_update(int num_vars) {
+  return 8.0 * (static_cast<double>(num_vars) + 1.0 +
+                kAvgFacesPerCell * static_cast<double>(num_vars));
+}
+
+/// Face flux: read both adjacent cells' num_vars state doubles and five
+/// geometry doubles (normal, area, distance), write both accumulator
+/// sides.
+[[nodiscard]] constexpr double streaming_bytes_per_face_flux(int num_vars) {
+  return 8.0 * (2.0 * static_cast<double>(num_vars) + 5.0 +
+                2.0 * static_cast<double>(num_vars));
+}
+
 /// Half-open id run [begin, end).
 struct IdRange {
   index_t begin = 0;

@@ -67,6 +67,35 @@ void TablePrinter::print(std::ostream& os) const {
   print_rule();
 }
 
+void TablePrinter::print_markdown(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return;
+
+  auto write_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ';
+      for (char ch : v) {
+        if (ch == '|') os << '\\';
+        os << ch;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "**" << title_ << "**\n\n";
+  write_cells(header_.empty() ? std::vector<std::string>(ncols) : header_);
+  os << '|';
+  for (std::size_t c = 0; c < ncols; ++c) os << " --- |";
+  os << '\n';
+  for (const auto& r : rows_)
+    if (!r.is_separator) write_cells(r.cells);
+  os << '\n';
+}
+
 void TablePrinter::write_csv(const std::string& path) const {
   std::ofstream out(path);
   TAMP_EXPECTS(out.good(), "cannot open CSV output file: " + path);

@@ -29,6 +29,11 @@ public:
   /// Render to a stream with column alignment and borders.
   void print(std::ostream& os) const;
 
+  /// Render as a GitHub-flavoured markdown table (title becomes a bold
+  /// paragraph, separator rows are dropped, pipes in cells escaped) —
+  /// the shape $GITHUB_STEP_SUMMARY renders.
+  void print_markdown(std::ostream& os) const;
+
   /// Write header + rows as CSV (separators skipped).
   void write_csv(const std::string& path) const;
 

@@ -23,6 +23,26 @@ std::string Task::label() const {
   return os.str();
 }
 
+std::string TaskClass::label() const {
+  std::ostringstream os;
+  os << 't' << static_cast<int>(level) << ':' << to_string(type) << ':'
+     << to_string(locality);
+  return os.str();
+}
+
+std::vector<TaskClass> task_classes(const TaskGraph& graph) {
+  std::vector<TaskClass> out;
+  for (const Task& t : graph.tasks()) {
+    const TaskClass c = class_of(t);
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaskClass& a, const TaskClass& b) {
+              return a.id() < b.id();
+            });
+  return out;
+}
+
 TaskGraph::TaskGraph(std::vector<Task> tasks,
                      const std::vector<std::vector<index_t>>& deps)
     : tasks_(std::move(tasks)) {

@@ -34,6 +34,43 @@ struct Task {
   [[nodiscard]] std::string label() const;
 };
 
+class TaskGraph;
+
+/// Kernel identity of a task: the (phase τ, object type, locality)
+/// triple. Tasks of one class run the same code on the same kind of
+/// object — it is the unit you would vectorize, and therefore the unit
+/// perf attribution and what-if speedups are keyed on. Subiteration and
+/// domain deliberately excluded: they change *which* data, not *what
+/// code*.
+struct TaskClass {
+  level_t level = 0;
+  ObjectType type = ObjectType::cell;
+  Locality locality = Locality::internal;
+
+  /// Dense id: ((level * 2 + type) * 2 + locality).
+  [[nodiscard]] int id() const {
+    return (static_cast<int>(level) * 2 + static_cast<int>(type)) * 2 +
+           static_cast<int>(locality);
+  }
+  [[nodiscard]] static TaskClass from_id(int id) {
+    TaskClass c;
+    c.locality = static_cast<Locality>(id & 1);
+    c.type = static_cast<ObjectType>((id >> 1) & 1);
+    c.level = static_cast<level_t>(id >> 2);
+    return c;
+  }
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const TaskClass&, const TaskClass&) = default;
+};
+
+[[nodiscard]] inline TaskClass class_of(const Task& t) {
+  return TaskClass{t.level, t.type, t.locality};
+}
+
+/// The distinct classes present in a graph, ordered by id.
+[[nodiscard]] std::vector<TaskClass> task_classes(const TaskGraph& graph);
+
 /// Immutable DAG of Tasks with CSR predecessor/successor adjacency.
 class TaskGraph {
 public:

@@ -6,12 +6,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "obs/flight.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/measured.hpp"
 #include "sim/simulate.hpp"
+#include "sim/trace_json.hpp"
 
 namespace tamp {
 namespace {
@@ -291,6 +294,41 @@ TEST(Measured, DivergenceAutoCalibratesSecondsPerUnit) {
   const sim::DivergenceReport d = sim::compare_sim_to_measured(g, sr, rep);
   EXPECT_GT(d.seconds_per_unit, 0.0);
   EXPECT_GT(d.sim_makespan_seconds, 0.0);
+}
+
+TEST(FlightTrace, MergedExporterRendersCounterTracks) {
+  // Synthetic recorder: runtime::execute never steals (shared per-process
+  // queue), so the steal tracks are pinned here with hand-made events.
+  const TaskGraph g = make_graph({0, 0}, {}, {{}, {0}});
+  auto rec = std::make_shared<obs::FlightRecorder>(1, 16);
+  using K = FlightEventKind;
+  rec->ring(0).push({K::task_dequeue, 0.0, 0, 2});
+  rec->ring(0).push({K::idle_begin, 0.15, -1, -1});
+  rec->ring(0).push({K::steal_attempt, 0.2, 0, -1});
+  rec->ring(0).push({K::steal_success, 0.25, 0, -1});
+  rec->ring(0).push({K::idle_end, 0.3, -1, -1});
+  rec->ring(0).push({K::task_dequeue, 0.4, 1, 0});
+
+  runtime::ExecutionReport rep;
+  rep.num_processes = 1;
+  rep.workers_per_process = 1;
+  rep.wall_seconds = 0.5;
+  rep.spans = {{0.0, 0.1, 0, 0}, {0.4, 0.5, 0, 0}};
+  rep.flight = rec;
+
+  const std::string trace = sim::to_chrome_trace_merged(g, rep);
+  EXPECT_NE(trace.find(R"("name":"ready_queue","ph":"C")"),
+            std::string::npos);
+  EXPECT_NE(trace.find(R"("name":"idle_workers","ph":"C")"),
+            std::string::npos);
+  EXPECT_NE(trace.find(R"("name":"steals","ph":"C")"), std::string::npos);
+  EXPECT_NE(trace.find(R"("attempts":1,"successes":0)"), std::string::npos);
+  EXPECT_NE(trace.find(R"("attempts":1,"successes":1)"), std::string::npos);
+  EXPECT_NE(trace.find(R"("name":"steals_inflight","ph":"C")"),
+            std::string::npos);
+  // Queue depth samples carry the recorded post-dequeue depths.
+  EXPECT_NE(trace.find(R"("args":{"depth":2})"), std::string::npos);
+  EXPECT_NE(trace.find(R"("args":{"depth":0})"), std::string::npos);
 }
 
 }  // namespace

@@ -119,6 +119,28 @@ TEST(Table, AlignsColumns) {
   EXPECT_EQ(widths.size(), 1u);
 }
 
+TEST(Table, MarkdownEscapesPipesAndDropsSeparators) {
+  TablePrinter t("leverage");
+  t.header({"class", "saved"});
+  t.row({"a|b", "1"});
+  t.separator();
+  t.row({"c", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("**leverage**"), std::string::npos);
+  EXPECT_NE(out.find("| class | saved |"), std::string::npos);
+  EXPECT_NE(out.find("| --- | --- |"), std::string::npos);
+  EXPECT_NE(out.find("a\\|b"), std::string::npos);  // pipes escaped
+  EXPECT_EQ(out.find("+--"), std::string::npos);    // no ASCII rules
+  // Exactly one separator row: the header underline, not t.separator().
+  std::size_t seps = 0;
+  std::istringstream lines(out);
+  for (std::string line; std::getline(lines, line);)
+    if (line.rfind("| ---", 0) == 0) ++seps;
+  EXPECT_EQ(seps, 1u);
+}
+
 TEST(Table, FormatHelpers) {
   EXPECT_EQ(fmt_count(12594374), "12,594,374");
   EXPECT_EQ(fmt_count(0), "0");

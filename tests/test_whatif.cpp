@@ -1,0 +1,279 @@
+// Tests of the what-if virtual-speedup replay (sim/whatif.hpp).
+//
+// The two contract pillars the ISSUE gates on:
+//   1. self-consistency — the k = 1.0 replay reproduces the measured
+//      makespan *bit-exactly* (EXPECT_EQ on doubles, no tolerance);
+//   2. monotonicity — shrinking k never grows the predicted makespan.
+// Both are checked against real runtime::execute reports (threads, real
+// timestamps) and against hand-built reports with analytically known
+// answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "support/check.hpp"
+#include "sim/whatif.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::sim {
+namespace {
+
+using runtime::ExecutionReport;
+using taskgraph::Task;
+using taskgraph::TaskClass;
+using taskgraph::TaskGraph;
+
+/// Diamond with one class per task (levels 0..3 are distinct classes):
+///   0 ──▶ 2 ──▶ 3
+///   1 ──▶ 2
+TaskGraph diamond_graph() {
+  std::vector<Task> tasks(4);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].domain = 0;
+    tasks[i].cost = 1;
+    tasks[i].num_objects = 1;
+    tasks[i].level = static_cast<level_t>(i);
+  }
+  return TaskGraph(std::move(tasks), {{}, {}, {0, 1}, {2}});
+}
+
+/// Measured schedule for diamond_graph() on 1 process × 2 workers:
+///   w0: 0 [0.0, 1.0]          2 [1.5, 2.5]
+///   w1: 1 [0.0, 1.5]                        3 [2.5, 3.5]
+/// All slacks zero; makespan 3.5.
+ExecutionReport diamond_report() {
+  ExecutionReport report;
+  report.num_processes = 1;
+  report.workers_per_process = 2;
+  report.wall_seconds = 3.6;  // includes join time the replay must ignore
+  report.spans = {
+      {0.0, 1.0, 0, 0},
+      {0.0, 1.5, 0, 1},
+      {1.5, 2.5, 0, 0},
+      {2.5, 3.5, 0, 1},
+  };
+  return report;
+}
+
+std::vector<double> scale_for(const TaskGraph& g, level_t level, double k) {
+  TaskClass cls;
+  cls.level = level;
+  std::vector<double> scale(static_cast<std::size_t>(cls.id()) + 1, 1.0);
+  scale.back() = k;
+  (void)g;
+  return scale;
+}
+
+TEST(WhatIfReplay, AllOnesReproducesMeasuredMakespanBitExactly) {
+  const TaskGraph g = diamond_graph();
+  const ExecutionReport report = diamond_report();
+  EXPECT_EQ(replay_scaled(g, report, {}), 3.5);
+  const std::vector<double> ones(16, 1.0);
+  EXPECT_EQ(replay_scaled(g, report, ones), 3.5);
+}
+
+TEST(WhatIfReplay, CriticalPathClassSpeedupShortensMakespan) {
+  const TaskGraph g = diamond_graph();
+  const ExecutionReport report = diamond_report();
+  // Task 1 (level 1, duration 1.5) gates task 2. Halving it moves the
+  // gate of 2 to task 0's end (1.0): 2 runs [1.0, 2.0], 3 runs [2.0, 3.0].
+  EXPECT_DOUBLE_EQ(replay_scaled(g, report, scale_for(g, 1, 0.5)), 3.0);
+}
+
+TEST(WhatIfReplay, OffCriticalPathClassSpeedupBuysNothing) {
+  const TaskGraph g = diamond_graph();
+  const ExecutionReport report = diamond_report();
+  // Task 0 finishes at 1.0 but task 2 waits for task 1 until 1.5 anyway.
+  EXPECT_EQ(replay_scaled(g, report, scale_for(g, 0, 0.5)), 3.5);
+}
+
+TEST(WhatIfReplay, SlowdownNeverShrinksMakespan) {
+  const TaskGraph g = diamond_graph();
+  const ExecutionReport report = diamond_report();
+  EXPECT_DOUBLE_EQ(replay_scaled(g, report, scale_for(g, 2, 2.0)),
+                   4.5);  // 2 runs [1.5, 3.5], 3 runs [3.5, 4.5]
+}
+
+TEST(WhatIfReplay, MeasuredSlackIsPreserved) {
+  const TaskGraph g = diamond_graph();
+  ExecutionReport report = diamond_report();
+  // Task 2 measured 0.2 s after its gate (dequeue latency): the replay
+  // must carry that overhead, not idealize it away.
+  report.spans[2] = {1.7, 2.7, 0, 0};
+  report.spans[3] = {2.7, 3.7, 0, 1};
+  EXPECT_EQ(replay_scaled(g, report, {}), 3.7);
+  // Halve task 1: gate of 2 drops to 1.0, slack 0.2 rides along →
+  // 2 runs [1.2, 2.2], 3 runs [2.2, 3.2].
+  EXPECT_DOUBLE_EQ(replay_scaled(g, report, scale_for(g, 1, 0.5)), 3.2);
+}
+
+TEST(WhatIfReplay, ZeroDurationTiesStaySchedulable) {
+  // Two zero-duration tasks at the same timestamp on one worker, with a
+  // graph edge between them: chain ordering must not fight the DAG.
+  std::vector<Task> tasks(2);
+  for (auto& t : tasks) {
+    t.domain = 0;
+    t.cost = 1;
+    t.num_objects = 1;
+  }
+  const TaskGraph g(std::move(tasks), {{}, {0}});
+  ExecutionReport report;
+  report.num_processes = 1;
+  report.workers_per_process = 1;
+  report.wall_seconds = 1.0;
+  report.spans = {{0.5, 0.5, 0, 0}, {0.5, 0.5, 0, 0}};
+  EXPECT_EQ(replay_scaled(g, report, {}), 0.5);
+}
+
+runtime::ExecutionReport run_real(const TaskGraph& g, part_t processes,
+                                  int workers) {
+  runtime::RuntimeConfig cfg;
+  cfg.num_processes = processes;
+  cfg.workers_per_process = workers;
+  part_t num_domains = 0;
+  for (index_t t = 0; t < g.num_tasks(); ++t)
+    num_domains =
+        std::max(num_domains, static_cast<part_t>(g.task(t).domain + 1));
+  std::vector<part_t> domain_to_process(static_cast<std::size_t>(num_domains));
+  for (std::size_t d = 0; d < domain_to_process.size(); ++d)
+    domain_to_process[d] = static_cast<part_t>(d % processes);
+  volatile double sink = 0;
+  return runtime::execute(g, domain_to_process, cfg, [&sink](index_t t) {
+    for (int i = 0; i < 2000 * (1 + static_cast<int>(t % 5)); ++i)
+      sink = sink + 1e-9;
+  });
+}
+
+/// Layered graph with mixed classes across two domains.
+TaskGraph layered_graph() {
+  std::vector<Task> tasks;
+  std::vector<std::vector<index_t>> deps;
+  for (int layer = 0; layer < 4; ++layer)
+    for (int j = 0; j < 6; ++j) {
+      Task t;
+      t.domain = static_cast<part_t>(j % 2);
+      t.cost = 1 + (j % 3);
+      t.num_objects = 10;
+      t.subiteration = static_cast<index_t>(layer);
+      t.level = static_cast<level_t>(j % 2);
+      t.type = (j % 2) ? taskgraph::ObjectType::cell
+                       : taskgraph::ObjectType::face;
+      std::vector<index_t> pred;
+      if (layer > 0) {
+        const auto base = static_cast<index_t>((layer - 1) * 6);
+        pred = {base + static_cast<index_t>(j),
+                base + static_cast<index_t>((j + 1) % 6)};
+      }
+      tasks.push_back(t);
+      deps.push_back(std::move(pred));
+    }
+  return TaskGraph(std::move(tasks), std::move(deps));
+}
+
+double measured_makespan(const ExecutionReport& report) {
+  double m = 0;
+  for (const auto& s : report.spans) m = std::max(m, s.end);
+  return m;
+}
+
+TEST(WhatIf, SelfCheckIsBitExactOnRealExecution) {
+  const TaskGraph g = layered_graph();
+  const ExecutionReport report = run_real(g, 2, 2);
+  const WhatIfReport wi = what_if(g, report);
+  EXPECT_EQ(wi.measured_makespan, measured_makespan(report));
+  // The gated acceptance criterion: no tolerance, bitwise equality.
+  EXPECT_EQ(wi.baseline_makespan, wi.measured_makespan);
+}
+
+TEST(WhatIf, PredictionsAreMonotoneInK) {
+  const TaskGraph g = layered_graph();
+  const ExecutionReport report = run_real(g, 1, 3);
+  WhatIfOptions opt;
+  opt.factors = {1.0, 0.9, 0.75, 0.5, 0.25};
+  const WhatIfReport wi = what_if(g, report, opt);
+  ASSERT_FALSE(wi.rows.empty());
+  for (const WhatIfClassRow& row : wi.rows) {
+    ASSERT_EQ(row.entries.size(), opt.factors.size());
+    // k = 1.0 entry is the baseline, bit-exactly.
+    EXPECT_EQ(row.entries[0].predicted_makespan, wi.baseline_makespan);
+    EXPECT_EQ(row.entries[0].delta_seconds, 0.0);
+    for (std::size_t i = 1; i < row.entries.size(); ++i) {
+      EXPECT_LE(row.entries[i].predicted_makespan,
+                row.entries[i - 1].predicted_makespan)
+          << "class " << row.cls.label() << " k=" << row.entries[i].factor;
+      EXPECT_LE(row.entries[i].predicted_makespan, wi.baseline_makespan);
+    }
+  }
+}
+
+TEST(WhatIf, RowsCoverAllClassesRankedByLeverage) {
+  const TaskGraph g = layered_graph();
+  const ExecutionReport report = run_real(g, 1, 2);
+  const WhatIfReport wi = what_if(g, report);
+  const std::vector<TaskClass> classes = taskgraph::task_classes(g);
+  ASSERT_EQ(wi.rows.size(), classes.size());
+  index_t tasks = 0;
+  for (std::size_t i = 0; i < wi.rows.size(); ++i) {
+    const WhatIfClassRow& row = wi.rows[i];
+    tasks += row.tasks;
+    EXPECT_GT(row.class_seconds, 0.0);
+    // Rank key consistency: best_delta is the most aggressive factor's
+    // savings, and rows are sorted by it descending.
+    EXPECT_EQ(row.best_delta_seconds, row.entries.back().delta_seconds);
+    if (i > 0) {
+      EXPECT_GE(wi.rows[i - 1].best_delta_seconds, row.best_delta_seconds);
+    }
+    for (const WhatIfEntry& e : row.entries) {
+      EXPECT_EQ(e.delta_seconds, wi.baseline_makespan - e.predicted_makespan);
+      if (wi.baseline_makespan > 0) {
+        EXPECT_DOUBLE_EQ(e.rel_delta,
+                         e.delta_seconds / wi.baseline_makespan);
+      }
+    }
+  }
+  EXPECT_EQ(tasks, g.num_tasks());
+}
+
+TEST(WhatIf, ReplayIsDeterministic) {
+  const TaskGraph g = layered_graph();
+  const ExecutionReport report = run_real(g, 1, 2);
+  const std::vector<double> scale(8, 0.75);
+  const double a = replay_scaled(g, report, scale);
+  const double b = replay_scaled(g, report, scale);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WhatIf, PublishesSelfCheckAndLeverageGauges) {
+  const TaskGraph g = diamond_graph();
+  const ExecutionReport report = diamond_report();
+  const WhatIfReport wi = what_if(g, report);
+  publish_whatif_metrics(wi);
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  bool saw_self_check = false, saw_best = false, saw_class = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "whatif.self_check_error") {
+      saw_self_check = true;
+      EXPECT_EQ(value, 0.0);
+    }
+    if (name == "whatif.best.delta_seconds") saw_best = true;
+    if (name.rfind("whatif.class.", 0) == 0 &&
+        name.find(".k50.rel_delta") != std::string::npos)
+      saw_class = true;
+  }
+  EXPECT_TRUE(saw_self_check);
+  EXPECT_TRUE(saw_best);
+  EXPECT_TRUE(saw_class);
+}
+
+TEST(WhatIf, MismatchedReportIsRejected) {
+  const TaskGraph g = diamond_graph();
+  ExecutionReport report = diamond_report();
+  report.spans.pop_back();
+  EXPECT_THROW((void)replay_scaled(g, report, {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace tamp::sim

@@ -67,4 +67,13 @@ grep -q '"regressed": false' "${OUT}/verdict.json" || {
   exit 1
 }
 
+# CI visibility: publish the gate table to the job summary as markdown.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "## divergence smoke (sim-vs-reality gate)"
+    "${REPORT}" "${ROOT}/bench/snapshots/divergence_baseline.json" \
+      "${METRICS}" --rule "${RULES}" --quiet --format markdown
+  } >> "${GITHUB_STEP_SUMMARY}" || true
+fi
+
 echo "divergence_smoke: OK"

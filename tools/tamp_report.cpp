@@ -77,10 +77,24 @@ int main(int argc, char** argv) {
              "extra gates, ';'-separated metric[:tol[:higher|lower[:rel|abs]]] "
              "specs (replaces the default doctor gates when prefixed with '=')");
   cli.option("verdict", "", "write the tamp-verdict-v1 JSON here");
+  cli.option("format", "text",
+             "output format: text (aligned console tables) | markdown "
+             "(GitHub tables, for $GITHUB_STEP_SUMMARY)");
   cli.flag("all", "show every metric in the diff table, not only changes");
   cli.flag("quiet", "suppress the diff table, print only the verdict");
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    const std::string format = cli.get("format");
+    TAMP_EXPECTS(format == "text" || format == "markdown",
+                 "--format must be text|markdown");
+    const bool markdown = format == "markdown";
+    const auto emit = [&](const TablePrinter& table) {
+      if (markdown)
+        table.print_markdown(std::cout);
+      else
+        table.print(std::cout);
+    };
 
     const obs::MetricsFile baseline = obs::load_metrics_file(cli.get("baseline"));
     const obs::MetricsFile candidate =
@@ -142,7 +156,7 @@ int main(int argc, char** argv) {
           diff.row({name, ann.unit, "(absent)", fmt_double(cand, 4), "",
                     ann.direction_label()});
       }
-      diff.print(std::cout);
+      emit(diff);
       if (hidden > 0)
         std::cout << hidden << " unchanged metrics hidden (--all shows them)\n";
       std::cout << '\n';
@@ -165,16 +179,18 @@ int main(int argc, char** argv) {
                      (f.absolute ? " abs" : " rel"),
                  f.regressed ? "REGRESSED" : "ok"});
     }
-    gates.print(std::cout);
+    emit(gates);
 
     if (!cli.get("verdict").empty())
       obs::save_text(obs::verdict_to_json(verdict), cli.get("verdict"));
 
     if (verdict.regressed()) {
-      std::cout << "verdict: REGRESSED\n";
+      std::cout << (markdown ? "**verdict: REGRESSED** :x:\n"
+                             : "verdict: REGRESSED\n");
       return 1;
     }
-    std::cout << "verdict: ok\n";
+    std::cout << (markdown ? "**verdict: ok** :white_check_mark:\n"
+                           : "verdict: ok\n");
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "tamp-report: " << e.what() << '\n';

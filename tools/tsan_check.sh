@@ -55,6 +55,16 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/examples/flusim" --mesh cube --cells 4000 --domains 8 \
   --processes 2 --workers 2 --execute --doctor
 
+# Per-thread counter groups + the what-if replay: every worker brackets
+# each task with grouped perf reads (clock-only tier here — CI denies
+# perf_event_open) while the main thread later aggregates the per-task
+# deltas. TSan checks that bracket-then-aggregate handoff, at both the
+# clock tier and the forced-off tier.
+"${BUILD}/examples/flusim" --mesh cube --cells 4000 --domains 8 \
+  --processes 2 --workers 2 --what-if --perf clock
+TAMP_PERF=off "${BUILD}/examples/flusim" --mesh cube --cells 4000 \
+  --domains 8 --processes 2 --workers 2 --execute --perf on
+
 # Force the pool under every partition test, then through the full
 # flusim → tamp-report smoke; bit-identical output keeps those passing.
 export TAMP_PARTITION_THREADS=4

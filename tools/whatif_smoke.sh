@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# What-if doctor gate: run a measured execution with the counter wrapper
+# in clock-only mode (the portable tier every CI runner has), sweep the
+# virtual-speedup replay, and gate the published whatif.* gauges with
+# tamp-report against the committed ideal baseline. The contract pinned
+# here:
+#
+#   * the k = 1.0 replay reproduces the measured makespan bit-exactly
+#     (whatif.self_check_error must stay 0 — any drift means the replay
+#     re-derived a timestamp it should have copied);
+#   * the leverage table covers every task class of the fixed config
+#     (whatif.classes / whatif.factors are structural, not timing);
+#   * savings are never negative (monotonicity of the replay);
+#   * no perf.* counter metric leaks from a run without hardware
+#     counters — clock-only attribution must not masquerade as IPC.
+#
+# Timing-dependent gauges (makespans, per-class deltas) are presence-
+# checked only; their values wobble with CI timeslicing.
+#
+#   tools/whatif_smoke.sh [build-dir]   (default: ./build)
+#
+# When $GITHUB_STEP_SUMMARY is set, the gate table is appended to it as
+# GitHub-flavoured markdown.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+FLUSIM="${BUILD}/examples/flusim"
+REPORT="${BUILD}/tools/tamp-report"
+OUT="$(mktemp -d)"
+trap 'rm -rf "${OUT}"' EXIT
+
+for bin in "${FLUSIM}" "${REPORT}"; do
+  [[ -x "${bin}" ]] || { echo "whatif_smoke: missing ${bin} (build first)"; exit 2; }
+done
+
+# Fixed config: the class census (whatif.classes = 16) is a structural
+# property of this mesh/partition, independent of machine speed.
+TAMP_PERF=clock "${FLUSIM}" --mesh cube --cells 8000 --domains 8 \
+  --processes 2 --workers 2 --what-if --perf clock \
+  --metrics "${OUT}/whatif.json" | tee "${OUT}/whatif.txt"
+
+# The ranked leverage table and an exact self-check must be in stdout.
+grep -q "what-if: virtual speedup leverage" "${OUT}/whatif.txt" || {
+  echo "whatif_smoke: FAIL — no leverage table in output"
+  exit 1
+}
+grep -q "replay self-check error 0 s" "${OUT}/whatif.txt" || {
+  echo "whatif_smoke: FAIL — k=1.0 replay is not bit-exact"
+  exit 1
+}
+# Clock-only attribution (the CPU-time table) must have been printed.
+grep -q "tier: clock_only" "${OUT}/whatif.txt" || {
+  echo "whatif_smoke: FAIL — no clock-only attribution table"
+  exit 1
+}
+
+# Schema presence: tamp-report treats missing metrics as SKIP, so keys
+# are asserted here before the value gates run.
+for key in "whatif.baseline_makespan_seconds" "whatif.measured_makespan_seconds" \
+           "whatif.self_check_error" "whatif.classes" "whatif.factors" \
+           "whatif.best.delta_seconds" "whatif.best.rel_delta" \
+           "whatif.class.t0.cell.int.k50.rel_delta"; do
+  grep -q "\"${key}\"" "${OUT}/whatif.json" || {
+    echo "whatif_smoke: FAIL — metrics snapshot lacks ${key}"
+    exit 1
+  }
+done
+
+# The publication contract: a clock-only run carries no counter-shaped
+# perf.* metrics (those exist only at the hardware tier).
+if grep -q '"perf\.' "${OUT}/whatif.json"; then
+  echo "whatif_smoke: FAIL — perf.* metrics leaked from a clock-only run"
+  exit 1
+fi
+
+# Value gates ('=' replaces the default doctor rules — this snapshot's
+# doctor gauges are not under test here).
+RULES="=gauges.whatif.self_check_error:0.000000001:higher:abs"
+RULES+=";gauges.whatif.classes:0.5:higher:abs"
+RULES+=";gauges.whatif.classes:0.5:lower:abs"
+RULES+=";gauges.whatif.factors:0.5:higher:abs"
+RULES+=";gauges.whatif.factors:0.5:lower:abs"
+RULES+=";gauges.whatif.best.rel_delta:0.000001:lower:abs"
+"${REPORT}" "${ROOT}/bench/snapshots/whatif_baseline.json" "${OUT}/whatif.json" \
+  --rule "${RULES}" --quiet --verdict "${OUT}/verdict.json" || {
+  echo "whatif_smoke: FAIL — whatif gauge gate regressed"
+  exit 1
+}
+grep -q '"regressed": false' "${OUT}/verdict.json" || {
+  echo "whatif_smoke: FAIL — verdict JSON lacks \"regressed\": false"
+  exit 1
+}
+
+# CI visibility: publish the gate table to the job summary as markdown.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "## what-if smoke (virtual-speedup replay gate)"
+    "${REPORT}" "${ROOT}/bench/snapshots/whatif_baseline.json" \
+      "${OUT}/whatif.json" --rule "${RULES}" --quiet --format markdown
+  } >> "${GITHUB_STEP_SUMMARY}" || true
+fi
+
+echo "whatif_smoke: OK"
