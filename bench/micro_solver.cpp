@@ -7,9 +7,12 @@
 // nozzle and cube meshes.
 //
 // Emits solver.flux_gcells_per_s / solver.update_gcells_per_s /
-// solver.layout gauges (headline = nozzle, locality layout) plus
-// per-(mesh × layout) and speedup gauges, and a tamp-metrics-v1
-// snapshot under TAMP_BENCH_METRICS_DIR for tamp-report gating.
+// solver.layout gauges (headline = nozzle, locality layout, scalar
+// kernels) plus per-(mesh × layout) and layout-speedup gauges, a SIMD
+// lane sweep on the locality layout (scalar/sse2/avx2 rows with
+// solver.simd_speedup.<mesh>[.<level>] gauges, measured against the
+// locality-scalar row), and a tamp-metrics-v1 snapshot under
+// TAMP_BENCH_METRICS_DIR for tamp-report gating.
 #include <algorithm>
 #include <iostream>
 #include <limits>
@@ -23,6 +26,7 @@
 #include "partition/strategy.hpp"
 #include "solver/euler.hpp"
 #include "support/cli.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 #include "taskgraph/taskgraph.hpp"
@@ -124,7 +128,9 @@ void bench_mesh(mesh::TestMeshKind kind, const CliParser& cli,
   const auto dd = partition::decompose(m, sopts);
 
   const int reps = static_cast<int>(cli.get_int("reps"));
-  double baseline = 0.0;
+  double baseline = 0.0;         // mesh-order, scalar (the PR-5 "before")
+  double locality_scalar = 0.0;  // locality layout, scalar kernels
+  double best_simd = 1.0;        // best simd_speedup over the lane sweep
   for (const partition::Reorder layout :
        {partition::Reorder::none, partition::Reorder::locality}) {
     const std::string layout_name = partition::to_string(layout);
@@ -135,35 +141,68 @@ void bench_mesh(mesh::TestMeshKind kind, const CliParser& cli,
                              mesh::permute_mesh(
                                  m, mesh::identity_permutation(m)),
                              mesh::identity_permutation(m), dd.domain_of_cell};
-    solver::EulerSolver es(rd.mesh);
-    init_state(es, rd.mesh);
-    // Per-cell CFL reads only cell-local geometry and state, so this
-    // re-derives exactly the levels the partitioner saw, renumbered.
-    es.assign_temporal_levels();
-    const auto iter = es.make_iteration_tasks(rd.domain_of_cell, dd.ndomains);
-    const SweepTiming t = time_sweeps(es, rd.mesh, iter, reps);
+    // Lane sweep rides the locality layout only (SIMD targets the
+    // streaming range kernels, which the mesh-order rows barely enter);
+    // the mesh-order row stays scalar so `baseline` keeps meaning "the
+    // PR-5 per-object path".
+    const std::vector<simd::Level> levels =
+        permuted ? simd::runnable_levels()
+                 : std::vector<simd::Level>{simd::Level::scalar};
+    for (const simd::Level level : levels) {
+      solver::SolverConfig scfg;
+      scfg.simd = level == simd::Level::avx2   ? simd::Request::avx2
+                  : level == simd::Level::sse2 ? simd::Request::sse2
+                                               : simd::Request::scalar;
+      solver::EulerSolver es(rd.mesh, scfg);
+      init_state(es, rd.mesh);
+      // Per-cell CFL reads only cell-local geometry and state, so this
+      // re-derives exactly the levels the partitioner saw, renumbered.
+      es.assign_temporal_levels();
+      const auto iter =
+          es.make_iteration_tasks(rd.domain_of_cell, dd.ndomains);
+      const SweepTiming t = time_sweeps(es, rd.mesh, iter, reps);
 
-    const std::string suffix = "." + mesh_name + "." + layout_name;
-    obs::gauge("solver.flux_gcells_per_s" + suffix).set(t.flux_gobj_s());
-    obs::gauge("solver.update_gcells_per_s" + suffix).set(t.update_gobj_s());
-    double speedup = 0.0;
-    if (!permuted) {
-      baseline = t.combined_gobj_s();
-    } else {
-      speedup = t.combined_gobj_s() / baseline;
-      obs::gauge("solver.layout_speedup." + mesh_name).set(speedup);
-      if (kind == mesh::TestMeshKind::nozzle) {
-        // Headline gauges: the locality layout on the nozzle mesh.
-        obs::gauge("solver.flux_gcells_per_s").set(t.flux_gobj_s());
-        obs::gauge("solver.update_gcells_per_s").set(t.update_gobj_s());
-        obs::gauge("solver.layout").set(1);  // 0 = none, 1 = locality
+      const std::string level_name = simd::to_string(level);
+      const bool scalar = level == simd::Level::scalar;
+      // Scalar rows keep the PR-5 gauge names; SIMD rows append the
+      // level so snapshots stay comparable across PRs.
+      const std::string suffix =
+          "." + mesh_name + "." + layout_name + (scalar ? "" : "." + level_name);
+      obs::gauge("solver.flux_gcells_per_s" + suffix).set(t.flux_gobj_s());
+      obs::gauge("solver.update_gcells_per_s" + suffix).set(t.update_gobj_s());
+      double speedup = 1.0;
+      if (!permuted) {
+        baseline = t.combined_gobj_s();
+      } else {
+        speedup = t.combined_gobj_s() / baseline;
+        if (scalar) {
+          locality_scalar = t.combined_gobj_s();
+          obs::gauge("solver.layout_speedup." + mesh_name).set(speedup);
+          if (kind == mesh::TestMeshKind::nozzle) {
+            // Headline gauges: locality layout, scalar kernels, nozzle.
+            obs::gauge("solver.flux_gcells_per_s").set(t.flux_gobj_s());
+            obs::gauge("solver.update_gcells_per_s").set(t.update_gobj_s());
+            obs::gauge("solver.layout").set(1);  // 0 = none, 1 = locality
+          }
+        }
+        // SIMD speedup is measured against the locality-scalar row (the
+        // layout win is already booked in layout_speedup).
+        const double simd_speedup = t.combined_gobj_s() / locality_scalar;
+        obs::gauge("solver.simd_speedup." + mesh_name + "." + level_name)
+            .set(simd_speedup);
+        best_simd = std::max(best_simd, simd_speedup);
       }
+      table.row({mesh_name, layout_name, level_name,
+                 std::to_string(rd.mesh.num_cells()),
+                 fmt_double(t.flux_gobj_s(), 3),
+                 fmt_double(t.update_gobj_s(), 3),
+                 fmt_double(t.combined_gobj_s(), 3),
+                 permuted ? fmt_double(speedup, 2) : std::string("1.00")});
     }
-    table.row({mesh_name, layout_name, std::to_string(rd.mesh.num_cells()),
-               fmt_double(t.flux_gobj_s(), 3), fmt_double(t.update_gobj_s(), 3),
-               fmt_double(t.combined_gobj_s(), 3),
-               permuted ? fmt_double(speedup, 2) : std::string("1.00")});
   }
+  // Best lane over the sweep — the acceptance gauge the CI perf smoke
+  // gates (≥ 1.5× vs the locality-scalar kernels on at least one mesh).
+  obs::gauge("solver.simd_speedup." + mesh_name).set(best_simd);
 }
 
 }  // namespace
@@ -178,11 +217,12 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   bench::banner("micro_solver: Euler kernel sweeps, mesh-order vs locality "
-                "layout (1 thread)",
+                "layout x SIMD lanes (1 thread)",
                 "§V task bodies; arXiv:1704.01144 locality sensitivity");
   try {
-    TablePrinter t("sweep throughput (Gobjects/s, best of reps)");
-    t.header({"mesh", "layout", "cells", "flux", "update", "combined",
+    TablePrinter t(
+        "sweep throughput (Gobjects/s, best of reps; speedup vs mesh-order)");
+    t.header({"mesh", "layout", "simd", "cells", "flux", "update", "combined",
               "speedup"});
     bench_mesh(mesh::TestMeshKind::nozzle, cli, t);
     bench_mesh(mesh::TestMeshKind::cube, cli, t);

@@ -37,6 +37,7 @@
 #include "solver/layout.hpp"
 #include "support/cli.hpp"
 #include "support/gantt.hpp"
+#include "support/simd.hpp"
 #include "support/table.hpp"
 #include "taskgraph/generate.hpp"
 #include "verify/verifier.hpp"
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
              "and faces so every (domain, level, locality) class is one "
              "contiguous SFC-ordered range; schedule output is unchanged, "
              "solver sweeps get streaming kernels)");
+  cli.option("simd", "",
+             "SIMD tier for the solver streaming kernels: auto | avx2 | "
+             "sse2 | scalar (default: TAMP_SIMD env, else auto; requests "
+             "the CPU cannot run clamp down)");
   cli.option("processes", "4", "emulated MPI processes");
   cli.option("workers", "4", "workers per process; 0 = unbounded");
   cli.option("policy", "eager", "eager | lifo | cp | random");
@@ -120,6 +125,12 @@ int main(int argc, char** argv) {
     obs::set_tracing_enabled(true);
 
   try {
+    // Seat the process-wide SIMD default before any solver is built so
+    // every EulerSolver this run constructs (verify path included)
+    // resolves against it.
+    if (!cli.get("simd").empty())
+      simd::set_default_request(simd::parse_request(cli.get("simd")));
+
     // --- inputs -------------------------------------------------------------
     mesh::Mesh m = [&] {
       const std::string name = cli.get("mesh");
@@ -221,7 +232,8 @@ int main(int argc, char** argv) {
       std::cout << "verify: " << iter.graph.num_tasks() << " tasks, "
                 << schedules << " schedules, " << report.accesses
                 << " distinct accesses, " << report.pairs_checked
-                << " pairs checked\n"
+                << " pairs checked (simd "
+                << simd::to_string(euler->simd_level()) << ")\n"
                 << "conservation drift: mass "
                 << std::abs(after[0] - before[0]) << "  energy "
                 << std::abs(after[4] - before[4]) << '\n';

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "solver/simd_kernels.hpp"
 #include "support/stopwatch.hpp"
 #include "taskgraph/scheme.hpp"
 #include "verify/access.hpp"
@@ -12,6 +13,9 @@ namespace tamp::solver {
 
 using mesh::Vec3;
 
+static_assert(simdk::kEulerVars == kNumVars,
+              "SIMD kernel header disagrees on the Euler variable count");
+
 namespace {
 
 double kinetic(const State& u) {
@@ -19,13 +23,53 @@ double kinetic(const State& u) {
   return 0.5 * (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
 }
 
+/// Pointer bundles into the solver's storage for the per-width kernels.
+/// Side s of variable v is combined-accumulator column s*kNumVars + v.
+simdk::EulerFluxCtx make_flux_ctx(const PaddedVars& u, PaddedVars& acc,
+                                  const KernelGeometry& g, double gamma) {
+  simdk::EulerFluxCtx ctx;
+  for (int v = 0; v < kNumVars; ++v) {
+    ctx.u[v] = u.var(v);
+    ctx.acc0[v] = acc.var(v);
+    ctx.acc1[v] = acc.var(kNumVars + v);
+  }
+  ctx.face_a = g.face_a.data();
+  ctx.face_b = g.face_b.data();
+  ctx.nx = g.nx.data();
+  ctx.ny = g.ny.data();
+  ctx.nz = g.nz.data();
+  ctx.area = g.area.data();
+  ctx.gamma = gamma;
+  return ctx;
+}
+
+simdk::EulerUpdateCtx make_update_ctx(PaddedVars& u, PaddedVars& acc,
+                                      const KernelGeometry& g,
+                                      const std::vector<index_t>& slot,
+                                      const std::vector<double>& sign) {
+  simdk::EulerUpdateCtx ctx;
+  for (int v = 0; v < kNumVars; ++v) {
+    ctx.u[v] = u.var(v);
+    ctx.acc[v] = acc.var(v);
+  }
+  ctx.inv_vol = g.inv_vol.data();
+  ctx.xadj = g.gather_xadj.data();
+  ctx.slot = slot.data();
+  ctx.sign = sign.data();
+  return ctx;
+}
+
 }  // namespace
 
 EulerSolver::EulerSolver(mesh::Mesh& mesh, SolverConfig config)
     : mesh_(mesh), config_(config), geom_(build_kernel_geometry(mesh)),
       u_(mesh.num_cells(), kNumVars),
-      acc_{PaddedVars(mesh.num_faces(), kNumVars),
-           PaddedVars(mesh.num_faces(), kNumVars)} {
+      acc_(mesh.num_faces(), 2 * kNumVars),
+      gather_slot_(build_gather_slots(
+          geom_, static_cast<eindex_t>(kNumVars) *
+                     static_cast<eindex_t>(acc_.stride()))),
+      gather_sign_(build_gather_signs(geom_)),
+      simd_level_(simd::resolve(config.simd)) {
   TAMP_EXPECTS(config.gamma > 1.0, "gamma must exceed 1");
   TAMP_EXPECTS(config.cfl > 0.0 && config.cfl <= 1.0, "CFL must be in (0,1]");
   TAMP_EXPECTS(config.max_levels >= 1, "need at least one temporal level");
@@ -44,8 +88,7 @@ void EulerSolver::initialize_uniform(double rho, Vec3 velocity,
     u_.at(3, c) = rho * velocity.z;
     u_.at(4, c) = energy;
   }
-  acc_[0].fill(0.0);
-  acc_[1].fill(0.0);
+  acc_.fill(0.0);
   time_ = 0.0;
 }
 
@@ -154,12 +197,13 @@ void EulerSolver::flux_face(index_t f, double dtf) {
   const double scale = mesh_.face_area(f) * dtf;
   for (int v = 0; v < kNumVars; ++v) {
     const double amount = flux[static_cast<std::size_t>(v)] * scale;
-    acc_[0].var(v)[sf] += amount;
-    acc_[1].var(v)[sf] += amount;
+    acc_.var(acc_col(0, v))[sf] += amount;
+    acc_.var(acc_col(1, v))[sf] += amount;
   }
 }
 
-void EulerSolver::flux_faces_interior(index_t begin, index_t end, double dtf) {
+void EulerSolver::flux_faces_interior_scalar(index_t begin, index_t end,
+                                             double dtf) {
   const double* u0 = u_.var(0);
   const double* u1 = u_.var(1);
   const double* u2 = u_.var(2);
@@ -176,13 +220,14 @@ void EulerSolver::flux_faces_interior(index_t begin, index_t end, double dtf) {
     const double scale = geom_.area[sf] * dtf;
     for (int v = 0; v < kNumVars; ++v) {
       const double amount = flux[static_cast<std::size_t>(v)] * scale;
-      acc_[0].var(v)[sf] += amount;
-      acc_[1].var(v)[sf] += amount;
+      acc_.var(acc_col(0, v))[sf] += amount;
+      acc_.var(acc_col(1, v))[sf] += amount;
     }
   }
 }
 
-void EulerSolver::flux_faces_boundary(index_t begin, index_t end, double dtf) {
+void EulerSolver::flux_faces_boundary_scalar(index_t begin, index_t end,
+                                             double dtf) {
   const double* u0 = u_.var(0);
   const double* u1 = u_.var(1);
   const double* u2 = u_.var(2);
@@ -196,18 +241,55 @@ void EulerSolver::flux_faces_boundary(index_t begin, index_t end, double dtf) {
     const State flux = wall_flux(ua, n);
     const double scale = geom_.area[sf] * dtf;
     // Both sides, exactly like flux_face: the unconsumed side-1 deposit
-    // of a boundary face is inert (no cell gathers it).
+    // of a boundary face is inert (no cell gathers it — the SIMD path
+    // skips it; see layout.hpp).
     for (int v = 0; v < kNumVars; ++v) {
       const double amount = flux[static_cast<std::size_t>(v)] * scale;
-      acc_[0].var(v)[sf] += amount;
-      acc_[1].var(v)[sf] += amount;
+      acc_.var(acc_col(0, v))[sf] += amount;
+      acc_.var(acc_col(1, v))[sf] += amount;
     }
+  }
+}
+
+void EulerSolver::flux_faces_interior(index_t begin, index_t end, double dtf) {
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      simdk::euler_flux_interior_w4(make_flux_ctx(u_, acc_, geom_,
+                                                  config_.gamma),
+                                    begin, end, dtf);
+      return;
+    case simd::Level::sse2:
+      simdk::euler_flux_interior_w2(make_flux_ctx(u_, acc_, geom_,
+                                                  config_.gamma),
+                                    begin, end, dtf);
+      return;
+    case simd::Level::scalar:
+      flux_faces_interior_scalar(begin, end, dtf);
+      return;
+  }
+}
+
+void EulerSolver::flux_faces_boundary(index_t begin, index_t end, double dtf) {
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      simdk::euler_flux_boundary_w4(make_flux_ctx(u_, acc_, geom_,
+                                                  config_.gamma),
+                                    begin, end, dtf);
+      return;
+    case simd::Level::sse2:
+      simdk::euler_flux_boundary_w2(make_flux_ctx(u_, acc_, geom_,
+                                                  config_.gamma),
+                                    begin, end, dtf);
+      return;
+    case simd::Level::scalar:
+      flux_faces_boundary_scalar(begin, end, dtf);
+      return;
   }
 }
 
 void EulerSolver::update_cell(index_t c, double /*dtc*/) {
   const auto scell = static_cast<std::size_t>(c);
-  const double inv_v = 1.0 / mesh_.cell_volume(c);
+  const double inv_v = geom_.inv_vol[scell];
   // A cell update reads+writes its own state and gathers-and-resets its
   // side of every adjacent face accumulator (writes subsume the reads).
   verify::record_write(verify::ObjectKind::cell_state, c);
@@ -218,15 +300,15 @@ void EulerSolver::update_cell(index_t c, double /*dtc*/) {
                                    : verify::ObjectKind::face_acc_side1,
                          f);
     const double sign = side == 0 ? -1.0 : 1.0;
-    PaddedVars& acc = acc_[static_cast<std::size_t>(side)];
     for (int v = 0; v < kNumVars; ++v) {
-      u_.var(v)[scell] += sign * acc.var(v)[sf] * inv_v;
-      acc.var(v)[sf] = 0.0;
+      double* accv = acc_.var(acc_col(side, v));
+      u_.var(v)[scell] += sign * accv[sf] * inv_v;
+      accv[sf] = 0.0;
     }
   }
 }
 
-void EulerSolver::update_cells_range(index_t begin, index_t end) {
+void EulerSolver::update_cells_range_scalar(index_t begin, index_t end) {
   for (index_t c = begin; c < end; ++c) {
     const auto scell = static_cast<std::size_t>(c);
     const double inv_v = geom_.inv_vol[scell];
@@ -236,12 +318,30 @@ void EulerSolver::update_cells_range(index_t begin, index_t end) {
       const auto sf = static_cast<std::size_t>(geom_.gather_face[k]);
       const int side = geom_.gather_side[k];
       const double sign = side == 0 ? -1.0 : 1.0;
-      PaddedVars& acc = acc_[static_cast<std::size_t>(side)];
       for (int v = 0; v < kNumVars; ++v) {
-        u_.var(v)[scell] += sign * acc.var(v)[sf] * inv_v;
-        acc.var(v)[sf] = 0.0;
+        double* accv = acc_.var(acc_col(side, v));
+        u_.var(v)[scell] += sign * accv[sf] * inv_v;
+        accv[sf] = 0.0;
       }
     }
+  }
+}
+
+void EulerSolver::update_cells_range(index_t begin, index_t end) {
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      simdk::euler_update_w4(
+          make_update_ctx(u_, acc_, geom_, gather_slot_, gather_sign_), begin,
+          end);
+      return;
+    case simd::Level::sse2:
+      simdk::euler_update_w2(
+          make_update_ctx(u_, acc_, geom_, gather_slot_, gather_sign_), begin,
+          end);
+      return;
+    case simd::Level::scalar:
+      update_cells_range_scalar(begin, end);
+      return;
   }
 }
 
@@ -418,8 +518,9 @@ State EulerSolver::conserved_totals() const {
   for (index_t f = 0; f < mesh_.num_faces(); ++f) {
     const bool interior = !mesh_.is_boundary_face(f);
     for (int v = 0; v < kNumVars; ++v) {
-      total[static_cast<std::size_t>(v)] -= acc_[0].at(v, f);
-      if (interior) total[static_cast<std::size_t>(v)] += acc_[1].at(v, f);
+      total[static_cast<std::size_t>(v)] -= acc_.at(acc_col(0, v), f);
+      if (interior)
+        total[static_cast<std::size_t>(v)] += acc_.at(acc_col(1, v), f);
     }
   }
   return total;

@@ -27,6 +27,7 @@
 #include "mesh/mesh.hpp"
 #include "runtime/runtime.hpp"
 #include "solver/layout.hpp"
+#include "support/simd.hpp"
 #include "taskgraph/generate.hpp"
 
 namespace tamp::solver {
@@ -45,6 +46,10 @@ struct SolverConfig {
   /// meshes; FLUSEPA's Heun + flux-correction scheme tolerates more).
   double cfl = 0.2;
   level_t max_levels = 4;  ///< cap on the number of temporal levels
+  /// SIMD tier for the streaming kernels, resolved once at construction:
+  /// inherit defers to the process default (flusim --simd / TAMP_SIMD,
+  /// auto when unset). `scalar` forces the bitwise oracle path.
+  simd::Request simd = simd::Request::inherit;
 };
 
 class EulerSolver {
@@ -125,6 +130,10 @@ public:
   [[nodiscard]] double max_density() const;
   [[nodiscard]] bool state_is_finite() const;
 
+  /// The SIMD tier the streaming kernels actually run (config request
+  /// resolved against the CPU at construction).
+  [[nodiscard]] simd::Level simd_level() const { return simd_level_; }
+
   // --- cost calibration -------------------------------------------------------------
 
   /// Measure seconds per face-flux evaluation and per cell update by
@@ -137,18 +146,29 @@ private:
   // record their accesses inline when instrumented).
   void flux_face(index_t f, double dtf);
   void update_cell(index_t c, double dtc);
-  // Streaming range kernels over class-contiguous id runs: identical
-  // arithmetic to the per-object kernels (asserted bitwise by the
-  // layout property tests) with the boundary branch hoisted out and no
-  // inline access records — ranged task bodies record their class's
-  // ranges up front instead.
+  // Streaming range kernels over class-contiguous id runs. These are
+  // simd_level_ dispatchers: at Level::scalar they run the *_scalar
+  // bodies below (identical arithmetic to the per-object kernels,
+  // asserted bitwise by the layout property tests); at sse2/avx2 they
+  // run the lane-transposed kernels in simd_kernels_w{2,4}.cpp, which
+  // are lanewise transcriptions of the same expression trees (see
+  // DESIGN.md "SIMD kernel contract"). No inline access records either
+  // way — ranged task bodies record their class's ranges up front.
   void flux_faces_interior(index_t begin, index_t end, double dtf);
   void flux_faces_boundary(index_t begin, index_t end, double dtf);
   void update_cells_range(index_t begin, index_t end);
+  void flux_faces_interior_scalar(index_t begin, index_t end, double dtf);
+  void flux_faces_boundary_scalar(index_t begin, index_t end, double dtf);
+  void update_cells_range_scalar(index_t begin, index_t end);
   State wall_flux(const State& inside, mesh::Vec3 n) const;
   State interior_flux(const State& left, const State& right,
                       mesh::Vec3 n) const;
   [[nodiscard]] double wave_speed(const State& u) const;
+
+  /// Column of the combined accumulator holding side `s` of variable v.
+  [[nodiscard]] static int acc_col(int side, int v) {
+    return side * kNumVars + v;
+  }
 
   mesh::Mesh& mesh_;
   SolverConfig config_;
@@ -157,8 +177,16 @@ private:
   double time_ = 0;
   /// Conserved state, padded SoA: u_.var(v)[cell].
   PaddedVars u_;
-  /// Per-side face accumulators: acc_[side].var(v)[face].
-  std::array<PaddedVars, 2> acc_;
+  /// Face accumulators, both sides folded into one buffer so the SIMD
+  /// update gather reaches either side from one base pointer per
+  /// variable: side s of variable v is column acc_col(s, v), i.e.
+  /// acc_.var(acc_col(s, v))[face].
+  PaddedVars acc_;
+  /// SIMD gather addressing (layout.hpp): per-CSR-entry combined-buffer
+  /// slot and ±1 side sign.
+  std::vector<index_t> gather_slot_;
+  std::vector<double> gather_sign_;
+  simd::Level simd_level_ = simd::Level::scalar;
 };
 
 }  // namespace tamp::solver

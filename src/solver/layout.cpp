@@ -1,6 +1,7 @@
 #include "solver/layout.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "taskgraph/generate.hpp"
 #include "verify/access.hpp"
@@ -61,6 +62,28 @@ KernelGeometry build_kernel_geometry(const mesh::Mesh& mesh) {
       ++k;
     }
   return g;
+}
+
+std::vector<index_t> build_gather_slots(const KernelGeometry& geom,
+                                        eindex_t side_offset) {
+  TAMP_EXPECTS(side_offset >= 0, "side offset must be non-negative");
+  std::vector<index_t> slots(geom.gather_face.size());
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const eindex_t slot =
+        static_cast<eindex_t>(geom.gather_face[k]) +
+        (geom.gather_side[k] != 0 ? side_offset : 0);
+    TAMP_EXPECTS(slot <= std::numeric_limits<index_t>::max(),
+                 "accumulator slot overflows 32-bit gather index");
+    slots[k] = static_cast<index_t>(slot);
+  }
+  return slots;
+}
+
+std::vector<double> build_gather_signs(const KernelGeometry& geom) {
+  std::vector<double> signs(geom.gather_side.size());
+  for (std::size_t k = 0; k < signs.size(); ++k)
+    signs[k] = geom.gather_side[k] == 0 ? -1.0 : 1.0;
+  return signs;
 }
 
 std::vector<IdRange> compress_to_ranges(std::vector<index_t> ids) {

@@ -106,6 +106,32 @@ struct KernelGeometry {
 
 [[nodiscard]] KernelGeometry build_kernel_geometry(const mesh::Mesh& mesh);
 
+/// Flattened gather addressing for the SIMD cell-update kernels
+/// (solver/simd_kernels.hpp). The solvers fold both accumulator sides
+/// into one PaddedVars so a single base pointer per variable reaches
+/// either side; slot[k] = gather_face[k] + gather_side[k] * side_offset
+/// rewrites the CSR's (face, side) pairs into direct offsets from that
+/// base. `side_offset` is num_vars * stride of the combined buffer.
+/// Checked: every slot fits index_t, the 32-bit type the hardware
+/// gathers index with.
+[[nodiscard]] std::vector<index_t> build_gather_slots(
+    const KernelGeometry& geom, eindex_t side_offset);
+
+/// gather_side recoded as the update kernels' signed weight: -1.0 for
+/// side 0 (flux leaves the cell), +1.0 for side 1.
+[[nodiscard]] std::vector<double> build_gather_signs(
+    const KernelGeometry& geom);
+
+/// Boundary-face accumulator contract: a boundary face has no side-1
+/// cell, so nothing ever gathers its side-1 slot — a side-1 deposit
+/// there is inert. The scalar Euler kernels still write it (bitwise
+/// oracle, matches the seed), while the SIMD dispatch path skips the
+/// wasted store; the transport kernels never wrote it. The race
+/// annotations (build_class_access_ranges with boundary_writes_side1 =
+/// true) deliberately stay over-approximate — claiming a write that no
+/// longer happens on the SIMD path is sound, never falsely racy,
+/// because no reader of those slots exists either.
+
 /// Nominal main-memory traffic of the streaming kernels, in bytes per
 /// object update, for converting measured counter totals into bandwidth
 /// context (perf attribution, flusim --execute). These are *models*, not

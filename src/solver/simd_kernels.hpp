@@ -1,0 +1,111 @@
+// Per-width SIMD entry points for the solver streaming kernels.
+//
+// The solvers (euler.cpp, transport.cpp) dispatch their three streaming
+// sweeps — interior flux, boundary flux, cell update — onto these
+// `_w2` / `_w4` wrappers according to the resolved simd::Level. Each
+// width lives in its own translation unit (simd_kernels_w2.cpp /
+// simd_kernels_w4.cpp) so the 4-lane unit can be compiled with -mavx2
+// without leaking AVX2 code into baseline objects; both instantiate the
+// same templates from simd_kernels_impl.hpp, so the two widths differ
+// only in lane count, never in expression shape.
+//
+// The Ctx structs are plain pointer bundles into solver-owned storage;
+// they borrow, never own. Keep this header light: it is included from a
+// TU built with wider -m flags, so anything defined here must be
+// ISA-neutral (declarations and PODs only).
+//
+// Accumulator addressing: both solvers fold the two accumulator sides
+// into one PaddedVars so the cell-update gather can pull either side
+// through a single base pointer per variable. For variable v the base is
+// `acc[v] = combined.var(v)` and the per-CSR-entry slot is
+// `face + side * side_offset` where side_offset = num_vars * stride —
+// i.e. side 1 of variable v lives in column num_vars + v. The flux
+// kernels see the same buffer as per-column `acc0`/`acc1` pointers.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace tamp::solver::simdk {
+
+/// Conserved Euler variables; static_assert'd == solver::kNumVars in
+/// euler.cpp (kept local so this header needs nothing of euler.hpp).
+inline constexpr int kEulerVars = 5;
+
+/// Interior/boundary Euler flux over a face-id range.
+struct EulerFluxCtx {
+  const double* u[kEulerVars];   ///< cell state columns
+  double* acc0[kEulerVars];      ///< side-0 accumulator columns
+  double* acc1[kEulerVars];      ///< side-1 accumulator columns
+  const index_t* face_a;
+  const index_t* face_b;
+  const double* nx;
+  const double* ny;
+  const double* nz;
+  const double* area;
+  double gamma;
+};
+
+/// Euler cell update over a cell-id range (gather CSR, see layout.hpp).
+struct EulerUpdateCtx {
+  double* u[kEulerVars];
+  double* acc[kEulerVars];       ///< combined-buffer per-variable bases
+  const double* inv_vol;
+  const eindex_t* xadj;          ///< gather CSR offsets (num_cells + 1)
+  const index_t* slot;           ///< face + side * side_offset per entry
+  const double* sign;            ///< -1.0 (side 0) / +1.0 (side 1)
+};
+
+struct TransportFluxCtx {
+  const double* phi;
+  double* acc0;
+  double* acc1;
+  const index_t* face_a;
+  const index_t* face_b;
+  const double* nx;
+  const double* ny;
+  const double* nz;
+  const double* area;
+  const double* dist;
+  double vx, vy, vz;             ///< advection velocity
+  double diffusivity;
+  double ambient;
+};
+
+struct TransportUpdateCtx {
+  double* phi;
+  double* acc;                   ///< combined buffer base (slot-addressed)
+  const double* inv_vol;
+  const eindex_t* xadj;
+  const index_t* slot;
+  const double* sign;
+};
+
+// 2-lane (SSE2 on x86) kernels.
+void euler_flux_interior_w2(const EulerFluxCtx& ctx, index_t begin,
+                            index_t end, double dtf);
+void euler_flux_boundary_w2(const EulerFluxCtx& ctx, index_t begin,
+                            index_t end, double dtf);
+void euler_update_w2(const EulerUpdateCtx& ctx, index_t begin, index_t end);
+void transport_flux_interior_w2(const TransportFluxCtx& ctx, index_t begin,
+                                index_t end, double dtf);
+/// Returns the boundary net outflow for this sub-range (tolerance-only
+/// diagnostic; the caller adds it to the solver's atomic total).
+double transport_flux_boundary_w2(const TransportFluxCtx& ctx, index_t begin,
+                                  index_t end, double dtf);
+void transport_update_w2(const TransportUpdateCtx& ctx, index_t begin,
+                         index_t end);
+
+// 4-lane (AVX2 when the toolchain supports -mavx2) kernels.
+void euler_flux_interior_w4(const EulerFluxCtx& ctx, index_t begin,
+                            index_t end, double dtf);
+void euler_flux_boundary_w4(const EulerFluxCtx& ctx, index_t begin,
+                            index_t end, double dtf);
+void euler_update_w4(const EulerUpdateCtx& ctx, index_t begin, index_t end);
+void transport_flux_interior_w4(const TransportFluxCtx& ctx, index_t begin,
+                                index_t end, double dtf);
+double transport_flux_boundary_w4(const TransportFluxCtx& ctx, index_t begin,
+                                  index_t end, double dtf);
+void transport_update_w4(const TransportUpdateCtx& ctx, index_t begin,
+                         index_t end);
+
+}  // namespace tamp::solver::simdk

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "solver/simd_kernels.hpp"
 #include "taskgraph/scheme.hpp"
 #include "verify/access.hpp"
 
@@ -11,20 +12,66 @@ namespace tamp::solver {
 
 using mesh::Vec3;
 
+namespace {
+
+/// Pointer bundles into the solver's storage for the per-width kernels.
+/// Side s of face f is combined-accumulator column s: acc.var(s)[f].
+simdk::TransportFluxCtx make_flux_ctx(const std::vector<double>& phi,
+                                      PaddedVars& acc,
+                                      const KernelGeometry& g,
+                                      const TransportConfig& config) {
+  simdk::TransportFluxCtx ctx;
+  ctx.phi = phi.data();
+  ctx.acc0 = acc.var(0);
+  ctx.acc1 = acc.var(1);
+  ctx.face_a = g.face_a.data();
+  ctx.face_b = g.face_b.data();
+  ctx.nx = g.nx.data();
+  ctx.ny = g.ny.data();
+  ctx.nz = g.nz.data();
+  ctx.area = g.area.data();
+  ctx.dist = g.dist.data();
+  ctx.vx = config.velocity.x;
+  ctx.vy = config.velocity.y;
+  ctx.vz = config.velocity.z;
+  ctx.diffusivity = config.diffusivity;
+  ctx.ambient = config.ambient;
+  return ctx;
+}
+
+simdk::TransportUpdateCtx make_update_ctx(std::vector<double>& phi,
+                                          PaddedVars& acc,
+                                          const KernelGeometry& g,
+                                          const std::vector<index_t>& slot,
+                                          const std::vector<double>& sign) {
+  simdk::TransportUpdateCtx ctx;
+  ctx.phi = phi.data();
+  ctx.acc = acc.var(0);
+  ctx.inv_vol = g.inv_vol.data();
+  ctx.xadj = g.gather_xadj.data();
+  ctx.slot = slot.data();
+  ctx.sign = sign.data();
+  return ctx;
+}
+
+}  // namespace
+
 TransportSolver::TransportSolver(mesh::Mesh& mesh, TransportConfig config)
-    : mesh_(mesh), config_(config), geom_(build_kernel_geometry(mesh)) {
+    : mesh_(mesh), config_(config), geom_(build_kernel_geometry(mesh)),
+      acc_(mesh.num_faces(), 2),
+      gather_slot_(
+          build_gather_slots(geom_, static_cast<eindex_t>(acc_.stride()))),
+      gather_sign_(build_gather_signs(geom_)),
+      simd_level_(simd::resolve(config.simd)) {
   TAMP_EXPECTS(config.diffusivity >= 0, "diffusivity must be non-negative");
   TAMP_EXPECTS(config.cfl > 0 && config.cfl <= 1.0, "CFL must be in (0,1]");
   TAMP_EXPECTS(config.max_levels >= 1, "need at least one temporal level");
   phi_.assign(static_cast<std::size_t>(mesh.num_cells()), 0.0);
-  acc_[0].assign(static_cast<std::size_t>(mesh.num_faces()), 0.0);
-  acc_[1].assign(static_cast<std::size_t>(mesh.num_faces()), 0.0);
 }
 
 void TransportSolver::initialize_uniform(double value) {
   std::fill(phi_.begin(), phi_.end(), value);
-  std::fill(acc_[0].begin(), acc_[0].end(), 0.0);
-  std::fill(acc_[1].begin(), acc_[1].end(), 0.0);
+  acc_.fill(0.0);
   boundary_net_.store(0.0, std::memory_order_relaxed);
   time_ = 0.0;
 }
@@ -89,7 +136,7 @@ void TransportSolver::flux_face(index_t f, double dtf) {
     // Upwind inflow/outflow; no diffusive wall flux (insulated).
     const double flux = un * (un >= 0 ? phi_a : config_.ambient);
     const double amount = flux * area * dtf;
-    acc_[0][sf] += amount;
+    acc_.var(0)[sf] += amount;
     boundary_net_.fetch_add(amount, std::memory_order_relaxed);
     return;
   }
@@ -108,13 +155,13 @@ void TransportSolver::flux_face(index_t f, double dtf) {
     flux -= config_.diffusivity * (phi_b - phi_a) / dist;
   }
   const double amount = flux * area * dtf;
-  acc_[0][sf] += amount;
-  acc_[1][sf] += amount;
+  acc_.var(0)[sf] += amount;
+  acc_.var(1)[sf] += amount;
 }
 
 void TransportSolver::update_cell(index_t c) {
   const auto sc = static_cast<std::size_t>(c);
-  const double inv_v = 1.0 / mesh_.cell_volume(c);
+  const double inv_v = geom_.inv_vol[sc];
   verify::record_write(verify::ObjectKind::cell_state, c);
   for (const index_t f : mesh_.cell_faces(c)) {
     const auto sf = static_cast<std::size_t>(f);
@@ -123,16 +170,16 @@ void TransportSolver::update_cell(index_t c) {
                                    : verify::ObjectKind::face_acc_side1,
                          f);
     const double sign = side == 0 ? -1.0 : 1.0;
-    phi_[sc] += sign * acc_[static_cast<std::size_t>(side)][sf] * inv_v;
-    acc_[static_cast<std::size_t>(side)][sf] = 0.0;
+    phi_[sc] += sign * acc_.var(side)[sf] * inv_v;
+    acc_.var(side)[sf] = 0.0;
   }
 }
 
-void TransportSolver::flux_faces_interior(index_t begin, index_t end,
-                                          double dtf) {
+void TransportSolver::flux_faces_interior_scalar(index_t begin, index_t end,
+                                                 double dtf) {
   const double* phi = phi_.data();
-  double* acc0 = acc_[0].data();
-  double* acc1 = acc_[1].data();
+  double* acc0 = acc_.var(0);
+  double* acc1 = acc_.var(1);
   const double diffusivity = config_.diffusivity;
   for (index_t f = begin; f < end; ++f) {
     const auto sf = static_cast<std::size_t>(f);
@@ -149,10 +196,10 @@ void TransportSolver::flux_faces_interior(index_t begin, index_t end,
   }
 }
 
-void TransportSolver::flux_faces_boundary(index_t begin, index_t end,
-                                          double dtf) {
+void TransportSolver::flux_faces_boundary_scalar(index_t begin, index_t end,
+                                                 double dtf) {
   const double* phi = phi_.data();
-  double* acc0 = acc_[0].data();
+  double* acc0 = acc_.var(0);
   double net = 0.0;
   for (index_t f = begin; f < end; ++f) {
     const auto sf = static_cast<std::size_t>(f);
@@ -169,9 +216,9 @@ void TransportSolver::flux_faces_boundary(index_t begin, index_t end,
   if (begin < end) boundary_net_.fetch_add(net, std::memory_order_relaxed);
 }
 
-void TransportSolver::update_cells_range(index_t begin, index_t end) {
+void TransportSolver::update_cells_range_scalar(index_t begin, index_t end) {
   double* phi = phi_.data();
-  double* acc[2] = {acc_[0].data(), acc_[1].data()};
+  double* acc[2] = {acc_.var(0), acc_.var(1)};
   for (index_t c = begin; c < end; ++c) {
     const auto sc = static_cast<std::size_t>(c);
     const double inv_v = geom_.inv_vol[sc];
@@ -184,6 +231,65 @@ void TransportSolver::update_cells_range(index_t begin, index_t end) {
       phi[sc] += sign * acc[side][sf] * inv_v;
       acc[side][sf] = 0.0;
     }
+  }
+}
+
+void TransportSolver::flux_faces_interior(index_t begin, index_t end,
+                                          double dtf) {
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      simdk::transport_flux_interior_w4(make_flux_ctx(phi_, acc_, geom_,
+                                                      config_),
+                                        begin, end, dtf);
+      return;
+    case simd::Level::sse2:
+      simdk::transport_flux_interior_w2(make_flux_ctx(phi_, acc_, geom_,
+                                                      config_),
+                                        begin, end, dtf);
+      return;
+    case simd::Level::scalar:
+      flux_faces_interior_scalar(begin, end, dtf);
+      return;
+  }
+}
+
+void TransportSolver::flux_faces_boundary(index_t begin, index_t end,
+                                          double dtf) {
+  double net = 0.0;
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      net = simdk::transport_flux_boundary_w4(
+          make_flux_ctx(phi_, acc_, geom_, config_), begin, end, dtf);
+      break;
+    case simd::Level::sse2:
+      net = simdk::transport_flux_boundary_w2(
+          make_flux_ctx(phi_, acc_, geom_, config_), begin, end, dtf);
+      break;
+    case simd::Level::scalar:
+      flux_faces_boundary_scalar(begin, end, dtf);
+      return;
+  }
+  // Same one-atomic-add-per-sub-range policy as the scalar kernel; the
+  // lane partial sums make the total tolerance-only, which the
+  // boundary_net_ contract already is.
+  if (begin < end) boundary_net_.fetch_add(net, std::memory_order_relaxed);
+}
+
+void TransportSolver::update_cells_range(index_t begin, index_t end) {
+  switch (simd_level_) {
+    case simd::Level::avx2:
+      simdk::transport_update_w4(
+          make_update_ctx(phi_, acc_, geom_, gather_slot_, gather_sign_),
+          begin, end);
+      return;
+    case simd::Level::sse2:
+      simdk::transport_update_w2(
+          make_update_ctx(phi_, acc_, geom_, gather_slot_, gather_sign_),
+          begin, end);
+      return;
+    case simd::Level::scalar:
+      update_cells_range_scalar(begin, end);
+      return;
   }
 }
 
@@ -288,9 +394,8 @@ double TransportSolver::total_scalar() const {
   for (index_t c = 0; c < mesh_.num_cells(); ++c)
     total += mesh_.cell_volume(c) * phi_[static_cast<std::size_t>(c)];
   for (index_t f = 0; f < mesh_.num_faces(); ++f) {
-    const auto sf = static_cast<std::size_t>(f);
-    total -= acc_[0][sf];  // side-0 pending (incl. boundary: already left)
-    if (!mesh_.is_boundary_face(f)) total += acc_[1][sf];
+    total -= acc_.at(0, f);  // side-0 pending (incl. boundary: already left)
+    if (!mesh_.is_boundary_face(f)) total += acc_.at(1, f);
   }
   return total;
 }

@@ -24,6 +24,7 @@
 #include "mesh/mesh.hpp"
 #include "runtime/runtime.hpp"
 #include "solver/layout.hpp"
+#include "support/simd.hpp"
 #include "taskgraph/generate.hpp"
 
 namespace tamp::solver {
@@ -36,6 +37,9 @@ struct TransportConfig {
   /// Safety factor on the combined advective + diffusive step bound.
   double cfl = 0.2;
   level_t max_levels = 4;
+  /// SIMD tier for the streaming kernels (same semantics as
+  /// SolverConfig::simd: inherit → flusim --simd / TAMP_SIMD / auto).
+  simd::Request simd = simd::Request::inherit;
 };
 
 class TransportSolver {
@@ -91,16 +95,23 @@ public:
   [[nodiscard]] double max_value() const;
   [[nodiscard]] bool values_finite() const;
 
+  /// The SIMD tier the streaming kernels actually run.
+  [[nodiscard]] simd::Level simd_level() const { return simd_level_; }
+
 private:
   // Per-object reference kernels (serial path, scattered-class fallback).
   void flux_face(index_t f, double dtf);
   void update_cell(index_t c);
-  // Streaming range kernels over class-contiguous id runs, bitwise
-  // identical to the per-object kernels (boundary branch hoisted, no
-  // inline access records — ranged tasks record class ranges up front).
+  // Streaming range kernels over class-contiguous id runs — simd_level_
+  // dispatchers, like the Euler solver's (see euler.hpp): scalar runs
+  // the *_scalar bodies (bitwise the per-object kernels), sse2/avx2 run
+  // the lane-transposed kernels in simd_kernels_w{2,4}.cpp.
   void flux_faces_interior(index_t begin, index_t end, double dtf);
   void flux_faces_boundary(index_t begin, index_t end, double dtf);
   void update_cells_range(index_t begin, index_t end);
+  void flux_faces_interior_scalar(index_t begin, index_t end, double dtf);
+  void flux_faces_boundary_scalar(index_t begin, index_t end, double dtf);
+  void update_cells_range_scalar(index_t begin, index_t end);
 
   mesh::Mesh& mesh_;
   TransportConfig config_;
@@ -108,8 +119,15 @@ private:
   double dt0_ = 0;
   double time_ = 0;
   std::vector<double> phi_;
-  /// Per-side face accumulators (integrated flux side0 → side1).
-  std::array<std::vector<double>, 2> acc_;
+  /// Per-side face accumulators, folded into one two-column PaddedVars
+  /// (column = side) so the SIMD update gather reaches either side from
+  /// one base pointer: side s of face f is acc_.var(s)[f], equivalently
+  /// slot f + s * stride from acc_.var(0).
+  PaddedVars acc_;
+  /// SIMD gather addressing (layout.hpp).
+  std::vector<index_t> gather_slot_;
+  std::vector<double> gather_sign_;
+  simd::Level simd_level_ = simd::Level::scalar;
   /// Atomic: boundary face tasks of different classes may run
   /// concurrently and all credit the same counter.
   std::atomic<double> boundary_net_{0.0};

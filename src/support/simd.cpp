@@ -1,0 +1,154 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace tamp::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+inline constexpr bool kX86 = true;
+#else
+inline constexpr bool kX86 = false;
+#endif
+
+bool cpu_has(Level level) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case Level::scalar:
+      return true;
+    case Level::sse2:
+      return __builtin_cpu_supports("sse2");
+    case Level::avx2:
+      return __builtin_cpu_supports("avx2");
+  }
+#else
+  (void)level;
+#endif
+  return !kX86;
+}
+
+/// Process default request; inherit = "unset, fall back to TAMP_SIMD".
+std::atomic<Request> g_default_request{Request::inherit};
+
+}  // namespace
+
+int lanes(Level level) {
+  switch (level) {
+    case Level::scalar:
+      return 1;
+    case Level::sse2:
+      return 2;
+    case Level::avx2:
+      return 4;
+  }
+  return 1;
+}
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::scalar:
+      return "scalar";
+    case Level::sse2:
+      return "sse2";
+    case Level::avx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+Request parse_request(std::string_view text) {
+  if (text.empty()) return Request::inherit;
+  if (text == "auto") return Request::auto_;
+  if (text == "scalar") return Request::scalar;
+  if (text == "sse2") return Request::sse2;
+  if (text == "avx2") return Request::avx2;
+  TAMP_EXPECTS(false, "SIMD level must be auto|avx2|sse2|scalar");
+  return Request::auto_;
+}
+
+Level detect_native() {
+  if (cpu_has(Level::avx2) && kX86) return Level::avx2;
+  if (cpu_has(Level::sse2) && kX86) return Level::sse2;
+  return Level::scalar;
+}
+
+bool level_runnable(Level level) {
+  if (level == Level::scalar) return true;
+  if (!kX86) return true;  // per-width TUs are portable off x86
+#if !defined(TAMP_SIMD_MAVX2)
+  // The 4-lane TU was built without -mavx2 (compiler too old / flag
+  // rejected): it holds portable packs and runs anywhere SSE2 does.
+  if (level == Level::avx2) return cpu_has(Level::sse2);
+#endif
+  return cpu_has(level);
+}
+
+Request env_request() {
+  const char* env = std::getenv("TAMP_SIMD");
+  if (env == nullptr || *env == '\0') return Request::auto_;
+  const Request request = parse_request(env);
+  return request == Request::inherit ? Request::auto_ : request;
+}
+
+Request default_request() {
+  const Request request = g_default_request.load(std::memory_order_relaxed);
+  return request == Request::inherit ? env_request() : request;
+}
+
+void set_default_request(Request request) {
+  g_default_request.store(request, std::memory_order_relaxed);
+}
+
+Level resolve(Request request) {
+  if (request == Request::inherit) request = default_request();
+  Level level = Level::scalar;
+  switch (request) {
+    case Request::inherit:
+    case Request::auto_:
+      level = detect_native();
+      break;
+    case Request::scalar:
+      return Level::scalar;
+    case Request::sse2:
+      level = Level::sse2;
+      break;
+    case Request::avx2:
+      level = Level::avx2;
+      break;
+  }
+  while (level != Level::scalar && !level_runnable(level))
+    level = static_cast<Level>(static_cast<int>(level) - 1);
+  return level;
+}
+
+std::vector<Level> runnable_levels() {
+  std::vector<Level> levels{Level::scalar};
+  for (const Level level : {Level::sse2, Level::avx2})
+    if (level_runnable(level)) levels.push_back(level);
+  return levels;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  if (a == b) return 0;  // covers +0 vs -0
+  // Map the IEEE bit patterns onto a scale monotone in value: negative
+  // doubles flip (so more-negative sorts lower), non-negatives shift up.
+  const auto ordered = [](double x) {
+    const auto bits = std::bit_cast<std::uint64_t>(x);
+    constexpr std::uint64_t sign_bit = 0x8000000000000000ull;
+    return (bits & sign_bit) != 0 ? ~bits : bits | sign_bit;
+  };
+  const std::uint64_t ua = ordered(a);
+  const std::uint64_t ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+}  // namespace tamp::simd

@@ -5,7 +5,8 @@
 # (test_flight), the partitioner's work-stealing pool
 # (test_thread_pool), the race verifier's instrumented solver runs under
 # adversarial schedules (test_verify, test_verify_solver, flusim
-# --verify-races), and the parallel decomposition itself — the partition
+# --verify-races), the SIMD lane tiers' adversarial equivalence suite
+# (test_simd), and the parallel decomposition itself — the partition
 # test binaries plus the doctor smoke workflow run with
 # TAMP_PARTITION_THREADS=4 so every pool code path executes under TSan.
 # Uses a separate build tree so it never disturbs the main ./build
@@ -25,7 +26,7 @@ cmake -S "${ROOT}" -B "${BUILD}" \
 cmake --build "${BUILD}" -j "$(nproc)" --target \
   test_obs test_runtime test_flight test_thread_pool test_partition \
   test_partition_properties test_reorder test_verify test_verify_solver \
-  flusim tamp_report
+  test_simd flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
@@ -37,6 +38,10 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "${BUILD}/tests/test_reorder"
 "${BUILD}/tests/test_verify"
 "${BUILD}/tests/test_verify_solver"
+# The SIMD lane tiers under real threads: the equivalence suite runs its
+# adversarial executions per runnable level, so TSan watches the
+# lane-transposed kernels race (or not) against each other's ranges.
+"${BUILD}/tests/test_simd"
 
 # The DAG-level race check itself, with the per-worker access buffers
 # exercised by real threads + jitter: TSan watches the recorder while the
