@@ -16,6 +16,7 @@
 #include <iostream>
 #include <optional>
 
+#include "core/pipeline.hpp"
 #include "mesh/generators.hpp"
 #include "mesh/io.hpp"
 #include "obs/export.hpp"
@@ -35,6 +36,7 @@
 #include "sim/whatif.hpp"
 #include "solver/euler.hpp"
 #include "solver/layout.hpp"
+#include "solver/transport.hpp"
 #include "support/cli.hpp"
 #include "support/gantt.hpp"
 #include "support/simd.hpp"
@@ -70,6 +72,17 @@ int main(int argc, char** argv) {
   cli.option("policy", "eager", "eager | lifo | cp | random");
   cli.option("comm-latency", "0", "latency per crossing edge (work units)");
   cli.option("iterations", "1", "iterations to emulate");
+  cli.option("pipeline", "",
+             "run the asynchronous iteration pipeline instead of the one-shot "
+             "simulation: sync | overlap. A real solver advances --iterations "
+             "iterations over an evolving mesh; overlap hides each "
+             "iteration's evolve/repartition/taskgraph prep under the "
+             "previous solve. Bitwise identical output in both modes");
+  cli.option("pipeline-solver", "euler",
+             "solver driven by --pipeline: euler | transport");
+  cli.option("drift", "0.05",
+             "per-iteration temporal-level drift for --pipeline");
+  cli.option("seed", "1", "seed for --pipeline evolve/repartition streams");
   cli.option("svg", "", "write a Gantt SVG here");
   cli.option("chrome-trace", "",
              "write a chrome://tracing JSON here (task spans merged with "
@@ -160,6 +173,127 @@ int main(int argc, char** argv) {
       mean = (1.0 / static_cast<double>(mm.num_cells())) * mean;
       euler->add_pulse(mean, std::max(0.2 * distance(lo, hi), 1e-3), 0.3);
     };
+    // --- asynchronous iteration pipeline ------------------------------------
+    if (!cli.get("pipeline").empty()) {
+      if (!cli.get("partition").empty())
+        throw precondition_error(
+            "--pipeline repartitions incrementally every iteration; it is "
+            "incompatible with a fixed --partition file");
+
+      core::IterationPipelineConfig pcfg;
+      pcfg.mode = core::parse_pipeline_mode(cli.get("pipeline"));
+      pcfg.num_iterations =
+          std::max(1, static_cast<int>(cli.get_int("iterations")));
+      pcfg.drift = cli.get_double("drift");
+      pcfg.strategy = partition::parse_strategy(cli.get("partition-strategy"));
+      pcfg.ndomains = static_cast<part_t>(cli.get_int("domains"));
+      pcfg.nprocesses = static_cast<part_t>(cli.get_int("processes"));
+      pcfg.workers_per_process =
+          std::max(1, static_cast<int>(cli.get_int("workers")));
+      pcfg.threads = static_cast<int>(cli.get_int("threads"));
+      pcfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      pcfg.fault = core::pipeline_fault_from_env();
+
+      const bool races = cli.get_flag("verify-races");
+      if (races) {
+        pcfg.adversarial.enabled = true;
+        pcfg.adversarial.seed =
+            static_cast<std::uint64_t>(cli.get_int("verify-seed"));
+        pcfg.adversarial.max_delay_seconds =
+            cli.get_double("verify-delay-us") * 1e-6;
+      }
+
+      // Each iteration's body is instrumented against a fresh access log
+      // (the task graph changes every iteration); the observer settles the
+      // race verdict before the next snapshot is consumed.
+      std::shared_ptr<verify::AccessLog> plog;
+      std::size_t race_conflicts = 0, race_pairs = 0;
+      std::function<runtime::TaskBody(runtime::TaskBody,
+                                      const core::IterationSnapshot&)>
+          wrap;
+      if (races)
+        wrap = [&plog](runtime::TaskBody body,
+                       const core::IterationSnapshot& snap) {
+          plog = std::make_shared<verify::AccessLog>(snap.graph.num_tasks());
+          return verify::instrument(body, *plog);
+        };
+
+      std::optional<solver::TransportSolver> transport;
+      core::SolverHooks hooks;
+      const std::string solver_name = cli.get("pipeline-solver");
+      if (solver_name == "euler") {
+        init_euler(m);
+        euler->assign_temporal_levels();
+        hooks = core::euler_pipeline_hooks(*euler, wrap);
+      } else if (solver_name == "transport") {
+        transport.emplace(m);
+        transport->initialize_uniform(0.0);
+        mesh::Vec3 lo = m.cell_centroid(0), hi = lo, mean{};
+        for (index_t c = 0; c < m.num_cells(); ++c) {
+          const mesh::Vec3 p = m.cell_centroid(c);
+          lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+          hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+          mean = mean + p;
+        }
+        mean = (1.0 / static_cast<double>(m.num_cells())) * mean;
+        transport->add_blob(mean, std::max(0.2 * distance(lo, hi), 1e-3), 1.0);
+        transport->assign_temporal_levels();
+        hooks = core::transport_pipeline_hooks(*transport, wrap);
+      } else {
+        throw precondition_error("unknown --pipeline-solver '" + solver_name +
+                                 "' (expected euler | transport)");
+      }
+      if (races)
+        hooks.observer = [&](const core::IterationSnapshot& snap,
+                             const runtime::ExecutionReport&) {
+          const verify::RaceReport rep = verify::check_races(snap.graph, *plog);
+          race_pairs += rep.pairs_checked;
+          if (!rep.clean()) {
+            std::cout << rep.summary(snap.graph);
+            race_conflicts += rep.conflicts.size();
+          }
+          plog.reset();
+        };
+
+      const core::PipelineRunReport prun =
+          core::run_iteration_pipeline(m, pcfg, hooks);
+
+      std::cout << "pipeline: " << core::to_string(pcfg.mode) << " mode, "
+                << pcfg.num_iterations << " iterations of " << solver_name
+                << " on " << m.num_cells() << " cells;  " << pcfg.ndomains
+                << " domains on " << pcfg.nprocesses << " process(es) x "
+                << pcfg.workers_per_process << " workers\n";
+      TablePrinter pt("per-iteration stages");
+      pt.header({"iter", "prep ms", "solve ms", "cells changed", "migrated",
+                 "max migration"});
+      for (const core::PipelineIterationStats& it : prun.iterations)
+        pt.row({std::to_string(it.iteration),
+                fmt_double((it.prep_end - it.prep_start) * 1e3, 2),
+                fmt_double((it.solve_end - it.solve_start) * 1e3, 2),
+                std::to_string(it.cells_changed),
+                std::to_string(it.migrated_cells),
+                fmt_percent(it.max_domain_migration)});
+      pt.print(std::cout);
+      sim::print_stage_overlap(std::cout, prun.overlap);
+
+      if (!cli.get("metrics").empty())
+        obs::save_text(
+            obs::metrics_to_json(obs::Registry::instance().snapshot()),
+            cli.get("metrics"));
+      if (races) {
+        std::cout << "verify: " << race_pairs << " pairs checked across "
+                  << pcfg.num_iterations << " iteration graphs\n";
+        if (race_conflicts > 0) {
+          std::cout << "verify: " << race_conflicts
+                    << " unordered conflicting task pair(s)\n";
+          return 2;
+        }
+        std::cout << "verify: clean — every conflicting access pair is "
+                     "ordered by the task graph\n";
+      }
+      return 0;
+    }
+
     if (cli.get_flag("verify-races")) {
       init_euler(m);
       euler->assign_temporal_levels();

@@ -1,6 +1,56 @@
 #include "core/autotune.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "support/thread_pool.hpp"
+
 namespace tamp::core {
+
+namespace {
+
+RunConfig candidate_config(const AutotuneOptions& opts, part_t nd) {
+  RunConfig cfg;
+  cfg.strategy = opts.strategy;
+  cfg.ndomains = nd;
+  cfg.nprocesses = opts.nprocesses;
+  cfg.workers_per_process = opts.workers_per_process;
+  cfg.comm = opts.comm;
+  cfg.task_overhead = opts.task_overhead;
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+// Scoring consumes a *finished* plan — never the pipeline's shared
+// metric gauges, which the overlapped prep of the next candidate is
+// rewriting concurrently. Every row is a pure function of the plan and
+// the options, so sync and overlap sweeps agree bitwise.
+AutotuneRow score_candidate(const mesh::Mesh& /*mesh*/, const RunPlan& plan,
+                            const AutotuneOptions& opts, part_t nd) {
+  const RunConfig cfg = candidate_config(opts, nd);
+  const sim::SimResult with_comm = simulate_plan(plan, cfg);
+
+  // Zero-communication reference on the same decomposition: re-simulate
+  // rather than re-partition.
+  sim::SimOptions ideal;
+  ideal.cluster.num_processes = opts.nprocesses;
+  ideal.cluster.workers_per_process = opts.workers_per_process;
+  ideal.seed = opts.seed;
+  const sim::SimResult ideal_sim =
+      sim::simulate(plan.graph, plan.domain_to_process, ideal);
+
+  AutotuneRow row;
+  row.ndomains = nd;
+  row.makespan = with_comm.makespan;
+  row.ideal_makespan = ideal_sim.makespan;
+  row.cross_process_edges = cross_process_edges(plan.graph,
+                                                plan.domain_to_process);
+  row.occupancy = with_comm.occupancy();
+  return row;
+}
+
+}  // namespace
 
 AutotuneResult suggest_domain_count(const mesh::Mesh& mesh,
                                     const AutotuneOptions& opts) {
@@ -17,38 +67,53 @@ AutotuneResult suggest_domain_count(const mesh::Mesh& mesh,
   }
   TAMP_EXPECTS(!candidates.empty(), "no candidate domain counts");
 
+  ThreadPool* pool =
+      opts.pipeline == PipelineMode::overlap
+          ? ThreadPool::shared(std::max(2, resolve_num_threads(opts.threads)))
+          : nullptr;
+
   AutotuneResult result;
   simtime_t best_makespan = 0;
-  for (const part_t nd : candidates) {
-    RunConfig cfg;
-    cfg.strategy = opts.strategy;
-    cfg.ndomains = nd;
-    cfg.nprocesses = opts.nprocesses;
-    cfg.workers_per_process = opts.workers_per_process;
-    cfg.comm = opts.comm;
-    cfg.task_overhead = opts.task_overhead;
-    cfg.seed = opts.seed;
-    const RunOutcome with_comm = run_on_mesh(mesh, cfg);
-
-    // Zero-communication reference on the same decomposition: re-simulate
-    // rather than re-partition.
-    sim::SimOptions ideal;
-    ideal.cluster.num_processes = opts.nprocesses;
-    ideal.cluster.workers_per_process = opts.workers_per_process;
-    ideal.seed = opts.seed;
-    const sim::SimResult ideal_sim =
-        sim::simulate(with_comm.graph, with_comm.domain_to_process, ideal);
+  RunPlan plan = prepare_on_mesh(mesh, candidate_config(opts, candidates[0]));
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    // Overlap: candidate k+1's decomposition + task graph build on the
+    // pool while candidate k is scored here.
+    ThreadPool::TaskHandle handle;
+    std::shared_ptr<RunPlan> next;
+    if (pool != nullptr && k + 1 < candidates.size()) {
+      next = std::make_shared<RunPlan>();
+      handle = pool->submit_background([&mesh, &opts, &candidates, next, k] {
+        *next = prepare_on_mesh(mesh,
+                                candidate_config(opts, candidates[k + 1]));
+      });
+    }
 
     AutotuneRow row;
-    row.ndomains = nd;
-    row.makespan = with_comm.makespan();
-    row.ideal_makespan = ideal_sim.makespan;
-    row.cross_process_edges = with_comm.comm_volume();
-    row.occupancy = with_comm.occupancy();
+    try {
+      row = score_candidate(mesh, plan, opts, candidates[k]);
+    } catch (...) {
+      if (handle != nullptr) {
+        try {
+          pool->wait(handle);
+        } catch (...) {
+        }
+      }
+      throw;
+    }
     result.sweep.push_back(row);
     if (result.best_ndomains == 0 || row.makespan < best_makespan) {
-      result.best_ndomains = nd;
+      result.best_ndomains = candidates[k];
       best_makespan = row.makespan;
+    }
+
+    if (k + 1 < candidates.size()) {
+      if (handle != nullptr) {
+        pool->wait(handle);
+        plan = std::move(*next);
+      } else {
+        plan = prepare_on_mesh(mesh,
+                               candidate_config(opts, candidates[k + 1]));
+      }
     }
   }
   return result;

@@ -1,16 +1,40 @@
 // High-level experiment pipeline: mesh → partition → task graph → schedule.
 //
-// This is the library's main entry point for users reproducing the
-// paper's experiments (and the API all examples/benches are written
-// against): configure a RunConfig, call run_on_mesh(), read the outcome.
+// Two entry points live here:
+//
+//  * run_on_mesh() — the one-shot pipeline the paper figures are written
+//    against: configure a RunConfig, read the outcome (with
+//    prepare_on_mesh()/simulate_plan() as its two stages, separately
+//    callable so callers can overlap preparation with scoring).
+//
+//  * run_iteration_pipeline() — the asynchronous two-stage *iteration*
+//    pipeline: a real solver advances iteration i on the threaded
+//    runtime while iteration i+1's preparation (temporal-level evolve →
+//    incremental repartition → task-graph build → runtime bookkeeping)
+//    runs as a background task on the work-stealing pool, handing over
+//    immutable IterationSnapshots through a depth-1 queue. Overlapped
+//    mode is bitwise identical to sync mode at every thread count; see
+//    DESIGN.md "Asynchronous pipeline" for the ownership and determinism
+//    contract.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "mesh/evolve.hpp"
 #include "mesh/generators.hpp"
+#include "partition/incremental.hpp"
 #include "partition/strategy.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/doctor.hpp"
 #include "sim/simulate.hpp"
 #include "taskgraph/generate.hpp"
+
+namespace tamp::solver {
+class EulerSolver;
+class TransportSolver;
+}  // namespace tamp::solver
 
 namespace tamp::core {
 
@@ -56,7 +80,154 @@ struct RunOutcome {
 /// to compare them on identical input, as all paper figures do).
 RunOutcome run_on_mesh(const mesh::Mesh& mesh, const RunConfig& config);
 
+/// The preparation half of run_on_mesh(): decomposition (+ optional
+/// repair), task graph, process map — everything except the simulation.
+/// Deterministic in (mesh, config) alone, so it can run concurrently
+/// with simulate_plan() calls on other plans (autotune overlaps the two).
+struct RunPlan {
+  partition::DomainDecomposition decomposition;
+  taskgraph::TaskGraph graph;
+  std::vector<part_t> domain_to_process;
+};
+RunPlan prepare_on_mesh(const mesh::Mesh& mesh, const RunConfig& config);
+
+/// The scoring half: simulate a prepared plan under `config`'s cluster /
+/// policy / communication knobs.
+sim::SimResult simulate_plan(const RunPlan& plan, const RunConfig& config);
+
+/// Dependency edges whose endpoints run on different processes (the
+/// paper's Fig 11b communication estimate; RunOutcome::comm_volume()).
+[[nodiscard]] weight_t cross_process_edges(
+    const taskgraph::TaskGraph& graph,
+    const std::vector<part_t>& domain_to_process);
+
 /// One-line human summary ("SC_OC: makespan=…, occupancy=…%").
 std::string summarize(const RunOutcome& outcome);
+
+// --- asynchronous iteration pipeline ---------------------------------------
+
+enum class PipelineMode { sync, overlap };
+[[nodiscard]] const char* to_string(PipelineMode m);
+/// Parse "sync" | "overlap".
+PipelineMode parse_pipeline_mode(const std::string& name);
+
+/// Seeded stage-boundary fault injection: throw a runtime_failure at the
+/// entry of one pipeline stage of one iteration ("taskgraph:2" = the
+/// task-graph build of snapshot 2). The test hook proving the pipeline
+/// drains, rethrows exactly once, and leaks no tasks.
+struct PipelineFault {
+  enum class Stage : std::uint8_t { none, evolve, repartition, taskgraph,
+                                    solve };
+  Stage stage = Stage::none;
+  int iteration = -1;
+};
+[[nodiscard]] const char* to_string(PipelineFault::Stage s);
+/// Parse "stage:iteration" (stage ∈ evolve|repartition|taskgraph|solve).
+PipelineFault parse_pipeline_fault(const std::string& spec);
+/// The TAMP_PIPELINE_FAULT environment hook; Stage::none when unset.
+PipelineFault pipeline_fault_from_env();
+
+/// Everything iteration i's solve needs, frozen by the prep stage —
+/// published once, then immutable. The fingerprint seals levels,
+/// domain assignment and graph shape at publish time; every consumer
+/// re-verifies it, so a leaked mutable reference that changes any of
+/// them is caught at the next stage boundary (invariant_error).
+struct IterationSnapshot {
+  int iteration = 0;
+  std::vector<level_t> levels;  ///< temporal levels this iteration runs at
+  partition::DomainDecomposition decomposition;
+  taskgraph::TaskGraph graph;
+  std::shared_ptr<const taskgraph::ClassMap> classes;
+  std::vector<part_t> domain_to_process;
+  runtime::PreparedGraph prepared;  ///< launch bookkeeping, pre-derived
+  /// Prep provenance (zero for snapshot 0, which evolves nothing).
+  mesh::EvolveStats evolve;
+  partition::IncrementalReport repartition;
+  std::uint64_t fingerprint = 0;  ///< seal over levels/assignment/graph
+};
+
+struct IterationPipelineConfig {
+  PipelineMode mode = PipelineMode::sync;
+  int num_iterations = 4;
+  /// Per-iteration temporal-level drift fed to mesh::evolve_levels
+  /// (paper §III-A: levels evolve slowly — keep this small).
+  double drift = 0.05;
+  partition::Strategy strategy = partition::Strategy::mc_tl;
+  part_t ndomains = 16;
+  part_t nprocesses = 1;
+  int workers_per_process = 4;
+  partition::DomainMapping mapping = partition::DomainMapping::block;
+  double partition_tolerance = 0.05;
+  /// Threads for the prep pool and the initial decomposition; 0 =
+  /// TAMP_PARTITION_THREADS env (overlap mode floors the pool at 2 so a
+  /// worker exists to run prep behind the driver's solve).
+  int threads = 0;
+  std::uint64_t seed = 1;
+  /// Forwarded to the solve stage's runtime config (adversarial-schedule
+  /// sweeps of the overlapped pipeline).
+  runtime::AdversarialSchedule adversarial;
+  PipelineFault fault;  ///< Stage::none = no injection
+};
+
+/// Per-iteration stage timeline (seconds since pipeline start).
+struct PipelineIterationStats {
+  int iteration = 0;
+  double prep_start = 0, prep_end = 0;    ///< this snapshot's prep stage
+  double solve_start = 0, solve_end = 0;  ///< this snapshot's solve stage
+  index_t cells_changed = 0;    ///< evolve drift (0 for snapshot 0)
+  index_t migrated_cells = 0;   ///< incremental repartition movement
+  double max_domain_migration = 0;  ///< worst per-domain migrated fraction
+};
+
+struct PipelineRunReport {
+  std::vector<PipelineIterationStats> iterations;
+  sim::StageOverlapReport overlap;
+};
+
+/// How the pipeline drives a solver, expressed as hooks so Euler and
+/// transport (and tests' instrumented wrappers) share one driver:
+/// make_body binds a snapshot's pre-built (graph, classes) to the
+/// solver — called on the driver thread *after* the snapshot's levels
+/// were applied to the live mesh; note_complete advances the solver
+/// clock; observer (optional) runs after each iteration's solve with the
+/// consumed snapshot and the runtime report.
+struct SolverHooks {
+  std::function<runtime::TaskBody(const IterationSnapshot&)> make_body;
+  std::function<void()> note_complete;
+  std::function<void(const IterationSnapshot&,
+                     const runtime::ExecutionReport&)>
+      observer;
+};
+
+/// Run `config.num_iterations` solver iterations over an evolving mesh.
+/// `live_mesh` is the mesh the solver is bound to; its temporal levels
+/// must be assigned (solver assign_temporal_levels()) before the call.
+/// The pipeline keeps a private planning copy: prep stages mutate only
+/// the copy, the live mesh changes only at iteration boundaries on the
+/// driver thread (set_cell_levels from the consumed snapshot), so
+/// overlap mode shares no mutable state between concurrent stages and
+/// is bitwise identical to sync mode by construction.
+///
+/// Exceptions: the first stage failure (or injected fault) cancels
+/// outstanding prep at the next stage boundary, drains the pool, and is
+/// rethrown exactly once; an earlier iteration's solve failure wins over
+/// a concurrent later prep failure.
+PipelineRunReport run_iteration_pipeline(mesh::Mesh& live_mesh,
+                                         const IterationPipelineConfig& config,
+                                         const SolverHooks& hooks);
+
+/// Standard hooks for the two solvers (tests/examples/benches). The
+/// optional `wrap_body` decorates each iteration's task body (the race
+/// verifier's instrument()).
+SolverHooks euler_pipeline_hooks(
+    solver::EulerSolver& solver,
+    std::function<runtime::TaskBody(runtime::TaskBody,
+                                    const IterationSnapshot&)>
+        wrap_body = nullptr);
+SolverHooks transport_pipeline_hooks(
+    solver::TransportSolver& solver,
+    std::function<runtime::TaskBody(runtime::TaskBody,
+                                    const IterationSnapshot&)>
+        wrap_body = nullptr);
 
 }  // namespace tamp::core

@@ -76,31 +76,58 @@ struct ProcessQueue {
 
 }  // namespace
 
-ExecutionReport execute(const taskgraph::TaskGraph& graph,
-                        const std::vector<part_t>& domain_to_process,
-                        const RuntimeConfig& config, const TaskBody& body) {
-  TAMP_EXPECTS(config.num_processes >= 1, "need at least one process");
-  TAMP_EXPECTS(config.workers_per_process >= 1, "need at least one worker");
-  TAMP_EXPECTS(config.adversarial.max_delay_seconds >= 0,
-               "negative adversarial delay");
-  TAMP_TRACE_SCOPE("runtime/execute");
+PreparedGraph prepare_execution(const taskgraph::TaskGraph& graph,
+                                const std::vector<part_t>& domain_to_process,
+                                part_t num_processes) {
+  TAMP_EXPECTS(num_processes >= 1, "need at least one process");
   const index_t n = graph.num_tasks();
-
-  std::vector<part_t> process_of(static_cast<std::size_t>(n));
+  PreparedGraph prepared;
+  prepared.num_processes = num_processes;
+  prepared.process_of.resize(static_cast<std::size_t>(n));
   for (index_t t = 0; t < n; ++t) {
     const part_t d = graph.task(t).domain;
     TAMP_EXPECTS(static_cast<std::size_t>(d) < domain_to_process.size(),
                  "task domain outside process map");
     const part_t p = domain_to_process[static_cast<std::size_t>(d)];
-    TAMP_EXPECTS(p >= 0 && p < config.num_processes,
-                 "process id out of range");
-    process_of[static_cast<std::size_t>(t)] = p;
+    TAMP_EXPECTS(p >= 0 && p < num_processes, "process id out of range");
+    prepared.process_of[static_cast<std::size_t>(t)] = p;
   }
+  prepared.initial_pending.resize(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t)
+    prepared.initial_pending[static_cast<std::size_t>(t)] =
+        static_cast<index_t>(graph.predecessors(t).size());
+  return prepared;
+}
+
+ExecutionReport execute(const taskgraph::TaskGraph& graph,
+                        const std::vector<part_t>& domain_to_process,
+                        const RuntimeConfig& config, const TaskBody& body) {
+  return execute(
+      graph, prepare_execution(graph, domain_to_process, config.num_processes),
+      config, body);
+}
+
+ExecutionReport execute(const taskgraph::TaskGraph& graph,
+                        const PreparedGraph& prepared,
+                        const RuntimeConfig& config, const TaskBody& body) {
+  TAMP_EXPECTS(config.num_processes >= 1, "need at least one process");
+  TAMP_EXPECTS(config.workers_per_process >= 1, "need at least one worker");
+  TAMP_EXPECTS(config.adversarial.max_delay_seconds >= 0,
+               "negative adversarial delay");
+  TAMP_EXPECTS(prepared.num_processes == config.num_processes,
+               "prepared graph was derived for a different process count");
+  TAMP_TRACE_SCOPE("runtime/execute");
+  const index_t n = graph.num_tasks();
+  TAMP_EXPECTS(
+      prepared.process_of.size() == static_cast<std::size_t>(n) &&
+          prepared.initial_pending.size() == static_cast<std::size_t>(n),
+      "prepared graph does not match the task graph");
+  const std::vector<part_t>& process_of = prepared.process_of;
 
   std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(n));
   for (index_t t = 0; t < n; ++t)
     pending[static_cast<std::size_t>(t)].store(
-        static_cast<index_t>(graph.predecessors(t).size()),
+        prepared.initial_pending[static_cast<std::size_t>(t)],
         std::memory_order_relaxed);
 
   std::vector<ProcessQueue> queues(

@@ -141,6 +141,32 @@ ExecutionReport execute(const taskgraph::TaskGraph& graph,
                         const std::vector<part_t>& domain_to_process,
                         const RuntimeConfig& config, const TaskBody& body);
 
+/// The O(tasks + edges) launch bookkeeping of execute(), derived ahead
+/// of time: per-task process placement and initial dependency counts.
+/// The asynchronous pipeline builds this on the prep stage so the solve
+/// stage's execute() call starts dispatching immediately. Tied to the
+/// (graph, domain_to_process, num_processes) triple it was derived from;
+/// execute() validates the sizes but cannot detect a swapped graph of
+/// identical shape.
+struct PreparedGraph {
+  std::vector<part_t> process_of;        ///< per task
+  std::vector<index_t> initial_pending;  ///< per task: #predecessors
+  part_t num_processes = 0;
+};
+
+/// Derive the launch bookkeeping for executing `graph` on
+/// `num_processes` emulated processes.
+PreparedGraph prepare_execution(const taskgraph::TaskGraph& graph,
+                                const std::vector<part_t>& domain_to_process,
+                                part_t num_processes);
+
+/// Execute with pre-built bookkeeping (see PreparedGraph). Identical
+/// observable behaviour to the deriving overload; `config.num_processes`
+/// must equal `prepared.num_processes`.
+ExecutionReport execute(const taskgraph::TaskGraph& graph,
+                        const PreparedGraph& prepared,
+                        const RuntimeConfig& config, const TaskBody& body);
+
 /// Convenience body: busy-spin proportionally to each task's cost.
 /// `seconds_per_unit` converts cost units to wall time. Used by benches
 /// that want FLUSEPA-shaped load without the solver attached.

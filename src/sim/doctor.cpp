@@ -585,4 +585,31 @@ void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
     lengths.record(graph.task(t).cost);
 }
 
+void print_stage_overlap(std::ostream& os, const StageOverlapReport& r) {
+  os << "stage overlap (" << (r.overlapped ? "overlap" : "sync") << " mode, "
+     << r.iterations << " iterations): wall "
+     << fmt_double(r.wall_seconds * 1e3, 1) << " ms\n"
+     << "  solve " << fmt_double(r.solve_seconds * 1e3, 1) << " ms   prep "
+     << fmt_double(r.prep_seconds * 1e3, 1) << " ms ("
+     << fmt_double(r.hideable_prep_seconds * 1e3, 1) << " ms hideable)\n"
+     << "  prep hidden under solve: "
+     << fmt_double(r.hidden_seconds * 1e3, 1)
+     << " ms   prep-exposed (pipeline stall blame): "
+     << fmt_double(r.exposed_seconds() * 1e3, 1) << " ms\n"
+     << "  overlap efficiency: " << fmt_percent(r.overlap_efficiency())
+     << '\n';
+}
+
+void publish_stage_overlap_metrics(const StageOverlapReport& r,
+                                   const std::string& prefix) {
+  obs::gauge(prefix + "iterations").set(static_cast<double>(r.iterations));
+  obs::gauge(prefix + "overlapped").set(r.overlapped ? 1.0 : 0.0);
+  obs::gauge(prefix + "wall_seconds").set(r.wall_seconds);
+  obs::gauge(prefix + "prep_seconds").set(r.prep_seconds);
+  obs::gauge(prefix + "solve_seconds").set(r.solve_seconds);
+  obs::gauge(prefix + "prep_hidden_seconds").set(r.hidden_seconds);
+  obs::gauge(prefix + "prep_exposed_seconds").set(r.exposed_seconds());
+  obs::gauge(prefix + "overlap_efficiency").set(r.overlap_efficiency());
+}
+
 }  // namespace tamp::sim

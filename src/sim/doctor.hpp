@@ -148,4 +148,48 @@ void publish_doctor_metrics(const taskgraph::TaskGraph& graph,
                             const DoctorReport& report,
                             const std::string& prefix = "doctor.");
 
+/// Stage-overlap accounting of the asynchronous iteration pipeline
+/// (core/pipeline): how much of the prep work (evolve → incremental
+/// repartition → task-graph build) was hidden under the previous
+/// iteration's solve, and how much stayed exposed on the critical path —
+/// the doctor's blame category for pipeline stalls. Wall-clock seconds
+/// throughout; built by the pipeline driver from its per-iteration stage
+/// timestamps.
+struct StageOverlapReport {
+  int iterations = 0;            ///< solve iterations executed
+  bool overlapped = false;       ///< pipeline mode (overlap vs sync)
+  double wall_seconds = 0;       ///< whole pipeline run
+  double prep_seconds = 0;       ///< Σ all prep stages (snapshot 0 incl.)
+  double solve_seconds = 0;      ///< Σ solve stages
+  /// Prep that ran while a solve had the critical path covered —
+  /// Σ_i |[prep_start(i), prep_end(i)] ∩ [solve_start(i−1),
+  /// solve_end(i−1)]|. Structurally 0 in sync mode.
+  double hidden_seconds = 0;
+  /// Prep with a concurrent solve available to hide under (everything
+  /// except snapshot 0's, which no solve precedes) — the denominator of
+  /// overlap_efficiency().
+  double hideable_prep_seconds = 0;
+
+  /// Prep seconds left on the critical path ("prep-exposed" blame).
+  [[nodiscard]] double exposed_seconds() const {
+    return prep_seconds - hidden_seconds;
+  }
+  /// Fraction of hideable prep actually hidden, in [0, 1]; 0 when there
+  /// was nothing to hide.
+  [[nodiscard]] double overlap_efficiency() const {
+    return hideable_prep_seconds > 0 ? hidden_seconds / hideable_prep_seconds
+                                     : 0.0;
+  }
+};
+
+/// Human-readable stage-overlap section (pipeline table footer).
+void print_stage_overlap(std::ostream& os, const StageOverlapReport& report);
+
+/// Publish the overlap gauges under `prefix`:
+///   pipeline.overlap_efficiency / prep_hidden_seconds /
+///   prep_exposed_seconds / prep_seconds / solve_seconds / wall_seconds /
+///   iterations
+void publish_stage_overlap_metrics(const StageOverlapReport& report,
+                                   const std::string& prefix = "pipeline.");
+
 }  // namespace tamp::sim

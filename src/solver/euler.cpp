@@ -364,17 +364,25 @@ void EulerSolver::run_iteration() {
 
 EulerSolver::IterationTasks EulerSolver::make_iteration_tasks(
     const std::vector<part_t>& domain_of_cell, part_t ndomains) {
-  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
   auto classes = std::make_shared<taskgraph::ClassMap>();
   taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
       mesh_, domain_of_cell, ndomains, {}, classes.get());
+  runtime::TaskBody body = make_iteration_body(graph, std::move(classes));
+  return {std::move(graph), std::move(body)};
+}
+
+runtime::TaskBody EulerSolver::make_iteration_body(
+    const taskgraph::TaskGraph& graph,
+    std::shared_ptr<const taskgraph::ClassMap> classes) {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  TAMP_EXPECTS(classes != nullptr, "iteration body needs a class map");
   auto access = std::make_shared<ClassAccessTable>(build_class_access_ranges(
       mesh_, *classes, /*boundary_writes_side1=*/true));
 
   // Per-task execution plan, self-contained so the body outlives both the
-  // returned struct and the graph copy the caller keeps. A task whose
-  // class list is one contiguous id run carries the run and streams it;
-  // scattered classes keep the per-object list walk.
+  // caller's structs and the graph. A task whose class list is one
+  // contiguous id run carries the run and streams it; scattered classes
+  // keep the per-object list walk.
   struct Plan {
     double dt;
     index_t cls;
@@ -423,7 +431,7 @@ EulerSolver::IterationTasks EulerSolver::make_iteration_tasks(
       }
     }
   };
-  return {std::move(graph), std::move(body)};
+  return body;
 }
 
 void EulerSolver::note_tasks_complete() {

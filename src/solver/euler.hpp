@@ -105,6 +105,17 @@ public:
   IterationTasks make_iteration_tasks(
       const std::vector<part_t>& domain_of_cell, part_t ndomains);
 
+  /// Bind a task body to a pre-built (graph, class map) pair — the
+  /// asynchronous pipeline generates the graph on the prep stage and
+  /// binds it here at the iteration boundary, without regenerating
+  /// anything. `graph` and `*classes` must come from one
+  /// generate_task_graph call on a mesh whose topology and temporal
+  /// levels match this solver's mesh at bind time. Same contract as the
+  /// body of make_iteration_tasks (which is implemented on top of this).
+  runtime::TaskBody make_iteration_body(
+      const taskgraph::TaskGraph& graph,
+      std::shared_ptr<const taskgraph::ClassMap> classes);
+
   /// Advance the solver clock after an externally-executed iteration's
   /// tasks all ran.
   void note_tasks_complete();

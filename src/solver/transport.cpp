@@ -312,10 +312,18 @@ void TransportSolver::run_iteration() {
 
 TransportSolver::IterationTasks TransportSolver::make_iteration_tasks(
     const std::vector<part_t>& domain_of_cell, part_t ndomains) {
-  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
   auto classes = std::make_shared<taskgraph::ClassMap>();
   taskgraph::TaskGraph graph = taskgraph::generate_task_graph(
       mesh_, domain_of_cell, ndomains, {}, classes.get());
+  runtime::TaskBody body = make_iteration_body(graph, std::move(classes));
+  return {std::move(graph), std::move(body)};
+}
+
+runtime::TaskBody TransportSolver::make_iteration_body(
+    const taskgraph::TaskGraph& graph,
+    std::shared_ptr<const taskgraph::ClassMap> classes) {
+  TAMP_EXPECTS(dt0_ > 0, "call assign_temporal_levels() first");
+  TAMP_EXPECTS(classes != nullptr, "iteration body needs a class map");
   auto access = std::make_shared<ClassAccessTable>(build_class_access_ranges(
       mesh_, *classes, /*boundary_writes_side1=*/false));
   // Same ranged-vs-scattered plan split as the Euler solver (see
@@ -368,7 +376,7 @@ TransportSolver::IterationTasks TransportSolver::make_iteration_tasks(
       }
     }
   };
-  return {std::move(graph), std::move(body)};
+  return body;
 }
 
 void TransportSolver::note_tasks_complete() {

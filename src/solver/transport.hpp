@@ -78,6 +78,14 @@ public:
   };
   IterationTasks make_iteration_tasks(
       const std::vector<part_t>& domain_of_cell, part_t ndomains);
+
+  /// Bind a task body to a pre-built (graph, class map) pair — same
+  /// contract as EulerSolver::make_iteration_body (the asynchronous
+  /// pipeline's bind-at-iteration-boundary hook).
+  runtime::TaskBody make_iteration_body(
+      const taskgraph::TaskGraph& graph,
+      std::shared_ptr<const taskgraph::ClassMap> classes);
+
   void note_tasks_complete();
 
   /// Σ V·φ corrected by in-flight accumulators (scalar pending on a

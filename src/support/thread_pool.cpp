@@ -1,12 +1,15 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/flight.hpp"
@@ -50,10 +53,46 @@ void execute(const ThreadPool::TaskHandle& task) {
 
 }  // namespace
 
+void ScratchArena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+}
+
+void* ScratchArena::raw(std::size_t bytes, std::size_t align) {
+  TAMP_EXPECTS(align > 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    const std::size_t aligned = (b.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= b.size) {
+      b.used = aligned + bytes;
+      return b.data.get() + aligned;
+    }
+    ++current_;
+  }
+  // No block fits: append one (64 KiB floor amortises small allocations;
+  // existing blocks — and every pointer into them — stay where they are).
+  constexpr std::size_t kMinBlock = 64 * 1024;
+  const std::size_t size = std::max(kMinBlock, bytes + align);
+  Block b;
+  b.data = std::make_unique<unsigned char[]>(size);
+  b.size = size;
+  const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  const std::size_t aligned =
+      static_cast<std::size_t>(((base + align - 1) & ~(align - 1)) - base);
+  b.used = aligned + bytes;
+  reserved_ += size;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get() + aligned;
+}
+
 struct ThreadPool::Impl {
   struct Slot {
     std::mutex mutex;
     std::deque<TaskHandle> queue;
+    ScratchArena arena;  ///< owned by the thread occupying this slot
 #if defined(TAMP_TRACING_ENABLED)
     // Scheduling telemetry. Each counter is written only by the thread
     // occupying this slot (relaxed increments on an owned line); stats()
@@ -70,8 +109,13 @@ struct ThreadPool::Impl {
   std::condition_variable sleep_cv;
   std::atomic<std::int64_t> pending{0};  ///< queued, not-yet-popped tasks
   std::atomic<bool> stop{false};
+  /// Global FIFO of submit_background() tasks, polled only after the
+  /// local deque and every steal victim came up empty.
+  std::mutex background_mutex;
+  std::deque<TaskHandle> background;
 #if defined(TAMP_TRACING_ENABLED)
   std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> background_submitted{0};
   std::atomic<std::uint64_t> max_queue_depth{0};
   // Workers read the recorder through `flight` on every dequeue while
   // the client may attach one at any time (they scan even before the
@@ -107,6 +151,15 @@ struct ThreadPool::Impl {
       t = std::move(s.queue.front());
       s.queue.pop_front();
     }
+    pending.fetch_sub(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  TaskHandle pop_background() {
+    const std::lock_guard<std::mutex> lock(background_mutex);
+    if (background.empty()) return nullptr;
+    TaskHandle t = std::move(background.front());
+    background.pop_front();
     pending.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
@@ -154,6 +207,21 @@ ThreadPool::TaskHandle ThreadPool::submit(std::function<void()> fn) {
   return task;
 }
 
+ThreadPool::TaskHandle ThreadPool::submit_background(std::function<void()> fn) {
+  auto task = std::make_shared<TaskState>();
+  task->fn = std::move(fn);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->background_mutex);
+    impl_->background.push_back(task);
+  }
+#if defined(TAMP_TRACING_ENABLED)
+  impl_->background_submitted.fetch_add(1, std::memory_order_relaxed);
+#endif
+  impl_->pending.fetch_add(1, std::memory_order_relaxed);
+  impl_->sleep_cv.notify_one();
+  return task;
+}
+
 bool ThreadPool::run_one(int slot) {
   // Own deque first (LIFO: depth-first on locally forked subtrees, hot
   // in cache), then steal oldest-first from the other slots.
@@ -181,6 +249,9 @@ bool ThreadPool::run_one(int slot) {
     }
 #endif
   }
+  // Background class last: a queued prep task only runs on a worker that
+  // proved it had no fork/join work anywhere to pop or steal.
+  if (task == nullptr) task = impl_->pop_background();
   if (task == nullptr) return false;
 #if defined(TAMP_TRACING_ENABLED)
   TAMP_FLIGHT_RECORD(ring, obs::FlightEventKind::task_begin,
@@ -199,6 +270,8 @@ ThreadPool::Stats ThreadPool::stats() const {
   Stats out;
 #if defined(TAMP_TRACING_ENABLED)
   out.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  out.background_submitted =
+      impl_->background_submitted.load(std::memory_order_relaxed);
   out.max_queue_depth = impl_->max_queue_depth.load(std::memory_order_relaxed);
   for (const auto& slot : impl_->slots) {
     out.executed += slot->executed.load(std::memory_order_relaxed);
@@ -219,6 +292,7 @@ void ThreadPool::publish_metrics(const std::string& prefix) const {
     c.add(static_cast<std::int64_t>(v));
   };
   set_counter("submitted", s.submitted);
+  set_counter("background_submitted", s.background_submitted);
   set_counter("executed", s.executed);
   set_counter("local_pops", s.local_pops);
   set_counter("steal.attempts", s.steal_attempts);
@@ -239,6 +313,19 @@ void ThreadPool::set_flight_recorder(
 #else
   static_cast<void>(recorder);
 #endif
+}
+
+ScratchArena& ThreadPool::local_arena() {
+  return impl_->slots[static_cast<std::size_t>(local_slot())]->arena;
+}
+
+ScratchArena& thread_scratch_arena() {
+  if (tls_pool != nullptr && tls_slot > 0) return tls_pool->local_arena();
+  // Foreign threads (the client, serial paths) each get their own
+  // thread-local arena — slot 0 of a pool could be raced by several
+  // client threads, a thread_local cannot.
+  thread_local ScratchArena arena;
+  return arena;
 }
 
 void ThreadPool::worker_main(int slot) {
@@ -268,7 +355,14 @@ void ThreadPool::wait(const TaskHandle& handle) {
       return handle->done.load(std::memory_order_acquire);
     });
   }
-  if (handle->error) std::rethrow_exception(handle->error);
+  // Move the error out so this (waiting) thread owns the exception
+  // object's lifetime: the worker's TaskHandle copy may be the last one
+  // destroyed, and if it still held the exception_ptr the worker would
+  // free an exception whose what() the waiter just read. That final
+  // release is ordered by eh refcounting inside libstdc++ — correct, but
+  // invisible to TSan (uninstrumented), and needlessly cross-thread.
+  if (handle->error)
+    std::rethrow_exception(std::exchange(handle->error, nullptr));
 }
 
 void ThreadPool::parallel_for(

@@ -30,16 +30,61 @@
 // DESIGN.md "Parallel decomposition".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace tamp {
 
 namespace obs {
 class FlightRecorder;
 }
+
+/// Grow-only bump allocator for task-scoped scratch memory. One arena
+/// belongs to one thread at a time (the pool keeps one per worker slot);
+/// alloc() bumps within pre-reserved blocks, reset() rewinds every block
+/// without releasing memory, so a task that runs every iteration stops
+/// paying allocator traffic after its first execution. Addresses handed
+/// out since the last reset() stay valid until the next reset() — growth
+/// appends blocks, it never reallocates one.
+///
+/// Not thread-safe; an arena use (alloc … last read) must not span a
+/// submit()/wait() boundary, because a helping wait() can run another
+/// task on this thread that resets or bumps the same arena.
+class ScratchArena {
+public:
+  /// Rewind every block to empty; capacity is retained.
+  void reset();
+
+  /// `count` default-constructible, trivially-destructible Ts. The
+  /// memory is uninitialised.
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(raw(count * sizeof(T), alignof(T)));
+  }
+
+  /// Raw aligned bytes (alloc<T> in terms of this).
+  void* raw(std::size_t bytes, std::size_t align);
+
+  /// Total bytes reserved across all blocks (monotone; telemetry).
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  std::size_t reserved_ = 0;
+};
 
 class ThreadPool {
 public:
@@ -60,6 +105,15 @@ public:
   /// must be passed to wait() before any reference captured by `fn`
   /// leaves scope.
   TaskHandle submit(std::function<void()> fn);
+
+  /// Second submission class for long-lived, latency-insensitive work
+  /// (the asynchronous pipeline's prep stages). Background tasks sit in
+  /// one global FIFO that a worker polls only after its own deque *and*
+  /// every steal attempt came up empty, so a queued prep task can never
+  /// starve the fork/join work the solve path depends on. Join with the
+  /// same wait() (which helps, and will run the background task itself
+  /// if nothing else does).
+  TaskHandle submit_background(std::function<void()> fn);
 
   /// Join: execute queued tasks until `handle` completes, then rethrow
   /// the task's exception if it threw.
@@ -86,6 +140,7 @@ public:
   /// TAMP_ENABLE_TRACING=OFF every field reads 0.
   struct Stats {
     std::uint64_t submitted = 0;        ///< tasks pushed via submit()
+    std::uint64_t background_submitted = 0;  ///< via submit_background()
     std::uint64_t executed = 0;         ///< tasks run to completion
     std::uint64_t local_pops = 0;       ///< LIFO pops from the own deque
     std::uint64_t steal_attempts = 0;   ///< foreign-deque probes
@@ -117,6 +172,11 @@ public:
   /// compiled out.
   void set_flight_recorder(std::shared_ptr<obs::FlightRecorder> recorder);
 
+  /// Scratch arena of the calling thread's pool slot (per-worker; slot 0
+  /// belongs to the client thread). See ScratchArena for the ownership
+  /// rules — in particular, do not let a use span a wait().
+  [[nodiscard]] ScratchArena& local_arena();
+
 private:
   struct Impl;
   void worker_main(int slot);
@@ -131,6 +191,12 @@ private:
 /// TAMP_PARTITION_THREADS environment variable; unset/invalid means 1
 /// (serial — today's behaviour, bit-identical by construction).
 int resolve_num_threads(int requested);
+
+/// The calling thread's scratch arena: the per-slot arena of the pool
+/// the thread works for, or a thread-local fallback for threads outside
+/// any pool (the serial pipeline path, test drivers). Same ownership
+/// rules as ScratchArena.
+[[nodiscard]] ScratchArena& thread_scratch_arena();
 
 /// parallel_for that degrades to an inline call when `pool` is null —
 /// the serial path stays free of any pool machinery.

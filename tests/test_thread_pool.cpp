@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -175,6 +177,96 @@ TEST(ThreadPool, ResolveNumThreads) {
   ::setenv("TAMP_PARTITION_THREADS", "0", 1);
   EXPECT_EQ(resolve_num_threads(0), 1);
   ::unsetenv("TAMP_PARTITION_THREADS");
+}
+
+TEST(ThreadPool, BackgroundTasksRunAndJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<ThreadPool::TaskHandle> handles;
+  for (int i = 0; i < 16; ++i)
+    handles.push_back(pool.submit_background([&ran] { ++ran; }));
+  for (const auto& h : handles) pool.wait(h);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, BackgroundTaskRunsInWaitOnSingleThreadPool) {
+  // No workers: wait() must pick the background task up itself.
+  ThreadPool pool(1);
+  bool ran = false;
+  const auto h = pool.submit_background([&ran] { ran = true; });
+  pool.wait(h);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, BackgroundExceptionPropagatesOnWait) {
+  ThreadPool pool(2);
+  const auto h = pool.submit_background(
+      [] { throw std::runtime_error("background boom"); });
+  EXPECT_THROW(pool.wait(h), std::runtime_error);
+}
+
+TEST(ThreadPool, BackgroundDoesNotStarveForkJoinWork) {
+  // A long-running background task must not block the fork/join class:
+  // with 2 threads, one worker can sit in the background task while
+  // submit()/wait() traffic keeps flowing on the other.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  const auto bg = pool.submit_background([&release] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  std::int64_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto h = pool.submit([&total, i] { total += i; });
+    pool.wait(h);
+  }
+  release.store(true, std::memory_order_release);
+  pool.wait(bg);
+  EXPECT_EQ(total, 99 * 100 / 2);
+}
+
+TEST(ScratchArena, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena;
+  double* d = arena.alloc<double>(100);
+  std::int32_t* i = arena.alloc<std::int32_t>(50);
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i) % alignof(std::int32_t), 0u);
+  // Scribble: ranges must not overlap.
+  for (int k = 0; k < 100; ++k) d[k] = 1.5;
+  for (int k = 0; k < 50; ++k) i[k] = -7;
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(d[k], 1.5);
+}
+
+TEST(ScratchArena, ResetReusesMemoryWithoutGrowth) {
+  ScratchArena arena;
+  void* first = arena.raw(1000, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  for (int round = 0; round < 100; ++round) {
+    arena.reset();
+    void* p = arena.raw(1000, 8);
+    EXPECT_EQ(p, first);  // same block, rewound
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ScratchArena, GrowthKeepsExistingBlocksStable) {
+  ScratchArena arena;
+  std::uint64_t* small = arena.alloc<std::uint64_t>(8);
+  small[0] = 0xDEADBEEFULL;
+  // Force a new block well past the 64 KiB floor.
+  std::uint64_t* big = arena.alloc<std::uint64_t>(1 << 16);
+  big[0] = 1;
+  EXPECT_EQ(small[0], 0xDEADBEEFULL);  // old block untouched by growth
+  EXPECT_GE(arena.bytes_reserved(), (1u << 16) * sizeof(std::uint64_t));
+}
+
+TEST(ScratchArena, ThreadScratchArenaIsStablePerThread) {
+  ScratchArena& a = thread_scratch_arena();
+  ScratchArena& b = thread_scratch_arena();
+  EXPECT_EQ(&a, &b);
 }
 
 TEST(ThreadPoolStats, FreshPoolReportsNoWork) {

@@ -26,7 +26,7 @@ cmake -S "${ROOT}" -B "${BUILD}" \
 cmake --build "${BUILD}" -j "$(nproc)" --target \
   test_obs test_runtime test_flight test_thread_pool test_partition \
   test_partition_properties test_reorder test_verify test_verify_solver \
-  test_simd flusim tamp_report
+  test_simd test_pipeline_async flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
@@ -43,6 +43,13 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # lane-transposed kernels race (or not) against each other's ranges.
 "${BUILD}/tests/test_simd"
 
+# The asynchronous iteration pipeline: prep(i+1) runs on the pool's
+# background class while solve(i) executes on the runtime's workers —
+# TSan watches the snapshot handoff, the cancellation flag, and the
+# planning-mesh/live-mesh split across the full mode x thread matrix
+# (fault-injection drains included).
+"${BUILD}/tests/test_pipeline_async"
+
 # The DAG-level race check itself, with the per-worker access buffers
 # exercised by real threads + jitter: TSan watches the recorder while the
 # checker proves the graph ordered every conflicting pair. Run both data
@@ -52,6 +59,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   --verify-races --verify-schedules 2 --verify-delay-us 20
 "${BUILD}/examples/flusim" --mesh nozzle --cells 4000 --reorder locality \
   --verify-races --verify-schedules 2 --verify-delay-us 20
+
+# Overlapped pipeline + instrumented race verifier: the access recorder
+# runs inside solve(i) while prep(i+1) mutates the planning mesh on a
+# pool worker; TSan checks that the only shared state between the two is
+# the immutable snapshot. Both solvers cross the handoff.
+"${BUILD}/examples/flusim" --mesh cylinder --cells 4000 --pipeline overlap \
+  --iterations 3 --threads 2 --verify-races --verify-delay-us 20
+"${BUILD}/examples/flusim" --mesh cylinder --cells 4000 --pipeline overlap \
+  --pipeline-solver transport --iterations 3 --threads 2 --verify-races
 
 # A recorded threaded execution: every worker pushes flight events into
 # its ring while the emulated processes run concurrently, then the
