@@ -11,9 +11,11 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "partition/cache.hpp"
 #include "partition/repair.hpp"
 #include "solver/euler.hpp"
 #include "solver/transport.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -147,6 +149,23 @@ PipelineMode parse_pipeline_mode(const std::string& name) {
                            "' (expected sync | overlap)");
 }
 
+const char* to_string(PatchPolicy p) {
+  switch (p) {
+    case PatchPolicy::off: return "off";
+    case PatchPolicy::automatic: return "auto";
+    case PatchPolicy::oracle: return "oracle";
+  }
+  return "?";
+}
+
+PatchPolicy parse_patch_policy(const std::string& name) {
+  if (name == "off") return PatchPolicy::off;
+  if (name == "auto") return PatchPolicy::automatic;
+  if (name == "oracle") return PatchPolicy::oracle;
+  throw precondition_error("unknown patch policy '" + name +
+                           "' (expected off | auto | oracle)");
+}
+
 const char* to_string(PipelineFault::Stage s) {
   switch (s) {
     case PipelineFault::Stage::none: return "none";
@@ -198,41 +217,25 @@ void maybe_fault(const PipelineFault& fault, PipelineFault::Stage stage,
                           to_string(stage) + ":" + std::to_string(iteration));
 }
 
-// FNV-1a, folded over everything a snapshot's consumers depend on.
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-}
-
-template <typename T>
-void hash_span(std::uint64_t& h, const T* data, std::size_t n) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  hash_bytes(h, data, n * sizeof(T));
-}
-
+// FNV-1a (support/hash.hpp), folded over everything a snapshot's
+// consumers depend on.
 std::uint64_t snapshot_fingerprint(const IterationSnapshot& s) {
-  std::uint64_t h = kFnvOffset;
-  hash_span(h, s.levels.data(), s.levels.size());
-  hash_span(h, s.decomposition.domain_of_cell.data(),
-            s.decomposition.domain_of_cell.size());
-  hash_span(h, s.domain_to_process.data(), s.domain_to_process.size());
-  hash_span(h, s.prepared.process_of.data(), s.prepared.process_of.size());
-  hash_span(h, s.prepared.initial_pending.data(),
-            s.prepared.initial_pending.size());
+  std::uint64_t h = kFnv1aOffset;
+  fnv1a_span(h, s.levels.data(), s.levels.size());
+  fnv1a_span(h, s.decomposition.domain_of_cell.data(),
+             s.decomposition.domain_of_cell.size());
+  fnv1a_span(h, s.domain_to_process.data(), s.domain_to_process.size());
+  fnv1a_span(h, s.prepared.process_of.data(), s.prepared.process_of.size());
+  fnv1a_span(h, s.prepared.initial_pending.data(),
+             s.prepared.initial_pending.size());
   const index_t ntasks = s.graph.num_tasks();
-  hash_span(h, &ntasks, 1);
+  fnv1a_span(h, &ntasks, 1);
   for (index_t t = 0; t < ntasks; ++t) {
     const taskgraph::Task& task = s.graph.task(t);
-    hash_span(h, &task.domain, 1);
-    hash_span(h, &task.level, 1);
-    hash_span(h, &task.subiteration, 1);
-    for (const index_t succ : s.graph.successors(t)) hash_span(h, &succ, 1);
+    fnv1a_span(h, &task.domain, 1);
+    fnv1a_span(h, &task.level, 1);
+    fnv1a_span(h, &task.subiteration, 1);
+    for (const index_t succ : s.graph.successors(t)) fnv1a_span(h, &succ, 1);
   }
   return h;
 }
@@ -252,7 +255,49 @@ void verify_snapshot(const IterationSnapshot& s, const char* where) {
 struct PrepContext {
   mesh::Mesh planning;
   partition::Strategy graph_strategy;
+  /// Incremental task-graph patcher (PatchPolicy != off). Owned by the
+  /// prep stream: the depth-1 handoff guarantees applies never overlap.
+  std::unique_ptr<taskgraph::GraphPatcher> patcher;
 };
+
+/// Shared tail of the taskgraph stage: produce (graph, classes, patch
+/// provenance) for a snapshot, either from scratch or via the patcher.
+void build_snapshot_graph(PrepContext& ctx,
+                          const IterationPipelineConfig& config,
+                          IterationSnapshot& snap,
+                          PipelineIterationStats& stats) {
+  auto classes = std::make_shared<taskgraph::ClassMap>();
+  if (config.patch == PatchPolicy::off) {
+    snap.graph = taskgraph::generate_task_graph(
+        ctx.planning, snap.decomposition.domain_of_cell, config.ndomains, {},
+        classes.get());
+  } else {
+    if (ctx.patcher == nullptr) {
+      taskgraph::GraphPatcher::Options popts;
+      popts.max_dirty_fraction = config.patch_threshold;
+      popts.oracle = config.patch == PatchPolicy::oracle;
+      ctx.patcher = std::make_unique<taskgraph::GraphPatcher>(
+          ctx.planning, snap.decomposition.domain_of_cell, config.ndomains,
+          popts);
+    } else {
+      ctx.patcher->apply(ctx.planning, snap.decomposition.domain_of_cell);
+    }
+    // Copying the patcher's graph/ClassMap is memcpy-speed — far cheaper
+    // than the classification + sort a rebuild would redo — and keeps
+    // the published snapshot immutable while the patcher keeps evolving.
+    snap.graph = ctx.patcher->graph();
+    *classes = ctx.patcher->classes();
+    snap.patch = ctx.patcher->last_stats();
+    snap.dirty_tasks = ctx.patcher->dirty_tasks();
+    stats.graph_patched = snap.patch.patched;
+  }
+  snap.classes = std::move(classes);
+  snap.domain_to_process = partition::map_domains_to_processes(
+      config.ndomains, config.nprocesses, config.mapping);
+  snap.prepared = runtime::prepare_execution(snap.graph,
+                                             snap.domain_to_process,
+                                             config.nprocesses);
+}
 
 std::shared_ptr<const IterationSnapshot> prep_snapshot(
     PrepContext& ctx, const IterationPipelineConfig& config,
@@ -283,7 +328,22 @@ std::shared_ptr<const IterationSnapshot> prep_snapshot(
 
   if (cancel.load(std::memory_order_acquire)) return nullptr;
   maybe_fault(config.fault, PipelineFault::Stage::repartition, iter);
-  {
+  stats.dirty_fraction =
+      static_cast<double>(snap->evolve.cells_changed) /
+      static_cast<double>(std::max<index_t>(ctx.planning.num_cells(), 1));
+  obs::gauge("partition.dirty_fraction").set(stats.dirty_fraction);
+  if (snap->evolve.cells_changed == 0) {
+    TAMP_TRACE_SCOPE("pipeline/repartition");
+    // Zero drift: no vertex weight changed, so the previous assignment
+    // is reused verbatim — no strategy graph, no repartition run.
+    snap->decomposition = prev.decomposition;
+    snap->repartition = {};
+    snap->repartition.cut_before = snap->repartition.cut_after =
+        prev.decomposition.edge_cut;
+    snap->repartition.reused_verbatim = true;
+    stats.decomposition_reused = true;
+    stats.migrated_cells = 0;
+  } else {
     TAMP_TRACE_SCOPE("pipeline/repartition");
     const graph::Csr g =
         partition::build_strategy_graph(ctx.planning, ctx.graph_strategy);
@@ -292,6 +352,7 @@ std::shared_ptr<const IterationSnapshot> prep_snapshot(
     iopts.tolerance = config.partition_tolerance;
     iopts.seed = mix_seed(config.seed, 0xDA942042E4DD58B5ULL,
                           static_cast<std::uint64_t>(iter));
+    iopts.dirty_vertices = snap->evolve.cells_changed;
     snap->repartition = partition::incremental_repartition(
         g, part, config.ndomains, iopts);
     // Migration census on the worker's scratch arena: per-domain counts
@@ -327,15 +388,7 @@ std::shared_ptr<const IterationSnapshot> prep_snapshot(
   maybe_fault(config.fault, PipelineFault::Stage::taskgraph, iter);
   {
     TAMP_TRACE_SCOPE("pipeline/taskgraph");
-    auto classes = std::make_shared<taskgraph::ClassMap>();
-    snap->graph = taskgraph::generate_task_graph(
-        ctx.planning, snap->decomposition.domain_of_cell, config.ndomains, {},
-        classes.get());
-    snap->classes = std::move(classes);
-    snap->domain_to_process = partition::map_domains_to_processes(
-        config.ndomains, config.nprocesses, config.mapping);
-    snap->prepared = runtime::prepare_execution(
-        snap->graph, snap->domain_to_process, config.nprocesses);
+    build_snapshot_graph(ctx, config, *snap, stats);
   }
   snap->fingerprint = snapshot_fingerprint(*snap);
   stats.prep_end = clock.seconds();
@@ -367,21 +420,22 @@ std::shared_ptr<const IterationSnapshot> initial_snapshot(
     sopts.partitioner.tolerance = config.partition_tolerance;
     sopts.partitioner.seed = config.seed;
     sopts.partitioner.num_threads = partition_threads;
-    snap->decomposition = partition::decompose(ctx.planning, sopts);
+    if (config.cache != nullptr) {
+      // Service warm path: a mesh with this content + these parameters
+      // was decomposed before (possibly by a concurrent pipeline) — the
+      // cache hit replaces the whole multilevel run with a hash lookup.
+      const auto cached =
+          partition::decompose_cached(ctx.planning, sopts, config.cache);
+      snap->decomposition = cached->decomposition;
+    } else {
+      snap->decomposition = partition::decompose(ctx.planning, sopts);
+    }
   }
 
   maybe_fault(config.fault, PipelineFault::Stage::taskgraph, 0);
   {
     TAMP_TRACE_SCOPE("pipeline/taskgraph");
-    auto classes = std::make_shared<taskgraph::ClassMap>();
-    snap->graph = taskgraph::generate_task_graph(
-        ctx.planning, snap->decomposition.domain_of_cell, config.ndomains, {},
-        classes.get());
-    snap->classes = std::move(classes);
-    snap->domain_to_process = partition::map_domains_to_processes(
-        config.ndomains, config.nprocesses, config.mapping);
-    snap->prepared = runtime::prepare_execution(
-        snap->graph, snap->domain_to_process, config.nprocesses);
+    build_snapshot_graph(ctx, config, *snap, stats);
   }
   snap->fingerprint = snapshot_fingerprint(*snap);
   stats.prep_end = clock.seconds();
@@ -507,6 +561,7 @@ PipelineRunReport run_iteration_pipeline(mesh::Mesh& live_mesh,
   ov.wall_seconds = clock.seconds();
   index_t cells_changed = 0, migrated = 0;
   double max_migration = 0;
+  int patched = 0, reused = 0;
   for (int i = 0; i < n; ++i) {
     const PipelineIterationStats& it =
         report.iterations[static_cast<std::size_t>(i)];
@@ -515,6 +570,8 @@ PipelineRunReport run_iteration_pipeline(mesh::Mesh& live_mesh,
     cells_changed += it.cells_changed;
     migrated += it.migrated_cells;
     max_migration = std::max(max_migration, it.max_domain_migration);
+    patched += it.graph_patched ? 1 : 0;
+    reused += it.decomposition_reused ? 1 : 0;
     if (i >= 1) {
       const PipelineIterationStats& prev =
           report.iterations[static_cast<std::size_t>(i - 1)];
@@ -533,6 +590,9 @@ PipelineRunReport run_iteration_pipeline(mesh::Mesh& live_mesh,
   obs::gauge("pipeline.migrated_cells.total")
       .set(static_cast<double>(migrated));
   obs::gauge("pipeline.max_domain_migration").set(max_migration);
+  obs::gauge("pipeline.patched_iterations").set(static_cast<double>(patched));
+  obs::gauge("pipeline.reused_decompositions")
+      .set(static_cast<double>(reused));
   return report;
 }
 

@@ -30,6 +30,11 @@
 #include "sim/doctor.hpp"
 #include "sim/simulate.hpp"
 #include "taskgraph/generate.hpp"
+#include "taskgraph/patch.hpp"
+
+namespace tamp::partition {
+class DecompositionCache;
+}  // namespace tamp::partition
 
 namespace tamp::solver {
 class EulerSolver;
@@ -111,6 +116,22 @@ enum class PipelineMode { sync, overlap };
 /// Parse "sync" | "overlap".
 PipelineMode parse_pipeline_mode(const std::string& name);
 
+/// How prep builds each iteration's task graph.
+///
+///   off       — generate from scratch every iteration (the pre-service
+///               behaviour; also the reference the others must match).
+///   automatic — diff-based patching (taskgraph::GraphPatcher) with a
+///               full-rebuild fallback above the dirty-fraction
+///               threshold. Bit-identical to `off` by construction.
+///   oracle    — automatic plus the per-iteration equivalence oracle:
+///               every patched graph is checked against a from-scratch
+///               rebuild (invariant_error on divergence). Testing /
+///               debugging mode; costs a full rebuild per iteration.
+enum class PatchPolicy { off, automatic, oracle };
+[[nodiscard]] const char* to_string(PatchPolicy p);
+/// Parse "off" | "auto" | "oracle".
+PatchPolicy parse_patch_policy(const std::string& name);
+
 /// Seeded stage-boundary fault injection: throw a runtime_failure at the
 /// entry of one pipeline stage of one iteration ("taskgraph:2" = the
 /// task-graph build of snapshot 2). The test hook proving the pipeline
@@ -143,6 +164,13 @@ struct IterationSnapshot {
   /// Prep provenance (zero for snapshot 0, which evolves nothing).
   mesh::EvolveStats evolve;
   partition::IncrementalReport repartition;
+  /// How this snapshot's graph was produced (patched vs rebuilt) and at
+  /// what dirty fraction; default-initialised when PatchPolicy::off.
+  taskgraph::PatchStats patch;
+  /// Per-task dirty mask from the patcher (empty when PatchPolicy::off
+  /// or for full rebuilds of snapshot 0): the region the race verifier
+  /// re-certifies on patched graphs (verify::check_races_region).
+  std::vector<char> dirty_tasks;
   std::uint64_t fingerprint = 0;  ///< seal over levels/assignment/graph
 };
 
@@ -167,6 +195,16 @@ struct IterationPipelineConfig {
   /// sweeps of the overlapped pipeline).
   runtime::AdversarialSchedule adversarial;
   PipelineFault fault;  ///< Stage::none = no injection
+  /// Task-graph production policy (see PatchPolicy). `automatic` is safe
+  /// as the default because patched graphs are bit-identical to rebuilt
+  /// ones — the cross-mode determinism gates hold regardless.
+  PatchPolicy patch = PatchPolicy::automatic;
+  /// Dirty-cell fraction above which a patch falls back to a rebuild.
+  double patch_threshold = 0.05;
+  /// Optional shared decomposition cache for snapshot 0's from-scratch
+  /// partition (the repartitioning service's warm path). May be shared
+  /// by concurrent pipelines; nullptr = always compute.
+  partition::DecompositionCache* cache = nullptr;
 };
 
 /// Per-iteration stage timeline (seconds since pipeline start).
@@ -177,6 +215,10 @@ struct PipelineIterationStats {
   index_t cells_changed = 0;    ///< evolve drift (0 for snapshot 0)
   index_t migrated_cells = 0;   ///< incremental repartition movement
   double max_domain_migration = 0;  ///< worst per-domain migrated fraction
+  double dirty_fraction = 0;    ///< cells_changed / total cells
+  bool graph_patched = false;   ///< task graph diff-patched (vs rebuilt)
+  bool decomposition_reused = false;  ///< zero drift: previous assignment
+                                      ///< reused verbatim, no repartition
 };
 
 struct PipelineRunReport {

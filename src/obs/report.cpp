@@ -268,6 +268,20 @@ MetricAnnotation annotate_metric(const std::string& name) {
   if (has("rel_delta")) return {"share", +1};
   if (has("delta_seconds")) return {"s", +1};
   if (has("ns_per_event") || has("ns_per_read")) return {"ns", -1};
+  // Repartitioning service & caching families — before the generic
+  // bytes/fraction/latency rules so e.g. "cache.hit_rate" and
+  // "partition.dirty_fraction" get their service-specific direction.
+  if (has("hit_rate")) return {"share", +1};
+  if (has("cache.hits")) return {"count", +1};
+  if (has("cache.misses") || has("cache.evictions") || has("cache.rejected"))
+    return {"count", -1};
+  if (has("inflight_joins") || has("cache.entries")) return {"count", 0};
+  if (has("dirty_fraction")) return {"share", -1};
+  if (has("patch.rebuilds")) return {"count", -1};
+  if (has("patch.applied") || has("patch.noop") ||
+      has("patched_iterations") || has("reused_decompositions") ||
+      has("reused_verbatim"))
+    return {"count", +1};
   if (has("bytes")) return {"bytes", -1};
   if (has("_per_s") || has("per_second")) return {"1/s", +1};
   if (has("seconds_per_unit")) return {"s/unit", 0};

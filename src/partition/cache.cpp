@@ -1,0 +1,226 @@
+#include "partition/cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+#include "support/hash.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tamp::partition {
+
+std::uint64_t mesh_content_hash(const mesh::Mesh& mesh) {
+  TAMP_TRACE_SCOPE("partition/cache/mesh_hash");
+  Fnv1a h;
+  h.add(mesh.num_cells()).add(mesh.num_faces()).add(mesh.num_interior_faces());
+  // Topology: the face→cell incidence determines the dual graph and the
+  // boundary set (side 1 == invalid_index marks boundary faces).
+  for (index_t f = 0; f < mesh.num_faces(); ++f)
+    h.add(mesh.face_cell(f, 0)).add(mesh.face_cell(f, 1));
+  // Temporal state: the weights/constraints of every strategy.
+  h.add_vector(mesh.cell_levels());
+  // Geometry: the locality permutation orders cells along a
+  // space-filling curve over the centroids.
+  for (index_t c = 0; c < mesh.num_cells(); ++c) {
+    const auto p = mesh.cell_centroid(c);
+    h.add(p.x).add(p.y).add(p.z);
+  }
+  return h.value();
+}
+
+std::uint64_t CacheKey::hash() const {
+  return Fnv1a{}
+      .add(mesh_hash)
+      .add(strategy)
+      .add(ndomains)
+      .add(nprocesses)
+      .add(tolerance)
+      .add(seed)
+      .add(threads)
+      .value();
+}
+
+CacheKey make_cache_key(const mesh::Mesh& mesh, const StrategyOptions& opts) {
+  CacheKey key;
+  key.mesh_hash = mesh_content_hash(mesh);
+  key.strategy = opts.strategy;
+  key.ndomains = opts.ndomains;
+  key.nprocesses = opts.nprocesses;
+  key.tolerance = opts.partitioner.tolerance;
+  key.seed = opts.partitioner.seed;
+  key.threads = resolve_num_threads(opts.partitioner.num_threads);
+  return key;
+}
+
+std::size_t CachedDecomposition::estimate_bytes() const {
+  auto vec = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  return sizeof(CachedDecomposition) + vec(decomposition.domain_of_cell) +
+         vec(decomposition.cells_by_level) + vec(permutation.cell_old_to_new) +
+         vec(permutation.cell_new_to_old) + vec(permutation.face_old_to_new) +
+         vec(permutation.face_new_to_old);
+}
+
+DecompositionCache::DecompositionCache() : DecompositionCache(Options{}) {}
+
+DecompositionCache::DecompositionCache(Options opts) : opts_(opts) {
+  TAMP_EXPECTS(opts_.max_entries >= 1, "cache needs room for one entry");
+  TAMP_EXPECTS(opts_.admit_max_fraction > 0.0 &&
+                   opts_.admit_max_fraction <= 1.0,
+               "admission fraction must be in (0, 1]");
+}
+
+void DecompositionCache::touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+DecompositionCache::Value DecompositionCache::find(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  return it->second->value;
+}
+
+void DecompositionCache::evict_locked() {
+  while (!lru_.empty() && (stats_.bytes > opts_.max_bytes ||
+                           lru_.size() > opts_.max_entries)) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.value->bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void DecompositionCache::insert_locked(const CacheKey& key,
+                                       const Value& value) {
+  if (index_.find(key) != index_.end()) return;  // lost a race; keep first
+  if (value->bytes >
+      static_cast<std::size_t>(opts_.admit_max_fraction *
+                               static_cast<double>(opts_.max_bytes))) {
+    ++stats_.rejected;
+    return;
+  }
+  lru_.push_front(Entry{key, value});
+  index_.emplace(key, lru_.begin());
+  stats_.bytes += value->bytes;
+  evict_locked();
+}
+
+DecompositionCache::Value DecompositionCache::get_or_compute(
+    const CacheKey& key, const std::function<CachedDecomposition()>& compute) {
+  std::shared_ptr<Inflight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      touch(it->second);
+      return it->second->value;
+    }
+    const auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Another caller is computing this key: join its flight.
+      ++stats_.inflight_joins;
+      const std::shared_ptr<Inflight> other = in->second;
+      cv_.wait(lock, [&] { return other->done; });
+      if (other->error) std::rethrow_exception(other->error);
+      return other->value;
+    }
+    ++stats_.misses;
+    flight = std::make_shared<Inflight>();
+    inflight_.emplace(key, flight);
+  }
+
+  // Compute outside the lock; misses on different keys run concurrently.
+  Value value;
+  std::exception_ptr error;
+  try {
+    auto computed = std::make_shared<CachedDecomposition>(compute());
+    computed->bytes = computed->estimate_bytes();
+    value = std::move(computed);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->done = true;
+    flight->value = value;
+    flight->error = error;
+    inflight_.erase(key);
+    if (value != nullptr) insert_locked(key, value);
+  }
+  cv_.notify_all();
+  if (error) std::rethrow_exception(error);
+  return value;
+}
+
+void DecompositionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+}
+
+DecompositionCache::Stats DecompositionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void DecompositionCache::publish_metrics(const std::string& prefix) const {
+  const Stats s = stats();
+  obs::gauge(prefix + ".hits").set(static_cast<double>(s.hits));
+  obs::gauge(prefix + ".misses").set(static_cast<double>(s.misses));
+  obs::gauge(prefix + ".evictions").set(static_cast<double>(s.evictions));
+  obs::gauge(prefix + ".rejected").set(static_cast<double>(s.rejected));
+  obs::gauge(prefix + ".inflight_joins")
+      .set(static_cast<double>(s.inflight_joins));
+  obs::gauge(prefix + ".entries").set(static_cast<double>(s.entries));
+  obs::gauge(prefix + ".bytes").set(static_cast<double>(s.bytes));
+  obs::gauge(prefix + ".hit_rate").set(s.served_rate());
+}
+
+DecompositionCache::Value decompose_cached(const mesh::Mesh& mesh,
+                                           const StrategyOptions& opts,
+                                           DecompositionCache* cache,
+                                           bool with_permutation) {
+  auto compute = [&] {
+    TAMP_TRACE_SCOPE("partition/cache/compute");
+    CachedDecomposition out;
+    out.decomposition = decompose(mesh, opts);
+    if (with_permutation) {
+      out.permutation = build_locality_permutation(
+          mesh, out.decomposition.domain_of_cell, opts.ndomains);
+      out.with_permutation = true;
+    }
+    return out;
+  };
+  if (cache == nullptr) {
+    auto value = std::make_shared<CachedDecomposition>(compute());
+    value->bytes = value->estimate_bytes();
+    return value;
+  }
+  const CacheKey key = make_cache_key(mesh, opts);
+  auto value = cache->get_or_compute(key, compute);
+  // A permutation-less hit cannot serve a permutation request; compute
+  // the richer entry and let it replace the old one in LRU order.
+  if (with_permutation && !value->with_permutation) {
+    auto upgraded = std::make_shared<CachedDecomposition>(*value);
+    upgraded->permutation = build_locality_permutation(
+        mesh, upgraded->decomposition.domain_of_cell, opts.ndomains);
+    upgraded->with_permutation = true;
+    upgraded->bytes = upgraded->estimate_bytes();
+    return upgraded;
+  }
+  return value;
+}
+
+}  // namespace tamp::partition

@@ -1,0 +1,178 @@
+// Decomposition cache — the reuse layer of the online repartitioning
+// service. A service that partitions a stream of prep requests sees the
+// same (mesh, strategy, parameters) tuple again and again: meshes drift
+// slowly and drift often revisits earlier level configurations.
+// Recomputing a multilevel decomposition (plus the locality permutation
+// derived from it) on every request wastes almost the entire prep
+// budget; this cache makes the warm path a hash lookup.
+//
+// Keying contract (see DESIGN.md):
+//   * the mesh enters the key by *content hash* — topology (face→cell
+//     pairs), cell levels, and cell centroids. Centroids are part of the
+//     key because the locality permutation orders cells along a
+//     space-filling curve over them; two meshes with identical topology
+//     but different geometry must not share a permutation.
+//   * every parameter the decomposition is a function of joins the key:
+//     strategy, ndomains, nprocesses, tolerance, seed, and the resolved
+//     thread count (the partitioner is bit-identical across thread
+//     counts, but the key keeps the field so that property is never a
+//     silent correctness assumption of the cache).
+//
+// Invalidation is purely key-based: a mesh whose levels drifted hashes
+// differently and misses; no entry is ever mutated in place (values are
+// shared_ptr<const ...>), so concurrent pipelines may hold hits while
+// eviction rotates the LRU list.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "mesh/mesh.hpp"
+#include "mesh/reorder.hpp"
+#include "partition/reorder.hpp"
+#include "partition/strategy.hpp"
+
+namespace tamp::partition {
+
+/// FNV-1a fold of everything the decomposition reads from the mesh:
+/// counts, face→cell topology, cell levels, and cell centroids.
+[[nodiscard]] std::uint64_t mesh_content_hash(const mesh::Mesh& mesh);
+
+/// Full cache key: mesh content plus every decomposition parameter.
+struct CacheKey {
+  std::uint64_t mesh_hash = 0;
+  Strategy strategy = Strategy::sc_oc;
+  part_t ndomains = 0;
+  part_t nprocesses = 0;
+  double tolerance = 0;
+  std::uint64_t seed = 0;
+  int threads = 0;
+
+  [[nodiscard]] bool operator==(const CacheKey& o) const {
+    return mesh_hash == o.mesh_hash && strategy == o.strategy &&
+           ndomains == o.ndomains && nprocesses == o.nprocesses &&
+           tolerance == o.tolerance && seed == o.seed && threads == o.threads;
+  }
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// Key for decomposing `mesh` under `opts` (hashes the mesh; resolves
+/// the thread count the partitioner would use).
+[[nodiscard]] CacheKey make_cache_key(const mesh::Mesh& mesh,
+                                      const StrategyOptions& opts);
+
+/// One cached prep product: the decomposition and (optionally) the
+/// locality permutation derived from it. Immutable once published.
+struct CachedDecomposition {
+  DomainDecomposition decomposition;
+  mesh::MeshPermutation permutation;  ///< empty unless with_permutation
+  bool with_permutation = false;
+  std::size_t bytes = 0;  ///< estimated footprint, set on publish
+
+  /// Recompute the footprint estimate from current vector sizes.
+  [[nodiscard]] std::size_t estimate_bytes() const;
+};
+
+/// Thread-safe LRU + byte-budget cache of decompositions, shared by
+/// every pipeline of a service process.
+///
+/// Concurrency: one mutex guards the map/LRU/stats; values are
+/// shared_ptr<const CachedDecomposition>, so readers keep entries alive
+/// across eviction. Concurrent misses on the SAME key are single-flight:
+/// the first caller computes, the rest block on a condition variable and
+/// share the result (counted as inflight_joins — they paid a wait, not a
+/// compute). Misses on different keys compute concurrently outside the
+/// lock.
+class DecompositionCache {
+public:
+  struct Options {
+    std::size_t max_bytes = 256ULL << 20;  ///< byte budget before eviction
+    std::size_t max_entries = 64;
+    /// Admission control: reject entries larger than this fraction of
+    /// max_bytes instead of flushing the whole LRU for one giant mesh.
+    /// The computed value is still returned to the caller.
+    double admit_max_fraction = 0.5;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;        ///< failed admission control
+    std::uint64_t inflight_joins = 0;  ///< waited on another caller's miss
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+
+    /// Requests served without computing (hits + joined flights) over
+    /// all requests.
+    [[nodiscard]] double served_rate() const {
+      const std::uint64_t total = hits + misses + inflight_joins;
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(hits + inflight_joins) /
+                       static_cast<double>(total);
+    }
+  };
+
+  using Value = std::shared_ptr<const CachedDecomposition>;
+
+  DecompositionCache();  ///< default Options
+  explicit DecompositionCache(Options opts);
+
+  /// Lookup without computing (touches LRU on hit; counts hit/miss).
+  [[nodiscard]] Value find(const CacheKey& key);
+
+  /// Hit, or run `compute` (outside the lock) and publish the result.
+  /// Concurrent callers with the same key share one computation.
+  [[nodiscard]] Value get_or_compute(
+      const CacheKey& key, const std::function<CachedDecomposition()>& compute);
+
+  void clear();
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Export counters/gauges as `<prefix>.hits`, `.misses`, `.evictions`,
+  /// `.rejected`, `.inflight_joins`, `.entries`, `.bytes`, `.hit_rate`.
+  void publish_metrics(const std::string& prefix = "partition.cache") const;
+
+private:
+  struct Entry {
+    CacheKey key;
+    Value value;
+  };
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+  struct Inflight {
+    bool done = false;
+    Value value;
+    std::exception_ptr error;
+  };
+
+  void touch(std::list<Entry>::iterator it);
+  void insert_locked(const CacheKey& key, const Value& value);
+  void evict_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Entry> lru_;  ///< most-recently-used first
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<CacheKey, std::shared_ptr<Inflight>, KeyHash> inflight_;
+  Stats stats_;
+};
+
+/// Cached wrapper around decompose() (+ build_locality_permutation when
+/// `with_permutation`). The cache may be null: then this just computes.
+[[nodiscard]] DecompositionCache::Value decompose_cached(
+    const mesh::Mesh& mesh, const StrategyOptions& opts,
+    DecompositionCache* cache, bool with_permutation = false);
+
+}  // namespace tamp::partition

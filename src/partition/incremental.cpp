@@ -20,8 +20,19 @@ IncrementalReport incremental_repartition(const graph::Csr& g,
                "partition vector size mismatch");
   const int nc = g.num_constraints();
 
-  const std::vector<part_t> before = part;
   IncrementalReport report;
+  if (opts.dirty_vertices == 0) {
+    // No vertex weight changed: the previous assignment is still exactly
+    // as balanced and as cut-optimal as it was, so reuse it verbatim.
+    report.cut_before = report.cut_after = edge_cut(g, part);
+    report.imbalance_before = report.imbalance_after =
+        max_imbalance(g, part, nparts);
+    report.reused_verbatim = true;
+    TAMP_METRIC_COUNT("partition.incremental.reused_verbatim", 1);
+    return report;
+  }
+
+  const std::vector<part_t> before = part;
   report.cut_before = edge_cut(g, part);
   report.imbalance_before = max_imbalance(g, part, nparts);
 

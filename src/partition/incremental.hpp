@@ -21,6 +21,12 @@ struct IncrementalOptions {
   double tolerance = 0.05;  ///< per-constraint balance tolerance
   int refine_passes = 4;
   std::uint64_t seed = 1;
+  /// Number of vertices whose weights actually changed since the
+  /// previous assignment, when the caller knows it (< 0 = unknown).
+  /// Zero short-circuits the whole run: the previous assignment is
+  /// provably still optimal under unchanged weights, so it is reused
+  /// verbatim (no rebalance, no refinement, no RNG draws).
+  index_t dirty_vertices = -1;
 };
 
 struct IncrementalReport {
@@ -29,6 +35,9 @@ struct IncrementalReport {
   weight_t cut_after = 0;
   double imbalance_before = 0;    ///< worst constraint, on the new weights
   double imbalance_after = 0;
+  /// True when dirty_vertices == 0 skipped the run and the previous
+  /// assignment was returned untouched.
+  bool reused_verbatim = false;
 };
 
 /// Repartition `g` (whose weights have changed) starting from `part`.

@@ -1,0 +1,76 @@
+// Dense object-class indexing shared by the task-graph generator and
+// the incremental patcher (taskgraph/patch.*). An object class is the
+// (domain, temporal level τ, locality) triple of Algorithm 1; both the
+// from-scratch build and the diff-based patch must agree on its dense
+// id, so the formula lives here exactly once.
+#pragma once
+
+#include <algorithm>
+
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::taskgraph {
+
+/// Dense id of an object class: (domain, level, locality).
+struct ClassIndexer {
+  part_t ndomains;
+  level_t nlev;
+
+  [[nodiscard]] index_t count() const {
+    return ndomains * static_cast<index_t>(nlev) * 2;
+  }
+  [[nodiscard]] index_t id(part_t d, level_t tau, Locality loc) const {
+    return (d * static_cast<index_t>(nlev) + static_cast<index_t>(tau)) * 2 +
+           static_cast<index_t>(loc);
+  }
+};
+
+/// Classification formulas of §II-B, shared verbatim between
+/// generate_task_graph and GraphPatcher. A cell is external when any of
+/// its faces leads to another domain; a face is owned by the
+/// lower-indexed adjacent domain and external when its two adjacent
+/// cells live in different domains; boundary faces are internal and
+/// owned by their single cell's domain.
+struct Classifier {
+  const mesh::Mesh& mesh;
+  const std::vector<part_t>& domain_of_cell;
+  ClassIndexer cls;
+
+  [[nodiscard]] Locality cell_locality(index_t c) const {
+    const part_t dc = domain_of_cell[static_cast<std::size_t>(c)];
+    for (const index_t f : mesh.cell_faces(c)) {
+      const index_t o = mesh.face_other_cell(f, c);
+      if (o != invalid_index &&
+          domain_of_cell[static_cast<std::size_t>(o)] != dc)
+        return Locality::external;
+    }
+    return Locality::internal;
+  }
+  [[nodiscard]] index_t cell_class(index_t c) const {
+    return cls.id(domain_of_cell[static_cast<std::size_t>(c)],
+                  mesh.cell_level(c), cell_locality(c));
+  }
+  [[nodiscard]] part_t face_owner(index_t f) const {
+    const part_t da =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 0))];
+    if (mesh.is_boundary_face(f)) return da;
+    const part_t db =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 1))];
+    return std::min(da, db);
+  }
+  [[nodiscard]] Locality face_locality(index_t f) const {
+    if (mesh.is_boundary_face(f)) return Locality::internal;
+    const part_t da =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 0))];
+    const part_t db =
+        domain_of_cell[static_cast<std::size_t>(mesh.face_cell(f, 1))];
+    return da == db ? Locality::internal : Locality::external;
+  }
+  [[nodiscard]] index_t face_class(index_t f) const {
+    return cls.id(face_owner(f), mesh.face_level(f), face_locality(f));
+  }
+};
+
+}  // namespace tamp::taskgraph

@@ -5,26 +5,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "taskgraph/class_indexer.hpp"
 
 namespace tamp::taskgraph {
-
-namespace {
-
-/// Dense id of an object class: (domain, level, locality).
-struct ClassIndexer {
-  part_t ndomains;
-  level_t nlev;
-
-  [[nodiscard]] index_t count() const {
-    return ndomains * static_cast<index_t>(nlev) * 2;
-  }
-  [[nodiscard]] index_t id(part_t d, level_t tau, Locality loc) const {
-    return (d * static_cast<index_t>(nlev) + static_cast<index_t>(tau)) * 2 +
-           static_cast<index_t>(loc);
-  }
-};
-
-}  // namespace
 
 TaskGraph generate_task_graph(const mesh::Mesh& mesh,
                               const std::vector<part_t>& domain_of_cell,

@@ -1,0 +1,480 @@
+#include "taskgraph/patch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+#include "support/hash.hpp"
+#include "taskgraph/class_indexer.hpp"
+#include "taskgraph/scheme.hpp"
+
+namespace tamp::taskgraph {
+
+namespace {
+
+constexpr std::uint64_t pack_pair(index_t face_cls, index_t cell_cls) {
+  return static_cast<std::uint64_t>(face_cls) << 32 |
+         static_cast<std::uint32_t>(cell_cls);
+}
+
+/// Remove one value from a sorted id list (must be present).
+void sorted_erase(std::vector<index_t>& v, index_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  TAMP_ENSURE(it != v.end() && *it == x,
+              "patch bookkeeping lost a class-list member");
+  v.erase(it);
+}
+
+/// Insert one value into a sorted id list.
+void sorted_insert(std::vector<index_t>& v, index_t x) {
+  v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+}
+
+}  // namespace
+
+GraphPatcher::GraphPatcher(const mesh::Mesh& mesh,
+                           std::vector<part_t> domain_of_cell,
+                           part_t ndomains)
+    : GraphPatcher(mesh, std::move(domain_of_cell), ndomains, Options{}) {}
+
+GraphPatcher::GraphPatcher(const mesh::Mesh& mesh,
+                           std::vector<part_t> domain_of_cell,
+                           part_t ndomains, Options opts)
+    : opts_(opts), ndomains_(ndomains), domains_(std::move(domain_of_cell)) {
+  TAMP_EXPECTS(ndomains >= 1, "need at least one domain");
+  TAMP_EXPECTS(domains_.size() == static_cast<std::size_t>(mesh.num_cells()),
+               "domain vector size must equal cell count");
+  rebuild(mesh, nullptr);
+}
+
+void GraphPatcher::rebuild(const mesh::Mesh& mesh, const char* reason) {
+  TAMP_TRACE_SCOPE("taskgraph/patch/rebuild");
+  // The graph and ClassMap come from the generator itself, so the
+  // rebuild path is bit-identical to a direct generate_task_graph call
+  // by construction; only the diff aggregates are derived here.
+  graph_ = generate_task_graph(mesh, domains_, ndomains_, opts_.generate,
+                               &classes_);
+  derive_aggregates(mesh);
+  stats_.patched = false;
+  stats_.rebuild_reason = reason == nullptr ? "initial build" : reason;
+  dirty_tasks_.assign(static_cast<std::size_t>(graph_.num_tasks()), 1);
+  TAMP_METRIC_COUNT("taskgraph.patch.rebuilds", 1);
+}
+
+void GraphPatcher::derive_aggregates(const mesh::Mesh& mesh) {
+  const index_t ncells = mesh.num_cells();
+  const index_t nfaces = mesh.num_faces();
+  nlev_ = static_cast<level_t>(mesh.max_level() + 1);
+  levels_ = mesh.cell_levels();
+
+  const Classifier cf{mesh, domains_, ClassIndexer{ndomains_, nlev_}};
+  const auto nclasses = static_cast<std::size_t>(cf.cls.count());
+
+  cell_class_.resize(static_cast<std::size_t>(ncells));
+  face_class_.resize(static_cast<std::size_t>(nfaces));
+  cell_count_.assign(nclasses, 0);
+  face_count_.assign(nclasses, 0);
+  for (index_t c = 0; c < ncells; ++c) {
+    const index_t k = cf.cell_class(c);
+    cell_class_[static_cast<std::size_t>(c)] = k;
+    ++cell_count_[static_cast<std::size_t>(k)];
+  }
+  pair_count_.clear();
+  for (index_t f = 0; f < nfaces; ++f) {
+    const index_t k = cf.face_class(f);
+    face_class_[static_cast<std::size_t>(f)] = k;
+    ++face_count_[static_cast<std::size_t>(k)];
+    ++pair_count_[pack_pair(
+        k, cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 0))])];
+    if (!mesh.is_boundary_face(f))
+      ++pair_count_[pack_pair(
+          k, cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 1))])];
+  }
+  pair_set_changed_ = true;
+  refresh_adjacency();
+  dirty_classes_.assign(nclasses, 0);
+}
+
+void GraphPatcher::refresh_adjacency() {
+  if (!pair_set_changed_) return;
+  const ClassIndexer cls{ndomains_, nlev_};
+  const auto nclasses = static_cast<std::size_t>(cls.count());
+
+  // The deduplicated sorted pair list generate_task_graph derives from
+  // its 2·F-element sort, reconstructed from the multiset keys instead.
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(pair_count_.size());
+  for (const auto& [p, n] : pair_count_)
+    if (n > 0) pairs.push_back(p);
+  std::sort(pairs.begin(), pairs.end());
+
+  f2c_xadj_.assign(nclasses + 1, 0);
+  f2c_.resize(pairs.size());
+  for (const std::uint64_t p : pairs)
+    ++f2c_xadj_[static_cast<std::size_t>(p >> 32) + 1];
+  for (std::size_t i = 0; i < nclasses; ++i) f2c_xadj_[i + 1] += f2c_xadj_[i];
+  {
+    std::vector<eindex_t> cursor(f2c_xadj_.begin(), f2c_xadj_.end() - 1);
+    for (const std::uint64_t p : pairs)
+      f2c_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(p >> 32)]++)] =
+          static_cast<index_t>(p & 0xffffffffULL);
+  }
+  c2f_xadj_.assign(nclasses + 1, 0);
+  c2f_.resize(pairs.size());
+  for (const std::uint64_t p : pairs)
+    ++c2f_xadj_[static_cast<std::size_t>(p & 0xffffffffULL) + 1];
+  for (std::size_t i = 0; i < nclasses; ++i) c2f_xadj_[i + 1] += c2f_xadj_[i];
+  {
+    std::vector<eindex_t> cursor(c2f_xadj_.begin(), c2f_xadj_.end() - 1);
+    for (const std::uint64_t p : pairs)
+      c2f_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(p & 0xffffffffULL)]++)] =
+          static_cast<index_t>(p >> 32);
+  }
+  pair_set_changed_ = false;
+}
+
+void GraphPatcher::recompute_ranges(const mesh::Mesh& mesh, index_t k) {
+  // Verbatim mirror of generate_task_graph's contiguity detection.
+  const auto sk = static_cast<std::size_t>(k);
+  classes_.cell_range[sk] = {};
+  classes_.face_range[sk] = {};
+  const auto& cells = classes_.class_cells[sk];
+  if (!cells.empty() &&
+      cells.back() - cells.front() + 1 == static_cast<index_t>(cells.size()))
+    classes_.cell_range[sk] = {cells.front(), cells.back() + 1};
+  const auto& faces = classes_.class_faces[sk];
+  if (faces.empty() || faces.back() - faces.front() + 1 !=
+                           static_cast<index_t>(faces.size()))
+    return;
+  std::size_t ninterior = 0;
+  while (ninterior < faces.size() && !mesh.is_boundary_face(faces[ninterior]))
+    ++ninterior;
+  bool partitioned = true;
+  for (std::size_t i = ninterior; i < faces.size(); ++i)
+    partitioned &= mesh.is_boundary_face(faces[i]);
+  if (partitioned)
+    classes_.face_range[sk] = {faces.front(),
+                               faces.front() +
+                                   static_cast<index_t>(ninterior),
+                               faces.back() + 1};
+}
+
+void GraphPatcher::emit(const mesh::Mesh& mesh) {
+  static_cast<void>(mesh);
+  const ClassIndexer cls{ndomains_, nlev_};
+  const TemporalScheme scheme(nlev_);
+  const auto nclasses = static_cast<std::size_t>(cls.count());
+
+  scratch_tasks_.clear();
+  scratch_deps_.clear();
+  classes_.task_class.clear();
+  last_cell_writer_.assign(nclasses, invalid_index);
+  last_face_writer_.assign(nclasses, invalid_index);
+
+  // Algorithm 1, byte-for-byte the generator's emission loop, replayed
+  // over the incrementally-maintained aggregates.
+  auto emit_one = [&](index_t s, level_t tau, ObjectType type, part_t d,
+                      Locality loc) {
+    const index_t cid = cls.id(d, tau, loc);
+    const index_t count = type == ObjectType::face
+                              ? face_count_[static_cast<std::size_t>(cid)]
+                              : cell_count_[static_cast<std::size_t>(cid)];
+    if (count == 0) return;  // Algorithm 1 line 6: skip empty classes
+
+    Task task;
+    task.subiteration = s;
+    task.level = tau;
+    task.type = type;
+    task.locality = loc;
+    task.domain = d;
+    task.num_objects = count;
+    task.cost = static_cast<simtime_t>(count) *
+                (type == ObjectType::face ? opts_.generate.cost.face_unit
+                                          : opts_.generate.cost.cell_unit);
+    const auto tid = static_cast<index_t>(scratch_tasks_.size());
+
+    std::vector<index_t> dep;
+    if (type == ObjectType::face) {
+      if (last_face_writer_[static_cast<std::size_t>(cid)] != invalid_index)
+        dep.push_back(last_face_writer_[static_cast<std::size_t>(cid)]);
+      for (eindex_t i = f2c_xadj_[static_cast<std::size_t>(cid)];
+           i < f2c_xadj_[static_cast<std::size_t>(cid) + 1]; ++i) {
+        const index_t cc = f2c_[static_cast<std::size_t>(i)];
+        if (last_cell_writer_[static_cast<std::size_t>(cc)] != invalid_index)
+          dep.push_back(last_cell_writer_[static_cast<std::size_t>(cc)]);
+      }
+      last_face_writer_[static_cast<std::size_t>(cid)] = tid;
+    } else {
+      if (last_cell_writer_[static_cast<std::size_t>(cid)] != invalid_index)
+        dep.push_back(last_cell_writer_[static_cast<std::size_t>(cid)]);
+      for (eindex_t i = c2f_xadj_[static_cast<std::size_t>(cid)];
+           i < c2f_xadj_[static_cast<std::size_t>(cid) + 1]; ++i) {
+        const index_t fc = c2f_[static_cast<std::size_t>(i)];
+        if (last_face_writer_[static_cast<std::size_t>(fc)] != invalid_index)
+          dep.push_back(last_face_writer_[static_cast<std::size_t>(fc)]);
+      }
+      last_cell_writer_[static_cast<std::size_t>(cid)] = tid;
+    }
+    scratch_tasks_.push_back(task);
+    scratch_deps_.push_back(std::move(dep));
+    classes_.task_class.push_back(cid);
+  };
+
+  for (int iter = 0; iter < opts_.generate.num_iterations; ++iter) {
+    for (index_t s = 0; s < scheme.num_subiterations(); ++s) {
+      const level_t top = scheme.top_level(s);
+      for (level_t tau = top;; --tau) {  // descending phases
+        for (const ObjectType type : {ObjectType::face, ObjectType::cell}) {
+          for (part_t d = 0; d < ndomains_; ++d) {
+            emit_one(s, tau, type, d, Locality::external);
+            emit_one(s, tau, type, d, Locality::internal);
+          }
+        }
+        if (tau == 0) break;
+      }
+    }
+  }
+  graph_ = TaskGraph(std::move(scratch_tasks_), scratch_deps_);
+  scratch_tasks_.clear();
+}
+
+const PatchStats& GraphPatcher::apply(
+    const mesh::Mesh& mesh, const std::vector<part_t>& domain_of_cell) {
+  TAMP_TRACE_SCOPE("taskgraph/patch/apply");
+  const index_t ncells = mesh.num_cells();
+  TAMP_EXPECTS(levels_.size() == static_cast<std::size_t>(ncells) &&
+                   face_class_.size() ==
+                       static_cast<std::size_t>(mesh.num_faces()),
+               "GraphPatcher bound to a mesh of different topology");
+  TAMP_EXPECTS(domain_of_cell.size() == static_cast<std::size_t>(ncells),
+               "domain vector size must equal cell count");
+
+  stats_ = {};
+  if (static_cast<level_t>(mesh.max_level() + 1) != nlev_) {
+    // The class id space itself changed; every cached class id is void.
+    domains_ = domain_of_cell;
+    rebuild(mesh, "temporal level count changed");
+    stats_.dirty_fraction = 1.0;
+    if (opts_.oracle) run_oracle(mesh);
+    return stats_;
+  }
+
+  // --- diff against the mirrored inputs -----------------------------------
+  std::vector<index_t> changed;
+  std::vector<index_t> domain_changed;
+  for (index_t c = 0; c < ncells; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const bool lev = levels_[sc] != mesh.cell_level(c);
+    const bool dom = domains_[sc] != domain_of_cell[sc];
+    if (lev || dom) changed.push_back(c);
+    if (dom) domain_changed.push_back(c);
+  }
+  stats_.dirty_fraction =
+      static_cast<double>(changed.size()) / static_cast<double>(ncells);
+  TAMP_METRIC_GAUGE_SET("taskgraph.patch.dirty_fraction",
+                        stats_.dirty_fraction);
+
+  if (changed.empty()) {
+    // Classification is a pure function of (levels, domains): nothing
+    // changed, the graph is already exact.
+    stats_.patched = true;
+    std::fill(dirty_tasks_.begin(), dirty_tasks_.end(), char{0});
+    TAMP_METRIC_COUNT("taskgraph.patch.noop", 1);
+    if (opts_.oracle) run_oracle(mesh);
+    return stats_;
+  }
+  if (stats_.dirty_fraction > opts_.max_dirty_fraction) {
+    domains_ = domain_of_cell;
+    rebuild(mesh, "dirty fraction above patch threshold");
+    if (opts_.oracle) run_oracle(mesh);
+    return stats_;
+  }
+
+  TAMP_TRACE_SCOPE("taskgraph/patch/diff");
+  // --- dirty closure -------------------------------------------------------
+  // Cells to reclassify: every changed cell, plus every neighbour of a
+  // domain-changed cell (its locality may flip). Faces to re-derive:
+  // every face incident to a reclassified cell (its own class and its
+  // (face class, cell class) pairs both depend on its two cells).
+  std::vector<char> cell_mark(static_cast<std::size_t>(ncells), 0);
+  std::vector<index_t> dirty_cells;
+  auto add_cell = [&](index_t c) {
+    if (cell_mark[static_cast<std::size_t>(c)] == 0) {
+      cell_mark[static_cast<std::size_t>(c)] = 1;
+      dirty_cells.push_back(c);
+    }
+  };
+  for (const index_t c : changed) add_cell(c);
+  for (const index_t c : domain_changed)
+    for (const index_t f : mesh.cell_faces(c)) {
+      const index_t o = mesh.face_other_cell(f, c);
+      if (o != invalid_index) add_cell(o);
+    }
+  std::vector<char> face_mark(static_cast<std::size_t>(mesh.num_faces()), 0);
+  std::vector<index_t> dirty_faces;
+  for (const index_t c : dirty_cells)
+    for (const index_t f : mesh.cell_faces(c))
+      if (face_mark[static_cast<std::size_t>(f)] == 0) {
+        face_mark[static_cast<std::size_t>(f)] = 1;
+        dirty_faces.push_back(f);
+      }
+
+  // --- retract the dirty contributions (old classes) -----------------------
+  auto dec_pair = [&](index_t fc, index_t cc) {
+    const auto it = pair_count_.find(pack_pair(fc, cc));
+    TAMP_ENSURE(it != pair_count_.end() && it->second > 0,
+                "patch bookkeeping lost an adjacency pair");
+    if (--it->second == 0) {
+      pair_count_.erase(it);
+      pair_set_changed_ = true;
+    }
+  };
+  auto inc_pair = [&](index_t fc, index_t cc) {
+    if (++pair_count_[pack_pair(fc, cc)] == 1) pair_set_changed_ = true;
+  };
+  for (const index_t f : dirty_faces) {
+    const index_t fc = face_class_[static_cast<std::size_t>(f)];
+    dec_pair(fc,
+             cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 0))]);
+    if (!mesh.is_boundary_face(f))
+      dec_pair(fc,
+               cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 1))]);
+  }
+
+  // --- reclassify under the new (levels, domains) --------------------------
+  domains_ = domain_of_cell;
+  levels_ = mesh.cell_levels();
+  const Classifier cf{mesh, domains_, ClassIndexer{ndomains_, nlev_}};
+  std::fill(dirty_classes_.begin(), dirty_classes_.end(), char{0});
+  auto touch_class = [&](index_t k) {
+    dirty_classes_[static_cast<std::size_t>(k)] = 1;
+  };
+  for (const index_t c : dirty_cells) {
+    const index_t old_k = cell_class_[static_cast<std::size_t>(c)];
+    const index_t new_k = cf.cell_class(c);
+    if (new_k == old_k) continue;
+    --cell_count_[static_cast<std::size_t>(old_k)];
+    ++cell_count_[static_cast<std::size_t>(new_k)];
+    sorted_erase(classes_.class_cells[static_cast<std::size_t>(old_k)], c);
+    sorted_insert(classes_.class_cells[static_cast<std::size_t>(new_k)], c);
+    cell_class_[static_cast<std::size_t>(c)] = new_k;
+    touch_class(old_k);
+    touch_class(new_k);
+  }
+  for (const index_t f : dirty_faces) {
+    const index_t old_k = face_class_[static_cast<std::size_t>(f)];
+    const index_t new_k = cf.face_class(f);
+    if (new_k != old_k) {
+      --face_count_[static_cast<std::size_t>(old_k)];
+      ++face_count_[static_cast<std::size_t>(new_k)];
+      sorted_erase(classes_.class_faces[static_cast<std::size_t>(old_k)], f);
+      sorted_insert(classes_.class_faces[static_cast<std::size_t>(new_k)], f);
+      face_class_[static_cast<std::size_t>(f)] = new_k;
+      touch_class(old_k);
+      touch_class(new_k);
+    }
+    inc_pair(new_k,
+             cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 0))]);
+    if (!mesh.is_boundary_face(f))
+      inc_pair(new_k,
+               cell_class_[static_cast<std::size_t>(mesh.face_cell(f, 1))]);
+  }
+
+  // --- re-derive the graph from the patched aggregates ---------------------
+  refresh_adjacency();
+  index_t ndirty_classes = 0;
+  for (std::size_t k = 0; k < dirty_classes_.size(); ++k)
+    if (dirty_classes_[k] != 0) {
+      ++ndirty_classes;
+      recompute_ranges(mesh, static_cast<index_t>(k));
+    }
+  emit(mesh);
+
+  // Dirty-task mask at class granularity: tasks of a changed class, plus
+  // tasks class-adjacent to one (their dependency lists reference its
+  // last writer) — the region the race verifier re-certifies.
+  std::vector<char> region(dirty_classes_.size(), 0);
+  for (std::size_t k = 0; k < dirty_classes_.size(); ++k) {
+    if (dirty_classes_[k] == 0) continue;
+    region[k] = 1;
+    for (eindex_t i = f2c_xadj_[k]; i < f2c_xadj_[k + 1]; ++i)
+      region[static_cast<std::size_t>(f2c_[static_cast<std::size_t>(i)])] = 1;
+    for (eindex_t i = c2f_xadj_[k]; i < c2f_xadj_[k + 1]; ++i)
+      region[static_cast<std::size_t>(c2f_[static_cast<std::size_t>(i)])] = 1;
+  }
+  dirty_tasks_.assign(static_cast<std::size_t>(graph_.num_tasks()), 0);
+  for (index_t t = 0; t < graph_.num_tasks(); ++t)
+    dirty_tasks_[static_cast<std::size_t>(t)] =
+        region[static_cast<std::size_t>(
+            classes_.task_class[static_cast<std::size_t>(t)])];
+
+  stats_.dirty_cells = static_cast<index_t>(dirty_cells.size());
+  stats_.dirty_faces = static_cast<index_t>(dirty_faces.size());
+  stats_.dirty_classes = ndirty_classes;
+  stats_.patched = true;
+  TAMP_METRIC_COUNT("taskgraph.patch.applied", 1);
+  TAMP_METRIC_COUNT("taskgraph.patch.dirty_cells", stats_.dirty_cells);
+  TAMP_METRIC_COUNT("taskgraph.patch.dirty_faces", stats_.dirty_faces);
+
+  if (opts_.oracle) run_oracle(mesh);
+  return stats_;
+}
+
+std::uint64_t GraphPatcher::fingerprint(const TaskGraph& graph,
+                                        const ClassMap& classes) {
+  Fnv1a h;
+  const index_t ntasks = graph.num_tasks();
+  h.add(ntasks);
+  for (index_t t = 0; t < ntasks; ++t) {
+    const Task& task = graph.task(t);
+    h.add(task.subiteration)
+        .add(task.level)
+        .add(task.type)
+        .add(task.locality)
+        .add(task.domain)
+        .add(task.num_objects)
+        .add(task.cost);
+    const auto succ = graph.successors(t);
+    h.add_span(succ.data(), succ.size());
+    const auto pred = graph.predecessors(t);
+    h.add_span(pred.data(), pred.size());
+  }
+  h.add_vector(classes.task_class);
+  for (const auto& v : classes.class_cells) h.add_vector(v);
+  for (const auto& v : classes.class_faces) h.add_vector(v);
+  for (const auto& r : classes.cell_range) h.add(r.begin).add(r.end);
+  for (const auto& r : classes.face_range)
+    h.add(r.begin).add(r.boundary_begin).add(r.end);
+  return h.value();
+}
+
+std::uint64_t GraphPatcher::fingerprint() const {
+  return fingerprint(graph_, classes_);
+}
+
+void GraphPatcher::run_oracle(const mesh::Mesh& mesh) const {
+  TAMP_TRACE_SCOPE("taskgraph/patch/oracle");
+  ClassMap rebuilt_map;
+  const TaskGraph rebuilt = generate_task_graph(mesh, domains_, ndomains_,
+                                                opts_.generate, &rebuilt_map);
+  if (fingerprint(rebuilt, rebuilt_map) != fingerprint(graph_, classes_))
+    throw invariant_error(
+        "patched task graph diverged from the from-scratch rebuild — "
+        "stale patch caught by the equivalence oracle");
+}
+
+void GraphPatcher::corrupt_aggregates_for_testing() {
+  for (std::size_t k = 0; k < cell_count_.size(); ++k) {
+    if (cell_count_[k] > 1) {
+      --cell_count_[k];
+      return;
+    }
+  }
+  TAMP_ENSURE(false, "no populated class to corrupt");
+}
+
+}  // namespace tamp::taskgraph

@@ -1,0 +1,162 @@
+// Diff-based task-graph patching — the amortization layer of the online
+// repartitioning service (paper §III-A: temporal levels drift slowly, so
+// rebuilding the whole DAG every iteration wastes almost all of its
+// cost).
+//
+// The key structural fact (proved by the property tests and enforced at
+// runtime by the equivalence oracle): Algorithm 1's output is a pure
+// function of three per-class aggregates —
+//
+//   * per-class cell populations,
+//   * per-class face populations,
+//   * the deduplicated (face class, cell class) adjacency pair set —
+//
+// plus the fixed emission order. GraphPatcher maintains those aggregates
+// incrementally from the dirty cell/face set (cells whose level or
+// domain changed, their domain-flip neighbours, and incident faces) and
+// re-emits the task/dependency arrays from them. The O(cells + faces)
+// classification, the 2·F-element pair sort and the per-class object
+// list rebuilds — the dominant costs of generate_task_graph — are all
+// replaced by O(dirty) updates; only the O(tasks + deps) emission loop
+// (a few thousand slots) reruns. The result is bit-identical to a
+// from-scratch rebuild: same task order, same fields, same dependency
+// CSR, same ClassMap lists and ranges.
+//
+// Safety net layers, outermost first:
+//   1. the pipeline's IterationSnapshot fingerprint (support/hash.hpp)
+//      seals whatever graph was published;
+//   2. the equivalence oracle (Options::oracle or apply-time override)
+//      rebuilds from scratch and throws invariant_error unless the
+//      patched graph + ClassMap are bit-identical;
+//   3. verify::check_races_region re-certifies the dirty region of the
+//      patched graph via induced-subgraph race checking (verifier.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+#include "taskgraph/generate.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace tamp::taskgraph {
+
+/// Outcome of one GraphPatcher::apply().
+struct PatchStats {
+  index_t dirty_cells = 0;   ///< cells reclassified (level/domain + halo)
+  index_t dirty_faces = 0;   ///< faces whose class pairs were re-derived
+  index_t dirty_classes = 0; ///< object classes whose aggregates changed
+  double dirty_fraction = 0; ///< changed cells / total cells
+  bool patched = false;      ///< true = diff path, false = full rebuild
+  /// Why the full-rebuild path ran (nullptr when patched).
+  const char* rebuild_reason = nullptr;
+};
+
+/// Incrementally-maintained task graph over one evolving mesh.
+///
+/// Construction runs generate_task_graph once and snapshots the class
+/// aggregates; each apply() diffs the new (levels, domains) against the
+/// stored ones and patches. The mesh topology (cells, faces, adjacency)
+/// must not change across applies — only temporal levels and the domain
+/// assignment may. Not thread-safe: one patcher belongs to one prep
+/// stream (the pipeline's depth-1 handoff serializes applies).
+class GraphPatcher {
+public:
+  struct Options {
+    GenerateOptions generate;
+    /// Dirty-cell fraction above which apply() falls back to a full
+    /// rebuild (the diff bookkeeping stops paying for itself; the
+    /// issue's "<~5 % of cells" premise).
+    double max_dirty_fraction = 0.05;
+    /// Run the equivalence oracle on every apply(): rebuild from
+    /// scratch, compare bit-for-bit, throw invariant_error on mismatch.
+    bool oracle = false;
+  };
+
+  GraphPatcher(const mesh::Mesh& mesh, std::vector<part_t> domain_of_cell,
+               part_t ndomains, Options opts);
+  /// Default Options.
+  GraphPatcher(const mesh::Mesh& mesh, std::vector<part_t> domain_of_cell,
+               part_t ndomains);
+
+  /// Bring the graph up to date with `mesh`'s current levels and the new
+  /// domain assignment. Returns stats for the applied diff (or rebuild).
+  const PatchStats& apply(const mesh::Mesh& mesh,
+                          const std::vector<part_t>& domain_of_cell);
+
+  [[nodiscard]] const TaskGraph& graph() const { return graph_; }
+  [[nodiscard]] const ClassMap& classes() const { return classes_; }
+  [[nodiscard]] const PatchStats& last_stats() const { return stats_; }
+
+  /// Per-task dirty mask of the last apply(): tasks whose class
+  /// aggregates changed or that are class-adjacent to one that did —
+  /// the region verify::check_races_region re-certifies. All-true after
+  /// construction or a full rebuild.
+  [[nodiscard]] const std::vector<char>& dirty_tasks() const {
+    return dirty_tasks_;
+  }
+
+  /// Fingerprint over the task array, dependency CSR and ClassMap
+  /// ranges (FNV-1a, support/hash.hpp). Equal fingerprints on a patched
+  /// and a rebuilt graph is what the mutation tests assert the oracle
+  /// distinguishes.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Free-standing fingerprint of any (graph, classes) pair, for
+  /// comparing a patched result against an independent rebuild.
+  [[nodiscard]] static std::uint64_t fingerprint(const TaskGraph& graph,
+                                                 const ClassMap& classes);
+
+  /// Test hook: corrupt one class-population aggregate so the next
+  /// patched apply() produces a stale graph — the mutation tests prove
+  /// the oracle (and the snapshot fingerprint) catch it.
+  void corrupt_aggregates_for_testing();
+
+private:
+  void rebuild(const mesh::Mesh& mesh, const char* reason);
+  void derive_aggregates(const mesh::Mesh& mesh);
+  void emit(const mesh::Mesh& mesh);
+  void refresh_adjacency();
+  void recompute_ranges(const mesh::Mesh& mesh, index_t cls);
+  void run_oracle(const mesh::Mesh& mesh) const;
+
+  Options opts_;
+  part_t ndomains_ = 0;
+  level_t nlev_ = 0;
+
+  // Mirrors of the inputs the classification depends on.
+  std::vector<part_t> domains_;
+  std::vector<level_t> levels_;
+
+  // Per-object class ids and per-class aggregates.
+  std::vector<index_t> cell_class_;
+  std::vector<index_t> face_class_;
+  std::vector<index_t> cell_count_;
+  std::vector<index_t> face_count_;
+  /// (face class << 32 | cell class) → multiplicity; the deduplicated
+  /// pair set generate_task_graph sorts is exactly the keys with
+  /// multiplicity > 0.
+  std::unordered_map<std::uint64_t, index_t> pair_count_;
+  bool pair_set_changed_ = true;
+
+  // Class adjacency CSRs rebuilt from pair_count_ when the distinct
+  // pair set changes (cheap: O(distinct pairs · log)).
+  std::vector<eindex_t> f2c_xadj_, c2f_xadj_;
+  std::vector<index_t> f2c_, c2f_;
+
+  TaskGraph graph_;
+  ClassMap classes_;
+  PatchStats stats_;
+  std::vector<char> dirty_classes_;  ///< scratch, per class
+  std::vector<char> dirty_tasks_;
+
+  // Emission scratch, reused across applies.
+  std::vector<Task> scratch_tasks_;
+  std::vector<std::vector<index_t>> scratch_deps_;
+  std::vector<index_t> last_cell_writer_, last_face_writer_;
+};
+
+}  // namespace tamp::taskgraph

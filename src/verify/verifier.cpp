@@ -133,4 +133,44 @@ void collect_serial(const taskgraph::TaskGraph& graph,
   }
 }
 
+std::vector<char> region_closure(const taskgraph::TaskGraph& graph,
+                                 const std::vector<char>& dirty) {
+  TAMP_EXPECTS(dirty.size() == static_cast<std::size_t>(graph.num_tasks()),
+               "dirty mask sized for a different graph");
+  std::vector<char> region(dirty.begin(), dirty.end());
+  for (index_t t = 0; t < graph.num_tasks(); ++t) {
+    if (dirty[static_cast<std::size_t>(t)] == 0) continue;
+    for (const index_t p : graph.predecessors(t))
+      region[static_cast<std::size_t>(p)] = 1;
+    for (const index_t s : graph.successors(t))
+      region[static_cast<std::size_t>(s)] = 1;
+  }
+  return region;
+}
+
+RegionReport check_races_region(const taskgraph::TaskGraph& graph,
+                                const std::vector<char>& dirty,
+                                const runtime::TaskBody& body) {
+  TAMP_TRACE_SCOPE("verify/check_races_region");
+  RegionReport report;
+  const std::vector<char> region = region_closure(graph, dirty);
+  for (const char d : dirty) report.dirty_tasks += d != 0 ? 1 : 0;
+
+  // Replay only region bodies — but in the FULL graph's topological
+  // order and against the full graph's reachability, so dependency
+  // paths through untouched tasks still order the recorded pairs.
+  AccessLog log(graph.num_tasks());
+  for (const index_t t : graph.topological_order()) {
+    if (region[static_cast<std::size_t>(t)] == 0) continue;
+    ++report.region_tasks;
+    const TaskRecordScope scope(log, t);
+    body(t);
+  }
+  report.races = check_races(graph, log);
+
+  TAMP_METRIC_COUNT("verify.region.dirty_tasks", report.dirty_tasks);
+  TAMP_METRIC_COUNT("verify.region.replayed_tasks", report.region_tasks);
+  return report;
+}
+
 }  // namespace tamp::verify

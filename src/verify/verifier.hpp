@@ -60,4 +60,42 @@ struct RaceReport {
 void collect_serial(const taskgraph::TaskGraph& graph,
                     const runtime::TaskBody& body, AccessLog& log);
 
+/// Close a dirty-task mask over one dependency hop: the returned mask
+/// additionally flags every direct predecessor and successor of a dirty
+/// task. This is the replay region of a dirty-region re-certification —
+/// every ordering constraint a patched task participates in has both
+/// endpoints inside it.
+[[nodiscard]] std::vector<char> region_closure(
+    const taskgraph::TaskGraph& graph, const std::vector<char>& dirty);
+
+/// Result of a dirty-region re-certification (check_races_region).
+struct RegionReport {
+  RaceReport races;
+  index_t dirty_tasks = 0;   ///< tasks flagged dirty by the caller
+  index_t region_tasks = 0;  ///< dirty ∪ one dependency hop — tasks replayed
+
+  [[nodiscard]] bool clean() const { return races.clean(); }
+};
+
+/// Re-certify only the dirty region of a patched task graph.
+///
+/// `dirty` flags the tasks the patcher touched (dirty[t] != 0); the
+/// region replayed is that set closed by one dependency hop (direct
+/// predecessors and successors), whose access sets bound every ordering
+/// constraint a patched task participates in. Only region task bodies
+/// run (serially, in full-graph topological order), but the recorded
+/// accesses are checked against the FULL graph's reachability — paths
+/// through untouched tasks still count as ordering, so the check is
+/// sound (no false races from severed paths) while costing only
+/// O(region) task executions instead of O(graph).
+///
+/// What this proves: no unordered conflicting pair involves a replayed
+/// task. Untouched-vs-untouched pairs are certified by the previous full
+/// verification plus the patcher's equivalence oracle (taskgraph/patch.hpp),
+/// which guarantees the patched graph is bit-identical to a from-scratch
+/// rebuild.
+[[nodiscard]] RegionReport check_races_region(
+    const taskgraph::TaskGraph& graph, const std::vector<char>& dirty,
+    const runtime::TaskBody& body);
+
 }  // namespace tamp::verify

@@ -1,0 +1,332 @@
+// Tests of the decomposition cache (partition/cache.hpp): content-hash
+// and key sensitivity, LRU/byte-budget eviction, admission control,
+// single-flight miss collapsing, a concurrent hammer for the TSan job,
+// and equivalence of decompose_cached with a direct decompose —
+// including the out-of-cache permutation upgrade path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mesh/generators.hpp"
+#include "partition/cache.hpp"
+#include "partition/reorder.hpp"
+
+namespace tamp::partition {
+namespace {
+
+mesh::Mesh small_mesh(std::uint64_t seed = 7, index_t cells = 2000) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = cells;
+  spec.seed = seed;
+  return mesh::make_test_mesh(mesh::TestMeshKind::cylinder, spec);
+}
+
+CacheKey key_of(std::uint64_t mesh_hash) {
+  CacheKey k;
+  k.mesh_hash = mesh_hash;
+  k.strategy = Strategy::mc_tl;
+  k.ndomains = 8;
+  k.nprocesses = 2;
+  k.tolerance = 0.05;
+  k.seed = 1;
+  k.threads = 1;
+  return k;
+}
+
+/// A tiny synthetic value padded until its estimated footprint reaches
+/// `bytes` (the cache recomputes the estimate on publish, so the
+/// footprint must live in real vector sizes, not in the `bytes` field).
+CachedDecomposition synthetic_value(std::size_t bytes, part_t tag = 1) {
+  CachedDecomposition v;
+  v.decomposition.ndomains = tag;
+  while (v.estimate_bytes() < bytes) v.decomposition.domain_of_cell.push_back(tag);
+  v.bytes = v.estimate_bytes();
+  return v;
+}
+
+// --- keying ------------------------------------------------------------------
+
+TEST(MeshContentHash, DeterministicAndSensitive) {
+  const auto a = small_mesh(7);
+  const auto b = small_mesh(7);
+  EXPECT_EQ(mesh_content_hash(a), mesh_content_hash(b));
+  // Different geometry (different generator seed) → different hash.
+  EXPECT_NE(mesh_content_hash(a), mesh_content_hash(small_mesh(8)));
+  // Different temporal levels, same topology and geometry → different hash.
+  auto c = small_mesh(7);
+  auto levels = c.cell_levels();
+  levels[0] = levels[0] == 0 ? 1 : 0;
+  c.set_cell_levels(std::move(levels));
+  EXPECT_NE(mesh_content_hash(a), mesh_content_hash(c));
+}
+
+TEST(CacheKeyTest, EveryFieldParticipates) {
+  const CacheKey base = key_of(42);
+  CacheKey k = base;
+  EXPECT_TRUE(k == base);
+
+  k = base;
+  k.mesh_hash ^= 1;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.strategy = Strategy::sc_oc;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.ndomains = 9;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.nprocesses = 3;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.tolerance = 0.1;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.seed = 2;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+  k = base;
+  k.threads = 4;
+  EXPECT_FALSE(k == base);
+  EXPECT_NE(k.hash(), base.hash());
+}
+
+TEST(CacheKeyTest, MakeCacheKeyResolvesThreads) {
+  const auto m = small_mesh();
+  StrategyOptions opts;
+  opts.partitioner.num_threads = 1;
+  const CacheKey k = make_cache_key(m, opts);
+  EXPECT_EQ(k.threads, 1);
+  EXPECT_EQ(k.mesh_hash, mesh_content_hash(m));
+}
+
+// --- LRU / eviction / admission ---------------------------------------------
+
+TEST(DecompositionCacheTest, HitMissAndLruEviction) {
+  DecompositionCache::Options opts;
+  opts.max_entries = 2;
+  DecompositionCache cache(opts);
+
+  const CacheKey a = key_of(1), b = key_of(2), c = key_of(3);
+  EXPECT_EQ(cache.find(a), nullptr);  // miss
+  (void)cache.get_or_compute(a, [] { return synthetic_value(64, 1); });
+  (void)cache.get_or_compute(b, [] { return synthetic_value(64, 2); });
+  EXPECT_NE(cache.find(a), nullptr);  // a is now MRU
+  (void)cache.get_or_compute(c, [] { return synthetic_value(64, 3); });
+
+  // b was LRU → evicted; a and c survive.
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.hits, 3u);    // find(a) twice + find(c)
+  EXPECT_EQ(st.misses, 5u);  // initial find(a), three computes, find(b)
+}
+
+TEST(DecompositionCacheTest, ByteBudgetEvicts) {
+  DecompositionCache::Options opts;
+  opts.max_bytes = 1000;
+  opts.admit_max_fraction = 0.5;
+  DecompositionCache cache(opts);
+  (void)cache.get_or_compute(key_of(1), [] { return synthetic_value(400); });
+  (void)cache.get_or_compute(key_of(2), [] { return synthetic_value(400); });
+  EXPECT_EQ(cache.stats().entries, 2u);
+  (void)cache.get_or_compute(key_of(3), [] { return synthetic_value(400); });
+  const auto st = cache.stats();
+  EXPECT_LE(st.bytes, 1000u);
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);  // oldest went first
+}
+
+TEST(DecompositionCacheTest, AdmissionRejectsOversizeValue) {
+  DecompositionCache::Options opts;
+  opts.max_bytes = 1000;
+  opts.admit_max_fraction = 0.5;
+  DecompositionCache cache(opts);
+  const auto v =
+      cache.get_or_compute(key_of(1), [] { return synthetic_value(900); });
+  ASSERT_NE(v, nullptr);  // the caller still gets the computed value
+  EXPECT_GE(v->bytes, 900u);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);  // never admitted
+}
+
+TEST(DecompositionCacheTest, EvictedValueStaysAliveForHolders) {
+  DecompositionCache::Options opts;
+  opts.max_entries = 1;
+  DecompositionCache cache(opts);
+  const auto v =
+      cache.get_or_compute(key_of(1), [] { return synthetic_value(64, 7); });
+  (void)cache.get_or_compute(key_of(2), [] { return synthetic_value(64, 8); });
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);  // evicted...
+  EXPECT_EQ(v->decomposition.ndomains, 7);    // ...but our ref is intact
+}
+
+TEST(DecompositionCacheTest, ClearResetsEntriesButKeepsCounters) {
+  DecompositionCache cache;
+  (void)cache.get_or_compute(key_of(1), [] { return synthetic_value(64); });
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+}
+
+// --- single flight & concurrency ---------------------------------------------
+
+TEST(DecompositionCacheTest, ConcurrentMissesOnOneKeySingleFlight) {
+  DecompositionCache cache;
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<DecompositionCache::Value> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          cache.get_or_compute(key_of(99), [&] {
+            computes.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return synthetic_value(64, 5);
+          });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());  // everyone shares one value
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.inflight_joins, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_DOUBLE_EQ(st.served_rate(),
+                   static_cast<double>(kThreads - 1) / kThreads);
+}
+
+TEST(DecompositionCacheTest, FailedComputeIsRethrownToAllWaiters) {
+  DecompositionCache cache;
+  std::atomic<int> throws{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      try {
+        (void)cache.get_or_compute(key_of(5), [&]() -> CachedDecomposition {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          throw std::runtime_error("partitioner exploded");
+        });
+      } catch (const std::runtime_error&) {
+        throws.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(throws.load(), 4);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The flight is gone: a later compute succeeds.
+  const auto v =
+      cache.get_or_compute(key_of(5), [] { return synthetic_value(64); });
+  EXPECT_NE(v, nullptr);
+}
+
+TEST(DecompositionCacheTest, ConcurrentHammerIsRaceFree) {
+  // Exercised under TSan by tools/tsan_check.sh: mixed hits, misses,
+  // single-flight joins, evictions and clears from several threads.
+  DecompositionCache::Options opts;
+  opts.max_entries = 4;
+  DecompositionCache cache(opts);
+  constexpr int kThreads = 4, kOps = 200, kKeys = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto tag = static_cast<part_t>((i * 31 + t * 17) % kKeys);
+        const CacheKey k = key_of(static_cast<std::uint64_t>(tag));
+        const auto v = cache.get_or_compute(
+            k, [&] { return synthetic_value(64, tag + 1); });
+        ASSERT_NE(v, nullptr);
+        ASSERT_EQ(v->decomposition.ndomains, tag + 1);
+        if (i % 10 == 0) (void)cache.find(k);
+        if (t == 0 && i % 97 == 0) cache.clear();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto st = cache.stats();
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GE(st.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_LE(st.entries, 4u);
+}
+
+// --- decompose_cached --------------------------------------------------------
+
+TEST(DecomposeCached, MatchesDirectDecomposeAndHitsOnRepeat) {
+  const auto m = small_mesh();
+  StrategyOptions opts;
+  opts.strategy = Strategy::mc_tl;
+  opts.ndomains = 8;
+  DecompositionCache cache;
+
+  const auto direct = decompose(m, opts);
+  const auto v1 = decompose_cached(m, opts, &cache);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->decomposition.domain_of_cell, direct.domain_of_cell);
+  EXPECT_EQ(v1->decomposition.ndomains, direct.ndomains);
+  EXPECT_GT(v1->bytes, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const auto v2 = decompose_cached(m, opts, &cache);
+  EXPECT_EQ(v2.get(), v1.get());  // served from cache, same object
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Null cache degrades to a plain compute with identical output.
+  const auto v3 = decompose_cached(m, opts, nullptr);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(v3->decomposition.domain_of_cell, direct.domain_of_cell);
+}
+
+TEST(DecomposeCached, PermutationUpgradeLeavesCachedEntryUntouched) {
+  const auto m = small_mesh();
+  StrategyOptions opts;
+  opts.ndomains = 4;
+  DecompositionCache cache;
+
+  const auto plain = decompose_cached(m, opts, &cache, false);
+  ASSERT_FALSE(plain->with_permutation);
+
+  const auto upgraded = decompose_cached(m, opts, &cache, true);
+  ASSERT_NE(upgraded, nullptr);
+  EXPECT_TRUE(upgraded->with_permutation);
+  EXPECT_EQ(upgraded->decomposition.domain_of_cell,
+            plain->decomposition.domain_of_cell);
+  const auto ref = build_locality_permutation(
+      m, plain->decomposition.domain_of_cell, plain->decomposition.ndomains);
+  EXPECT_EQ(upgraded->permutation.cell_new_to_old, ref.cell_new_to_old);
+  EXPECT_EQ(upgraded->permutation.face_new_to_old, ref.face_new_to_old);
+
+  // The published entry was upgraded out-of-cache, never mutated.
+  const auto again = decompose_cached(m, opts, &cache, false);
+  EXPECT_EQ(again.get(), plain.get());
+  EXPECT_FALSE(again->with_permutation);
+
+  // A permutation-bearing first compute is cached with the permutation.
+  DecompositionCache cache2;
+  const auto full = decompose_cached(m, opts, &cache2, true);
+  EXPECT_TRUE(full->with_permutation);
+  const auto full_again = decompose_cached(m, opts, &cache2, true);
+  EXPECT_EQ(full_again.get(), full.get());
+}
+
+}  // namespace
+}  // namespace tamp::partition

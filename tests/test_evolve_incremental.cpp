@@ -99,6 +99,28 @@ TEST(Incremental, NoChangeNoMigration) {
   EXPECT_LE(report.migrated_vertices, m.num_cells() / 10);
 }
 
+TEST(Incremental, ZeroDirtyVerticesReusesAssignmentVerbatim) {
+  auto m = graded_test_mesh(4000);
+  partition::StrategyOptions sopts;
+  sopts.strategy = partition::Strategy::sc_oc;
+  sopts.ndomains = 4;
+  auto dd = partition::decompose(m, sopts);
+  const auto g = partition::build_strategy_graph(m, partition::Strategy::sc_oc);
+  const auto before = dd.domain_of_cell;
+  partition::IncrementalOptions iopts;
+  iopts.dirty_vertices = 0;
+  const auto report =
+      partition::incremental_repartition(g, dd.domain_of_cell, 4, iopts);
+  EXPECT_TRUE(report.reused_verbatim);
+  EXPECT_EQ(report.migrated_vertices, 0);
+  EXPECT_EQ(dd.domain_of_cell, before);  // not a single cell moved
+  EXPECT_EQ(report.cut_before, report.cut_after);
+  EXPECT_EQ(report.imbalance_before, report.imbalance_after);
+  // The normal path (dirty unknown) does NOT take the shortcut.
+  const auto full = partition::incremental_repartition(g, dd.domain_of_cell, 4);
+  EXPECT_FALSE(full.reused_verbatim);
+}
+
 TEST(Incremental, MigratesFarLessThanScratchRepartition) {
   auto m = graded_test_mesh();
   partition::StrategyOptions sopts;

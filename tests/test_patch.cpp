@@ -1,0 +1,323 @@
+// Property and mutation tests of the diff-based task-graph patcher
+// (taskgraph/patch.hpp): a drift sweep across meshes × strategies × seeds
+// asserting the patched graph, ClassMap ranges and doctor output are
+// bit-identical to a from-scratch rebuild; the zero-drift noop and the
+// rebuild fallbacks; the equivalence oracle and the snapshot fingerprint
+// catching a deliberately staled patch; and dirty-region re-certification
+// (verify::check_races_region) on real patched graphs — clean on the
+// genuine article, flagged when a load-bearing edge is severed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mesh/evolve.hpp"
+#include "mesh/generators.hpp"
+#include "partition/strategy.hpp"
+#include "sim/doctor.hpp"
+#include "sim/simulate.hpp"
+#include "solver/euler.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "taskgraph/patch.hpp"
+#include "verify/graph_edit.hpp"
+#include "verify/verifier.hpp"
+
+namespace tamp::taskgraph {
+namespace {
+
+mesh::Mesh test_mesh(mesh::TestMeshKind kind, index_t cells,
+                     std::uint64_t seed) {
+  mesh::TestMeshSpec spec;
+  spec.target_cells = cells;
+  spec.seed = seed;
+  return mesh::make_test_mesh(kind, spec);
+}
+
+std::vector<part_t> decompose(const mesh::Mesh& m, partition::Strategy s,
+                              part_t ndomains) {
+  partition::StrategyOptions sopts;
+  sopts.strategy = s;
+  sopts.ndomains = ndomains;
+  return partition::decompose(m, sopts).domain_of_cell;
+}
+
+/// Rebuild from scratch and require bit-identity with the patcher's
+/// published graph: fingerprint plus direct field-by-field spot checks,
+/// so a fingerprint bug can't silently vouch for itself.
+void expect_matches_rebuild(const GraphPatcher& patcher, const mesh::Mesh& m,
+                            const std::vector<part_t>& dom, part_t ndomains,
+                            const std::string& context) {
+  ClassMap ref_classes;
+  const TaskGraph ref =
+      generate_task_graph(m, dom, ndomains, {}, &ref_classes);
+  EXPECT_EQ(patcher.fingerprint(),
+            GraphPatcher::fingerprint(ref, ref_classes))
+      << context;
+
+  const TaskGraph& got = patcher.graph();
+  ASSERT_EQ(got.num_tasks(), ref.num_tasks()) << context;
+  ASSERT_EQ(got.num_dependencies(), ref.num_dependencies()) << context;
+  for (index_t t = 0; t < ref.num_tasks(); ++t) {
+    const Task& a = got.task(t);
+    const Task& b = ref.task(t);
+    ASSERT_EQ(a.subiteration, b.subiteration) << context << " task " << t;
+    ASSERT_EQ(a.level, b.level) << context << " task " << t;
+    ASSERT_EQ(a.type, b.type) << context << " task " << t;
+    ASSERT_EQ(a.locality, b.locality) << context << " task " << t;
+    ASSERT_EQ(a.domain, b.domain) << context << " task " << t;
+    ASSERT_EQ(a.num_objects, b.num_objects) << context << " task " << t;
+    ASSERT_EQ(a.cost, b.cost) << context << " task " << t;
+    const auto gp = got.predecessors(t);
+    const auto rp = ref.predecessors(t);
+    ASSERT_TRUE(std::equal(gp.begin(), gp.end(), rp.begin(), rp.end()))
+        << context << " task " << t;
+  }
+  const ClassMap& cls = patcher.classes();
+  ASSERT_EQ(cls.task_class, ref_classes.task_class) << context;
+  ASSERT_EQ(cls.class_cells, ref_classes.class_cells) << context;
+  ASSERT_EQ(cls.class_faces, ref_classes.class_faces) << context;
+  ASSERT_EQ(cls.cell_range.size(), ref_classes.cell_range.size()) << context;
+  for (std::size_t k = 0; k < cls.cell_range.size(); ++k) {
+    EXPECT_EQ(cls.cell_range[k].begin, ref_classes.cell_range[k].begin)
+        << context << " class " << k;
+    EXPECT_EQ(cls.cell_range[k].end, ref_classes.cell_range[k].end)
+        << context << " class " << k;
+    EXPECT_EQ(cls.face_range[k].begin, ref_classes.face_range[k].begin)
+        << context << " class " << k;
+    EXPECT_EQ(cls.face_range[k].boundary_begin,
+              ref_classes.face_range[k].boundary_begin)
+        << context << " class " << k;
+    EXPECT_EQ(cls.face_range[k].end, ref_classes.face_range[k].end)
+        << context << " class " << k;
+  }
+}
+
+std::string doctor_text(const TaskGraph& g, part_t ndomains) {
+  sim::SimOptions sopts;
+  sopts.cluster.num_processes = 2;
+  sopts.cluster.workers_per_process = 2;
+  const auto d2p = partition::map_domains_to_processes(
+      ndomains, 2, partition::DomainMapping::block);
+  const sim::SimResult res = sim::simulate(g, d2p, sopts);
+  std::ostringstream os;
+  sim::print_doctor_report(os, g, sim::diagnose(g, res));
+  return os.str();
+}
+
+// --- property sweep: patched ≡ rebuilt ---------------------------------------
+
+TEST(PatchProperty, DriftSweepIsBitIdenticalToRebuild) {
+  const partition::Strategy strategies[] = {partition::Strategy::sc_oc,
+                                            partition::Strategy::mc_tl};
+  const mesh::TestMeshKind kinds[] = {mesh::TestMeshKind::cylinder,
+                                      mesh::TestMeshKind::cube};
+  int patched_applies = 0;
+  for (const auto kind : kinds) {
+    for (const auto strategy : strategies) {
+      for (std::uint64_t drift_seed = 1; drift_seed <= 3; ++drift_seed) {
+        mesh::Mesh m = test_mesh(kind, 4000, 7);
+        const auto dom = decompose(m, strategy, 8);
+        GraphPatcher patcher(m, dom, 8);
+        Rng rng(mix_seed(drift_seed, static_cast<std::uint64_t>(strategy)));
+        for (int iter = 0; iter < 3; ++iter) {
+          mesh::evolve_levels(m, 0.01, rng);
+          const PatchStats& st = patcher.apply(m, dom);
+          patched_applies += st.patched ? 1 : 0;
+          const std::string ctx =
+              std::string(mesh::to_string(kind)) + "/" +
+              partition::to_string(strategy) + " seed " +
+              std::to_string(drift_seed) + " iter " + std::to_string(iter);
+          expect_matches_rebuild(patcher, m, dom, 8, ctx);
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the diff path, not fall back.
+  EXPECT_GT(patched_applies, 20);
+}
+
+TEST(PatchProperty, DoctorOutputIdenticalOnPatchedAndRebuiltGraph) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 4000, 11);
+  const auto dom = decompose(m, partition::Strategy::mc_tl, 8);
+  GraphPatcher patcher(m, dom, 8);
+  Rng rng(5);
+  for (int iter = 0; iter < 2; ++iter) {
+    mesh::evolve_levels(m, 0.01, rng);
+    patcher.apply(m, dom);
+  }
+  const TaskGraph ref = generate_task_graph(m, dom, 8);
+  EXPECT_EQ(doctor_text(patcher.graph(), 8), doctor_text(ref, 8));
+}
+
+TEST(PatchProperty, DomainReassignmentIsPatched) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cube, 3000, 3);
+  auto dom = decompose(m, partition::Strategy::sc_oc, 6);
+  GraphPatcher patcher(m, dom, 6);
+  // Migrate a handful of cells to a neighbour's domain — the incremental
+  // repartitioner's signature output shape.
+  Rng rng(17);
+  int moved = 0;
+  for (index_t c = 0; c < m.num_cells() && moved < 25; c += 97) {
+    for (const index_t f : m.cell_faces(c)) {
+      const index_t o = m.face_other_cell(f, c);
+      if (o == invalid_index) continue;
+      const part_t od = dom[static_cast<std::size_t>(o)];
+      if (od != dom[static_cast<std::size_t>(c)]) {
+        dom[static_cast<std::size_t>(c)] = od;
+        ++moved;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(moved, 0);
+  const PatchStats& st = patcher.apply(m, dom);
+  EXPECT_TRUE(st.patched) << st.rebuild_reason;
+  EXPECT_GT(st.dirty_cells, 0);
+  expect_matches_rebuild(patcher, m, dom, 6, "domain reassignment");
+}
+
+// --- fast paths and fallbacks ------------------------------------------------
+
+TEST(Patch, ZeroChangeIsANoop) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 2000, 1);
+  const auto dom = decompose(m, partition::Strategy::sc_oc, 4);
+  GraphPatcher patcher(m, dom, 4);
+  const std::uint64_t before = patcher.fingerprint();
+  const PatchStats& st = patcher.apply(m, dom);
+  EXPECT_TRUE(st.patched);
+  EXPECT_EQ(st.dirty_cells, 0);
+  EXPECT_EQ(st.dirty_fraction, 0.0);
+  EXPECT_EQ(patcher.fingerprint(), before);
+  for (const char d : patcher.dirty_tasks()) EXPECT_EQ(d, 0);
+}
+
+TEST(Patch, HighDriftFallsBackToFullRebuild) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 2000, 2);
+  const auto dom = decompose(m, partition::Strategy::sc_oc, 4);
+  GraphPatcher patcher(m, dom, 4);
+  Rng rng(9);
+  mesh::evolve_levels(m, 0.9, rng);  // way past max_dirty_fraction
+  const PatchStats& st = patcher.apply(m, dom);
+  EXPECT_FALSE(st.patched);
+  ASSERT_NE(st.rebuild_reason, nullptr);
+  EXPECT_EQ(std::string(st.rebuild_reason),
+            "dirty fraction above patch threshold");
+  // A rebuild marks everything dirty: the whole graph re-certifies.
+  bool any_clean = false;
+  for (const char d : patcher.dirty_tasks()) any_clean |= d == 0;
+  EXPECT_FALSE(any_clean);
+  expect_matches_rebuild(patcher, m, dom, 4, "high drift");
+}
+
+TEST(Patch, LevelCountChangeFallsBackToFullRebuild) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 2000, 4);
+  const auto dom = decompose(m, partition::Strategy::sc_oc, 4);
+  GraphPatcher patcher(m, dom, 4);
+  // Flatten the hierarchy: max level drops, the scheme changes shape.
+  std::vector<level_t> flat(static_cast<std::size_t>(m.num_cells()), 0);
+  m.set_cell_levels(std::move(flat));
+  const PatchStats& st = patcher.apply(m, dom);
+  EXPECT_FALSE(st.patched);
+  ASSERT_NE(st.rebuild_reason, nullptr);
+  EXPECT_EQ(std::string(st.rebuild_reason), "temporal level count changed");
+  expect_matches_rebuild(patcher, m, dom, 4, "level count change");
+}
+
+// --- mutation tests: a stale patch cannot survive ----------------------------
+
+TEST(PatchMutation, OracleThrowsOnStalePatch) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 2000, 6);
+  const auto dom = decompose(m, partition::Strategy::sc_oc, 4);
+  GraphPatcher::Options opts;
+  opts.oracle = true;
+  GraphPatcher patcher(m, dom, 4, opts);
+  Rng rng(21);
+  mesh::evolve_levels(m, 0.01, rng);
+  patcher.apply(m, dom);  // genuine patch passes the oracle
+
+  patcher.corrupt_aggregates_for_testing();
+  mesh::evolve_levels(m, 0.01, rng);
+  EXPECT_THROW(patcher.apply(m, dom), invariant_error);
+}
+
+TEST(PatchMutation, FingerprintExposesStalePatchWithoutOracle) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 2000, 6);
+  const auto dom = decompose(m, partition::Strategy::sc_oc, 4);
+  GraphPatcher patcher(m, dom, 4);
+  patcher.corrupt_aggregates_for_testing();
+  Rng rng(21);
+  mesh::evolve_levels(m, 0.01, rng);
+  const PatchStats& st = patcher.apply(m, dom);
+  ASSERT_TRUE(st.patched);  // the cheap path ran — and produced a stale graph
+  ClassMap ref_classes;
+  const TaskGraph ref = generate_task_graph(m, dom, 4, {}, &ref_classes);
+  EXPECT_NE(patcher.fingerprint(),
+            GraphPatcher::fingerprint(ref, ref_classes));
+}
+
+// --- dirty-region re-certification -------------------------------------------
+
+TEST(PatchRegion, PatchedGraphReCertifiesCleanOnItsDirtyRegion) {
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 3000, 8);
+  solver::EulerSolver es(m);
+  es.initialize_uniform(1.0, {0.1, 0.0, 0.0}, 1.0);
+  es.assign_temporal_levels();
+  const auto dom = decompose(m, partition::Strategy::mc_tl, 6);
+  GraphPatcher patcher(m, dom, 6);
+  Rng rng(13);
+  mesh::evolve_levels(m, 0.01, rng);
+  const PatchStats& st = patcher.apply(m, dom);
+  ASSERT_TRUE(st.patched) << st.rebuild_reason;
+
+  const auto classes = std::make_shared<const ClassMap>(patcher.classes());
+  const runtime::TaskBody body =
+      es.make_iteration_body(patcher.graph(), classes);
+  const verify::RegionReport report =
+      verify::check_races_region(patcher.graph(), patcher.dirty_tasks(), body);
+  EXPECT_TRUE(report.clean()) << report.races.summary(patcher.graph());
+  EXPECT_GT(report.dirty_tasks, 0);
+  EXPECT_GE(report.region_tasks, report.dirty_tasks);
+  EXPECT_LT(report.region_tasks, patcher.graph().num_tasks());
+}
+
+TEST(PatchRegion, SeveredRegionEdgeIsFlagged) {
+  // Drop dependency edges whose both endpoints sit inside the dirty
+  // region; at least one of them must be load-bearing, and the region
+  // check must flag the pair it no longer orders.
+  mesh::Mesh m = test_mesh(mesh::TestMeshKind::cylinder, 3000, 8);
+  solver::EulerSolver es(m);
+  es.initialize_uniform(1.0, {0.1, 0.0, 0.0}, 1.0);
+  es.assign_temporal_levels();
+  const auto dom = decompose(m, partition::Strategy::mc_tl, 6);
+  GraphPatcher patcher(m, dom, 6);
+  Rng rng(13);
+  mesh::evolve_levels(m, 0.01, rng);
+  ASSERT_TRUE(patcher.apply(m, dom).patched);
+
+  const auto classes = std::make_shared<const ClassMap>(patcher.classes());
+  const std::vector<char> region =
+      verify::region_closure(patcher.graph(), patcher.dirty_tasks());
+  int severed = 0, flagged = 0;
+  for (const auto& [from, to] : verify::dependency_edges(patcher.graph())) {
+    if (region[static_cast<std::size_t>(from)] == 0 ||
+        region[static_cast<std::size_t>(to)] == 0)
+      continue;
+    if (severed >= 12) break;  // a sample is enough; each replay is O(region)
+    ++severed;
+    const TaskGraph mutated =
+        verify::remove_dependency(patcher.graph(), from, to);
+    const runtime::TaskBody body = es.make_iteration_body(mutated, classes);
+    const verify::RegionReport report =
+        verify::check_races_region(mutated, patcher.dirty_tasks(), body);
+    flagged += report.clean() ? 0 : 1;
+  }
+  ASSERT_GT(severed, 0);
+  EXPECT_GT(flagged, 0)
+      << "no severed in-region edge was load-bearing — mutation test inert";
+}
+
+}  // namespace
+}  // namespace tamp::taskgraph

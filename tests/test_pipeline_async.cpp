@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/pipeline.hpp"
+#include "partition/cache.hpp"
 #include "solver/euler.hpp"
 #include "solver/transport.hpp"
 #include "support/thread_pool.hpp"
@@ -342,6 +343,95 @@ TEST(PipelineAsync, RejectsBadConfig) {
   cfg = base_config(PipelineMode::sync, 2);
   EXPECT_THROW(run_iteration_pipeline(m, cfg, SolverHooks{}),
                precondition_error);
+}
+
+/// A run that also captures each consumed snapshot's fingerprint — the
+/// seal over levels, assignment, graph and classes.
+struct SealedRun {
+  EulerRun run;
+  std::vector<std::uint64_t> fingerprints;
+};
+
+SealedRun run_euler_sealed(IterationPipelineConfig cfg) {
+  SealedRun out;
+  mesh::Mesh m = test_mesh();
+  solver::EulerSolver solver(m);
+  solver.initialize_uniform(1.0, {0.2, 0.1, 0.0}, 1.0);
+  solver.add_pulse(m.cell_centroid(0), 0.5, 0.3);
+  solver.assign_temporal_levels();
+  SolverHooks hooks = euler_pipeline_hooks(solver);
+  hooks.observer = [&out, &solver, &m](const IterationSnapshot& snap,
+                                       const runtime::ExecutionReport&) {
+    out.fingerprints.push_back(snap.fingerprint);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (index_t c = 0; c < m.num_cells(); ++c) {
+      const solver::State s = solver.cell_state(c);
+      h = hash_doubles(h, s.data(), s.size());
+    }
+    out.run.state_hash.push_back(h);
+  };
+  out.run.report = run_iteration_pipeline(m, cfg, hooks);
+  return out;
+}
+
+TEST(PipelineAsync, PatchPolicyModesAreBitwiseIdentical) {
+  // off = rebuild every graph; auto = diff-patch; oracle = patch AND
+  // prove each patch against a rebuild. All three must publish identical
+  // snapshots (fingerprints) and identical physics (state hashes).
+  IterationPipelineConfig cfg = base_config(PipelineMode::sync, 2);
+  cfg.drift = 0.02;
+  cfg.patch = PatchPolicy::off;
+  const SealedRun off = run_euler_sealed(cfg);
+  cfg.patch = PatchPolicy::automatic;
+  const SealedRun aut = run_euler_sealed(cfg);
+  cfg.patch = PatchPolicy::oracle;
+  const SealedRun ora = run_euler_sealed(cfg);
+
+  EXPECT_EQ(off.fingerprints, aut.fingerprints);
+  EXPECT_EQ(off.fingerprints, ora.fingerprints);
+  EXPECT_EQ(off.run.state_hash, aut.run.state_hash);
+  EXPECT_EQ(off.run.state_hash, ora.run.state_hash);
+
+  bool any_patched = false;
+  for (const PipelineIterationStats& it : aut.run.report.iterations)
+    any_patched |= it.graph_patched;
+  EXPECT_TRUE(any_patched);
+  for (const PipelineIterationStats& it : off.run.report.iterations)
+    EXPECT_FALSE(it.graph_patched);
+}
+
+TEST(PipelineAsync, ZeroDriftReusesDecompositionVerbatim) {
+  IterationPipelineConfig cfg = base_config(PipelineMode::sync, 2);
+  cfg.drift = 0.0;
+  const SealedRun r = run_euler_sealed(cfg);
+  ASSERT_EQ(r.run.report.iterations.size(),
+            static_cast<std::size_t>(kIterations));
+  for (std::size_t i = 1; i < r.run.report.iterations.size(); ++i) {
+    const PipelineIterationStats& it = r.run.report.iterations[i];
+    EXPECT_TRUE(it.decomposition_reused) << "iteration " << i;
+    EXPECT_EQ(it.dirty_fraction, 0.0) << "iteration " << i;
+    EXPECT_EQ(it.migrated_cells, 0) << "iteration " << i;
+    EXPECT_TRUE(it.graph_patched) << "iteration " << i;  // noop patch
+  }
+}
+
+TEST(PipelineAsync, SharedCacheServesRepeatPipelinesBitwiseIdentically) {
+  partition::DecompositionCache cache;
+  IterationPipelineConfig cfg = base_config(PipelineMode::sync, 2);
+  cfg.drift = 0.02;
+  cfg.cache = &cache;
+  const SealedRun first = run_euler_sealed(cfg);
+  EXPECT_EQ(cache.stats().misses, 1u);  // snapshot 0's decomposition
+
+  const SealedRun second = run_euler_sealed(cfg);
+  EXPECT_GE(cache.stats().hits, 1u);  // same mesh content → warm start
+
+  cfg.cache = nullptr;
+  const SealedRun cold = run_euler_sealed(cfg);
+  EXPECT_EQ(first.fingerprints, second.fingerprints);
+  EXPECT_EQ(first.fingerprints, cold.fingerprints);
+  EXPECT_EQ(first.run.state_hash, second.run.state_hash);
+  EXPECT_EQ(first.run.state_hash, cold.run.state_hash);
 }
 
 }  // namespace

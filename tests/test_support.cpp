@@ -9,6 +9,7 @@
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/gantt.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/svg.hpp"
 #include "support/table.hpp"
@@ -98,6 +99,35 @@ TEST(Check, MessageContainsContext) {
   } catch (const precondition_error& e) {
     EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
   }
+}
+
+TEST(Fnv1aHash, MatchesPublishedTestVectors) {
+  // Published 64-bit FNV-1a vectors (Fowler/Noll/Vo reference tables).
+  EXPECT_EQ(fnv1a(""), kFnv1aOffset);
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(fnv1a("chongo was here!\n"), 0x46810940eff5f915ULL);
+}
+
+TEST(Fnv1aHash, BuilderMatchesOneShotOnBytes) {
+  const std::string s = "snapshot-seal";
+  std::uint64_t h = kFnv1aOffset;
+  fnv1a_bytes(h, s.data(), s.size());
+  EXPECT_EQ(h, fnv1a(s));
+  EXPECT_EQ(Fnv1a().add_span(s.data(), s.size()).value(), fnv1a(s));
+}
+
+TEST(Fnv1aHash, VectorLengthPrefixPreventsConcatenationCollisions) {
+  const std::vector<int> ab = {1, 2}, c = {3};
+  const std::vector<int> a = {1}, bc = {2, 3};
+  const auto h1 = Fnv1a().add_vector(ab).add_vector(c).value();
+  const auto h2 = Fnv1a().add_vector(a).add_vector(bc).value();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Fnv1aHash, FieldOrderMatters) {
+  EXPECT_NE(Fnv1a().add(1).add(2).value(), Fnv1a().add(2).add(1).value());
 }
 
 TEST(Table, AlignsColumns) {

@@ -26,7 +26,7 @@ cmake -S "${ROOT}" -B "${BUILD}" \
 cmake --build "${BUILD}" -j "$(nproc)" --target \
   test_obs test_runtime test_flight test_thread_pool test_partition \
   test_partition_properties test_reorder test_verify test_verify_solver \
-  test_simd test_pipeline_async flusim tamp_report
+  test_simd test_pipeline_async test_cache flusim tamp_report
 
 # Run the binaries directly (deterministic, no ctest discovery pass);
 # TSan failures make the test runner exit non-zero.
@@ -50,6 +50,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # (fault-injection drains included).
 "${BUILD}/tests/test_pipeline_async"
 
+# The shared decomposition cache: the concurrent hammer mixes hits,
+# misses, single-flight joins, evictions and clears from several
+# threads; TSan watches the mutex/condvar single-flight protocol and
+# the shared_ptr value handoff across eviction.
+"${BUILD}/tests/test_cache"
+
 # The DAG-level race check itself, with the per-worker access buffers
 # exercised by real threads + jitter: TSan watches the recorder while the
 # checker proves the graph ordered every conflicting pair. Run both data
@@ -63,11 +69,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # Overlapped pipeline + instrumented race verifier: the access recorder
 # runs inside solve(i) while prep(i+1) mutates the planning mesh on a
 # pool worker; TSan checks that the only shared state between the two is
-# the immutable snapshot. Both solvers cross the handoff.
+# the immutable snapshot. Both solvers cross the handoff. The default
+# --patch auto means these runs re-certify patched graphs on their dirty
+# region; the oracle run additionally rebuilds and compares every patch.
 "${BUILD}/examples/flusim" --mesh cylinder --cells 4000 --pipeline overlap \
   --iterations 3 --threads 2 --verify-races --verify-delay-us 20
 "${BUILD}/examples/flusim" --mesh cylinder --cells 4000 --pipeline overlap \
   --pipeline-solver transport --iterations 3 --threads 2 --verify-races
+"${BUILD}/examples/flusim" --mesh cylinder --cells 4000 --pipeline overlap \
+  --patch oracle --iterations 3 --threads 2 --verify-races
 
 # A recorded threaded execution: every worker pushes flight events into
 # its ring while the emulated processes run concurrently, then the
