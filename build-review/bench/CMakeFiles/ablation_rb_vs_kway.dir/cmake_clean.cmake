@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rb_vs_kway.dir/ablation_rb_vs_kway.cpp.o"
+  "CMakeFiles/ablation_rb_vs_kway.dir/ablation_rb_vs_kway.cpp.o.d"
+  "ablation_rb_vs_kway"
+  "ablation_rb_vs_kway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rb_vs_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sfc_baseline.dir/ablation_sfc_baseline.cpp.o"
+  "CMakeFiles/ablation_sfc_baseline.dir/ablation_sfc_baseline.cpp.o.d"
+  "ablation_sfc_baseline"
+  "ablation_sfc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sfc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nozzle_flusim.dir/fig12_nozzle_flusim.cpp.o"
+  "CMakeFiles/fig12_nozzle_flusim.dir/fig12_nozzle_flusim.cpp.o.d"
+  "fig12_nozzle_flusim"
+  "fig12_nozzle_flusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nozzle_flusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_production.dir/fig13_production.cpp.o"
+  "CMakeFiles/fig13_production.dir/fig13_production.cpp.o.d"
+  "fig13_production"
+  "fig13_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sim_vs_runtime.dir/fig5_sim_vs_runtime.cpp.o"
+  "CMakeFiles/fig5_sim_vs_runtime.dir/fig5_sim_vs_runtime.cpp.o.d"
+  "fig5_sim_vs_runtime"
+  "fig5_sim_vs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sim_vs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_sim_vs_runtime.
+# This may be replaced when dependencies are built.

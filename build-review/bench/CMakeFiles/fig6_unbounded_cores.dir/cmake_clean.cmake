@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_unbounded_cores.dir/fig6_unbounded_cores.cpp.o"
+  "CMakeFiles/fig6_unbounded_cores.dir/fig6_unbounded_cores.cpp.o.d"
+  "fig6_unbounded_cores"
+  "fig6_unbounded_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unbounded_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fig10_domain_census.dir/fig7_fig10_domain_census.cpp.o"
+  "CMakeFiles/fig7_fig10_domain_census.dir/fig7_fig10_domain_census.cpp.o.d"
+  "fig7_fig10_domain_census"
+  "fig7_fig10_domain_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fig10_domain_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_fig10_domain_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_speedup_traces.dir/fig9_speedup_traces.cpp.o"
+  "CMakeFiles/fig9_speedup_traces.dir/fig9_speedup_traces.cpp.o.d"
+  "fig9_speedup_traces"
+  "fig9_speedup_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speedup_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_obs.dir/micro_obs.cpp.o"
+  "CMakeFiles/micro_obs.dir/micro_obs.cpp.o.d"
+  "micro_obs"
+  "micro_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

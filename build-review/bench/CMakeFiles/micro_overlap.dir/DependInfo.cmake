@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_overlap.cpp" "bench/CMakeFiles/micro_overlap.dir/micro_overlap.cpp.o" "gcc" "bench/CMakeFiles/micro_overlap.dir/micro_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/tamp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/tamp_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/tamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/tamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taskgraph/CMakeFiles/tamp_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/tamp_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mesh/CMakeFiles/tamp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/verify/CMakeFiles/tamp_verify.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

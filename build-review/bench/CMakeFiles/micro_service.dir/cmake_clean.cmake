@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_service.dir/micro_service.cpp.o"
+  "CMakeFiles/micro_service.dir/micro_service.cpp.o.d"
+  "micro_service"
+  "micro_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

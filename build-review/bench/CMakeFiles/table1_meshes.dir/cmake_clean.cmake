@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_meshes.dir/table1_meshes.cpp.o"
+  "CMakeFiles/table1_meshes.dir/table1_meshes.cpp.o.d"
+  "table1_meshes"
+  "table1_meshes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

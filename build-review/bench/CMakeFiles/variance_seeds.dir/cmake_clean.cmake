@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_seeds.dir/variance_seeds.cpp.o"
+  "CMakeFiles/variance_seeds.dir/variance_seeds.cpp.o.d"
+  "variance_seeds"
+  "variance_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

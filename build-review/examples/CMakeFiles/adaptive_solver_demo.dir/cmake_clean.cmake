@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_solver_demo.dir/adaptive_solver_demo.cpp.o"
+  "CMakeFiles/adaptive_solver_demo.dir/adaptive_solver_demo.cpp.o.d"
+  "adaptive_solver_demo"
+  "adaptive_solver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_solver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

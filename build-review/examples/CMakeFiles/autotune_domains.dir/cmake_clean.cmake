@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_domains.dir/autotune_domains.cpp.o"
+  "CMakeFiles/autotune_domains.dir/autotune_domains.cpp.o.d"
+  "autotune_domains"
+  "autotune_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flusim.dir/flusim.cpp.o"
+  "CMakeFiles/flusim.dir/flusim.cpp.o.d"
+  "flusim"
+  "flusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

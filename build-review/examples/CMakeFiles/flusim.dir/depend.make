@@ -1,0 +1,2 @@
+# Empty dependencies file for flusim.
+# This may be replaced when dependencies are built.

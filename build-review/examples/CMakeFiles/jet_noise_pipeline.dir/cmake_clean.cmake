@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_noise_pipeline.dir/jet_noise_pipeline.cpp.o"
+  "CMakeFiles/jet_noise_pipeline.dir/jet_noise_pipeline.cpp.o.d"
+  "jet_noise_pipeline"
+  "jet_noise_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_noise_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

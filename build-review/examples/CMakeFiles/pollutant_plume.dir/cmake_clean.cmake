@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollutant_plume.dir/pollutant_plume.cpp.o"
+  "CMakeFiles/pollutant_plume.dir/pollutant_plume.cpp.o.d"
+  "pollutant_plume"
+  "pollutant_plume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollutant_plume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pollutant_plume.
+# This may be replaced when dependencies are built.

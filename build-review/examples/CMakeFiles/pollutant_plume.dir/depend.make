@@ -1,0 +1,2 @@
+# Empty dependencies file for pollutant_plume.
+# This may be replaced when dependencies are built.

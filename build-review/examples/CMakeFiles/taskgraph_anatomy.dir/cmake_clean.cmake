@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgraph_anatomy.dir/taskgraph_anatomy.cpp.o"
+  "CMakeFiles/taskgraph_anatomy.dir/taskgraph_anatomy.cpp.o.d"
+  "taskgraph_anatomy"
+  "taskgraph_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgraph_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

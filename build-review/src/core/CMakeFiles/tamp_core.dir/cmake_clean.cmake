@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_core.dir/autotune.cpp.o"
+  "CMakeFiles/tamp_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/tamp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tamp_core.dir/pipeline.cpp.o.d"
+  "libtamp_core.a"
+  "libtamp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/tamp_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/tamp_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/tamp_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/tamp_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/tamp_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/tamp_graph.dir/csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_graph.dir/builder.cpp.o"
+  "CMakeFiles/tamp_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/tamp_graph.dir/components.cpp.o"
+  "CMakeFiles/tamp_graph.dir/components.cpp.o.d"
+  "CMakeFiles/tamp_graph.dir/csr.cpp.o"
+  "CMakeFiles/tamp_graph.dir/csr.cpp.o.d"
+  "libtamp_graph.a"
+  "libtamp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/evolve.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/evolve.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/evolve.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/generators.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/io.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/io.cpp.o.d"
+  "/root/repo/src/mesh/levels.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/levels.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/levels.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/mesh/reorder.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/reorder.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/reorder.cpp.o.d"
+  "/root/repo/src/mesh/vtk.cpp" "src/mesh/CMakeFiles/tamp_mesh.dir/vtk.cpp.o" "gcc" "src/mesh/CMakeFiles/tamp_mesh.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

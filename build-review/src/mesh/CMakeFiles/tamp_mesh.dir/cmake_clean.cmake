@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_mesh.dir/evolve.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/evolve.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/generators.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/io.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/io.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/levels.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/levels.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/reorder.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/reorder.cpp.o.d"
+  "CMakeFiles/tamp_mesh.dir/vtk.cpp.o"
+  "CMakeFiles/tamp_mesh.dir/vtk.cpp.o.d"
+  "libtamp_mesh.a"
+  "libtamp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

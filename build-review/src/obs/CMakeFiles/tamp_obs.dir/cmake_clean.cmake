@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_obs.dir/export.cpp.o"
+  "CMakeFiles/tamp_obs.dir/export.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/flight.cpp.o"
+  "CMakeFiles/tamp_obs.dir/flight.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/json.cpp.o"
+  "CMakeFiles/tamp_obs.dir/json.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/metrics.cpp.o"
+  "CMakeFiles/tamp_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/perf.cpp.o"
+  "CMakeFiles/tamp_obs.dir/perf.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/report.cpp.o"
+  "CMakeFiles/tamp_obs.dir/report.cpp.o.d"
+  "CMakeFiles/tamp_obs.dir/trace.cpp.o"
+  "CMakeFiles/tamp_obs.dir/trace.cpp.o.d"
+  "libtamp_obs.a"
+  "libtamp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

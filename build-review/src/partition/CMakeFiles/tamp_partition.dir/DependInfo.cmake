@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/balance.cpp" "src/partition/CMakeFiles/tamp_partition.dir/balance.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/balance.cpp.o.d"
+  "/root/repo/src/partition/bisect.cpp" "src/partition/CMakeFiles/tamp_partition.dir/bisect.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/bisect.cpp.o.d"
+  "/root/repo/src/partition/cache.cpp" "src/partition/CMakeFiles/tamp_partition.dir/cache.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/cache.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "src/partition/CMakeFiles/tamp_partition.dir/coarsen.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/coarsen.cpp.o.d"
+  "/root/repo/src/partition/incremental.cpp" "src/partition/CMakeFiles/tamp_partition.dir/incremental.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/incremental.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "src/partition/CMakeFiles/tamp_partition.dir/initial.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/initial.cpp.o.d"
+  "/root/repo/src/partition/io.cpp" "src/partition/CMakeFiles/tamp_partition.dir/io.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/io.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/partition/CMakeFiles/tamp_partition.dir/metrics.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/metrics.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/tamp_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "src/partition/CMakeFiles/tamp_partition.dir/refine.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/refine.cpp.o.d"
+  "/root/repo/src/partition/reorder.cpp" "src/partition/CMakeFiles/tamp_partition.dir/reorder.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/reorder.cpp.o.d"
+  "/root/repo/src/partition/repair.cpp" "src/partition/CMakeFiles/tamp_partition.dir/repair.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/repair.cpp.o.d"
+  "/root/repo/src/partition/sfc.cpp" "src/partition/CMakeFiles/tamp_partition.dir/sfc.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/sfc.cpp.o.d"
+  "/root/repo/src/partition/strategy.cpp" "src/partition/CMakeFiles/tamp_partition.dir/strategy.cpp.o" "gcc" "src/partition/CMakeFiles/tamp_partition.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mesh/CMakeFiles/tamp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

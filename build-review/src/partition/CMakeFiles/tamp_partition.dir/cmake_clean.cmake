@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_partition.dir/balance.cpp.o"
+  "CMakeFiles/tamp_partition.dir/balance.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/bisect.cpp.o"
+  "CMakeFiles/tamp_partition.dir/bisect.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/cache.cpp.o"
+  "CMakeFiles/tamp_partition.dir/cache.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/coarsen.cpp.o"
+  "CMakeFiles/tamp_partition.dir/coarsen.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/incremental.cpp.o"
+  "CMakeFiles/tamp_partition.dir/incremental.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/initial.cpp.o"
+  "CMakeFiles/tamp_partition.dir/initial.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/io.cpp.o"
+  "CMakeFiles/tamp_partition.dir/io.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/metrics.cpp.o"
+  "CMakeFiles/tamp_partition.dir/metrics.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/partition.cpp.o"
+  "CMakeFiles/tamp_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/refine.cpp.o"
+  "CMakeFiles/tamp_partition.dir/refine.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/reorder.cpp.o"
+  "CMakeFiles/tamp_partition.dir/reorder.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/repair.cpp.o"
+  "CMakeFiles/tamp_partition.dir/repair.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/sfc.cpp.o"
+  "CMakeFiles/tamp_partition.dir/sfc.cpp.o.d"
+  "CMakeFiles/tamp_partition.dir/strategy.cpp.o"
+  "CMakeFiles/tamp_partition.dir/strategy.cpp.o.d"
+  "libtamp_partition.a"
+  "libtamp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

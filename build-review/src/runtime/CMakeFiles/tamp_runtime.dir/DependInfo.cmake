@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/perf_report.cpp" "src/runtime/CMakeFiles/tamp_runtime.dir/perf_report.cpp.o" "gcc" "src/runtime/CMakeFiles/tamp_runtime.dir/perf_report.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/tamp_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/tamp_runtime.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taskgraph/CMakeFiles/tamp_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/tamp_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mesh/CMakeFiles/tamp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_runtime.dir/perf_report.cpp.o"
+  "CMakeFiles/tamp_runtime.dir/perf_report.cpp.o.d"
+  "CMakeFiles/tamp_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/tamp_runtime.dir/runtime.cpp.o.d"
+  "libtamp_runtime.a"
+  "libtamp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analysis.cpp" "src/sim/CMakeFiles/tamp_sim.dir/analysis.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/analysis.cpp.o.d"
+  "/root/repo/src/sim/doctor.cpp" "src/sim/CMakeFiles/tamp_sim.dir/doctor.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/doctor.cpp.o.d"
+  "/root/repo/src/sim/measured.cpp" "src/sim/CMakeFiles/tamp_sim.dir/measured.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/measured.cpp.o.d"
+  "/root/repo/src/sim/messages.cpp" "src/sim/CMakeFiles/tamp_sim.dir/messages.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/messages.cpp.o.d"
+  "/root/repo/src/sim/simulate.cpp" "src/sim/CMakeFiles/tamp_sim.dir/simulate.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/simulate.cpp.o.d"
+  "/root/repo/src/sim/trace_json.cpp" "src/sim/CMakeFiles/tamp_sim.dir/trace_json.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/trace_json.cpp.o.d"
+  "/root/repo/src/sim/whatif.cpp" "src/sim/CMakeFiles/tamp_sim.dir/whatif.cpp.o" "gcc" "src/sim/CMakeFiles/tamp_sim.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taskgraph/CMakeFiles/tamp_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/tamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/tamp_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mesh/CMakeFiles/tamp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_sim.dir/analysis.cpp.o"
+  "CMakeFiles/tamp_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/doctor.cpp.o"
+  "CMakeFiles/tamp_sim.dir/doctor.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/measured.cpp.o"
+  "CMakeFiles/tamp_sim.dir/measured.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/messages.cpp.o"
+  "CMakeFiles/tamp_sim.dir/messages.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/simulate.cpp.o"
+  "CMakeFiles/tamp_sim.dir/simulate.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/trace_json.cpp.o"
+  "CMakeFiles/tamp_sim.dir/trace_json.cpp.o.d"
+  "CMakeFiles/tamp_sim.dir/whatif.cpp.o"
+  "CMakeFiles/tamp_sim.dir/whatif.cpp.o.d"
+  "libtamp_sim.a"
+  "libtamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_solver.dir/euler.cpp.o"
+  "CMakeFiles/tamp_solver.dir/euler.cpp.o.d"
+  "CMakeFiles/tamp_solver.dir/layout.cpp.o"
+  "CMakeFiles/tamp_solver.dir/layout.cpp.o.d"
+  "CMakeFiles/tamp_solver.dir/simd_kernels_w2.cpp.o"
+  "CMakeFiles/tamp_solver.dir/simd_kernels_w2.cpp.o.d"
+  "CMakeFiles/tamp_solver.dir/simd_kernels_w4.cpp.o"
+  "CMakeFiles/tamp_solver.dir/simd_kernels_w4.cpp.o.d"
+  "CMakeFiles/tamp_solver.dir/transport.cpp.o"
+  "CMakeFiles/tamp_solver.dir/transport.cpp.o.d"
+  "libtamp_solver.a"
+  "libtamp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/tamp_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/gantt.cpp" "src/support/CMakeFiles/tamp_support.dir/gantt.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/gantt.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/tamp_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/tamp_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/simd.cpp" "src/support/CMakeFiles/tamp_support.dir/simd.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/simd.cpp.o.d"
+  "/root/repo/src/support/svg.cpp" "src/support/CMakeFiles/tamp_support.dir/svg.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/svg.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/tamp_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/tamp_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/tamp_support.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_support.dir/cli.cpp.o"
+  "CMakeFiles/tamp_support.dir/cli.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/gantt.cpp.o"
+  "CMakeFiles/tamp_support.dir/gantt.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/log.cpp.o"
+  "CMakeFiles/tamp_support.dir/log.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/rng.cpp.o"
+  "CMakeFiles/tamp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/simd.cpp.o"
+  "CMakeFiles/tamp_support.dir/simd.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/svg.cpp.o"
+  "CMakeFiles/tamp_support.dir/svg.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/table.cpp.o"
+  "CMakeFiles/tamp_support.dir/table.cpp.o.d"
+  "CMakeFiles/tamp_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/tamp_support.dir/thread_pool.cpp.o.d"
+  "libtamp_support.a"
+  "libtamp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

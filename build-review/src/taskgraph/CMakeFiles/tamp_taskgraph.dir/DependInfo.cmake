@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgraph/generate.cpp" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/generate.cpp.o" "gcc" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/generate.cpp.o.d"
+  "/root/repo/src/taskgraph/patch.cpp" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/patch.cpp.o" "gcc" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/patch.cpp.o.d"
+  "/root/repo/src/taskgraph/scheme.cpp" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/scheme.cpp.o" "gcc" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/scheme.cpp.o.d"
+  "/root/repo/src/taskgraph/taskgraph.cpp" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/taskgraph.cpp.o" "gcc" "src/taskgraph/CMakeFiles/tamp_taskgraph.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/tamp_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mesh/CMakeFiles/tamp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/tamp_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/tamp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tamp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_taskgraph.dir/generate.cpp.o"
+  "CMakeFiles/tamp_taskgraph.dir/generate.cpp.o.d"
+  "CMakeFiles/tamp_taskgraph.dir/patch.cpp.o"
+  "CMakeFiles/tamp_taskgraph.dir/patch.cpp.o.d"
+  "CMakeFiles/tamp_taskgraph.dir/scheme.cpp.o"
+  "CMakeFiles/tamp_taskgraph.dir/scheme.cpp.o.d"
+  "CMakeFiles/tamp_taskgraph.dir/taskgraph.cpp.o"
+  "CMakeFiles/tamp_taskgraph.dir/taskgraph.cpp.o.d"
+  "libtamp_taskgraph.a"
+  "libtamp_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

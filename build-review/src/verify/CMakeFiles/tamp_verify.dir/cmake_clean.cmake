@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_verify.dir/access.cpp.o"
+  "CMakeFiles/tamp_verify.dir/access.cpp.o.d"
+  "CMakeFiles/tamp_verify.dir/graph_edit.cpp.o"
+  "CMakeFiles/tamp_verify.dir/graph_edit.cpp.o.d"
+  "CMakeFiles/tamp_verify.dir/reachability.cpp.o"
+  "CMakeFiles/tamp_verify.dir/reachability.cpp.o.d"
+  "CMakeFiles/tamp_verify.dir/verifier.cpp.o"
+  "CMakeFiles/tamp_verify.dir/verifier.cpp.o.d"
+  "libtamp_verify.a"
+  "libtamp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doctor.dir/test_doctor.cpp.o"
+  "CMakeFiles/test_doctor.dir/test_doctor.cpp.o.d"
+  "test_doctor"
+  "test_doctor.pdb"
+  "test_doctor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolve_incremental.dir/test_evolve_incremental.cpp.o"
+  "CMakeFiles/test_evolve_incremental.dir/test_evolve_incremental.cpp.o.d"
+  "test_evolve_incremental"
+  "test_evolve_incremental.pdb"
+  "test_evolve_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolve_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flight.dir/test_flight.cpp.o"
+  "CMakeFiles/test_flight.dir/test_flight.cpp.o.d"
+  "test_flight"
+  "test_flight.pdb"
+  "test_flight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

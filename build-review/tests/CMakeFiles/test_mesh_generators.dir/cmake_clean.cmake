@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_generators.dir/test_mesh_generators.cpp.o"
+  "CMakeFiles/test_mesh_generators.dir/test_mesh_generators.cpp.o.d"
+  "test_mesh_generators"
+  "test_mesh_generators.pdb"
+  "test_mesh_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_properties.dir/test_partition_properties.cpp.o"
+  "CMakeFiles/test_partition_properties.dir/test_partition_properties.cpp.o.d"
+  "test_partition_properties"
+  "test_partition_properties.pdb"
+  "test_partition_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

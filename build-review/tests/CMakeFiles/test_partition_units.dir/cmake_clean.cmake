@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_units.dir/test_partition_units.cpp.o"
+  "CMakeFiles/test_partition_units.dir/test_partition_units.cpp.o.d"
+  "test_partition_units"
+  "test_partition_units.pdb"
+  "test_partition_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patch.dir/test_patch.cpp.o"
+  "CMakeFiles/test_patch.dir/test_patch.cpp.o.d"
+  "test_patch"
+  "test_patch.pdb"
+  "test_patch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

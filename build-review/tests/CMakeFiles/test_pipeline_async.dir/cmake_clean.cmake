@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_async.dir/test_pipeline_async.cpp.o"
+  "CMakeFiles/test_pipeline_async.dir/test_pipeline_async.cpp.o.d"
+  "test_pipeline_async"
+  "test_pipeline_async.pdb"
+  "test_pipeline_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc.dir/test_sfc.cpp.o"
+  "CMakeFiles/test_sfc.dir/test_sfc.cpp.o.d"
+  "test_sfc"
+  "test_sfc.pdb"
+  "test_sfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

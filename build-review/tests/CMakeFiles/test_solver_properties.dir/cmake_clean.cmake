@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_properties.dir/test_solver_properties.cpp.o"
+  "CMakeFiles/test_solver_properties.dir/test_solver_properties.cpp.o.d"
+  "test_solver_properties"
+  "test_solver_properties.pdb"
+  "test_solver_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

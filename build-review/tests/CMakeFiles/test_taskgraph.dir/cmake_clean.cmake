@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgraph.dir/test_taskgraph.cpp.o"
+  "CMakeFiles/test_taskgraph.dir/test_taskgraph.cpp.o.d"
+  "test_taskgraph"
+  "test_taskgraph.pdb"
+  "test_taskgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

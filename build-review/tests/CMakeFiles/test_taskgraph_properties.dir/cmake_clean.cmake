@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgraph_properties.dir/test_taskgraph_properties.cpp.o"
+  "CMakeFiles/test_taskgraph_properties.dir/test_taskgraph_properties.cpp.o.d"
+  "test_taskgraph_properties"
+  "test_taskgraph_properties.pdb"
+  "test_taskgraph_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgraph_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

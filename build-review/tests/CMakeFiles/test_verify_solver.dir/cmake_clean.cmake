@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_solver.dir/test_verify_solver.cpp.o"
+  "CMakeFiles/test_verify_solver.dir/test_verify_solver.cpp.o.d"
+  "test_verify_solver"
+  "test_verify_solver.pdb"
+  "test_verify_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whatif.dir/test_whatif.cpp.o"
+  "CMakeFiles/test_whatif.dir/test_whatif.cpp.o.d"
+  "test_whatif"
+  "test_whatif.pdb"
+  "test_whatif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

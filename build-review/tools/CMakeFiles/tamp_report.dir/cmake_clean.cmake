@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_report.dir/tamp_report.cpp.o"
+  "CMakeFiles/tamp_report.dir/tamp_report.cpp.o.d"
+  "tamp-report"
+  "tamp-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
